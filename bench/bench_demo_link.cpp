@@ -1,0 +1,105 @@
+// E10 — the BWRC retreat demo (paper §6, Figs 7/8): accelerometer node in
+// motion-detect mode, superregenerative receiver, decoded X/Y/Z plotted on
+// a laptop. The node deep-sleeps on the table and transmits only while
+// handled; decode success depends on range and antenna orientation.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/node.hpp"
+#include "radio/receiver.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+namespace {
+
+struct DemoResult {
+  std::uint64_t wake_cycles = 0;
+  int frames_seen = 0;
+  int frames_decoded = 0;
+  double avg_power_uw = 0.0;
+  std::vector<sensors::Accel3> samples;
+};
+
+DemoResult run_demo(Length distance, double alignment) {
+  core::NodeConfig cfg;
+  cfg.sensor = core::NodeConfig::Sensor::kAccelerometer;
+  core::PicoCubeNode node(cfg);
+  radio::Channel::Params cp;
+  cp.distance = distance;
+  cp.tx_alignment = alignment;
+  radio::SuperregenReceiver rx{radio::Channel{radio::PatchAntenna{}, cp}};
+
+  DemoResult res;
+  node.set_frame_listener([&](const radio::RfFrame& f) {
+    ++res.frames_seen;
+    const auto r = rx.receive(f);
+    if (!r.packet.has_value()) return;
+    ++res.frames_decoded;
+    const auto a = radio::decode_accel_payload(r.packet->payload);
+    if (a.has_value()) res.samples.push_back(*a);
+  });
+  node.run(60_s);
+  res.wake_cycles = node.wake_cycles();
+  res.avg_power_uw = node.report().average_power.value() * 1e6;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E10 (Figs 7/8)", "motion demo over the real link");
+
+  // The demo as staged: ~1 m, decent orientation.
+  const auto demo = run_demo(1_m, 0.7);
+
+  Table t("demo at 1 m");
+  t.set_header({"metric", "value"});
+  t.add_row({"motion wake cycles in 60 s", std::to_string(demo.wake_cycles)});
+  t.add_row({"frames transmitted", std::to_string(demo.frames_seen)});
+  t.add_row({"frames decoded", std::to_string(demo.frames_decoded)});
+  t.add_row({"node average power", si(demo.avg_power_uw * 1e-6, "W")});
+  t.print(std::cout);
+
+  // The laptop plot (Fig 8): decoded X/Y/Z stream.
+  if (!demo.samples.empty()) {
+    std::vector<double> xs, zs;
+    for (std::size_t i = 0; i < demo.samples.size(); ++i) {
+      xs.push_back(static_cast<double>(i));
+      zs.push_back(demo.samples[i].x);
+    }
+    bench::ascii_plot("Fig 8: decoded X-axis acceleration [m/s^2] per sample", xs, zs);
+  }
+
+  // Range/orientation sweep: the paper's "range is about 1 meter depending
+  // on orientation of the antenna".
+  Table sweep("decode success vs distance and orientation");
+  sweep.set_header({"distance", "alignment 1.0", "alignment 0.5", "alignment 0.1"});
+  for (double d : {0.5, 1.0, 2.0, 4.0}) {
+    std::vector<std::string> row{si(d, "m")};
+    for (double a : {1.0, 0.5, 0.1}) {
+      const auto r = run_demo(Length{d}, a);
+      row.push_back(r.frames_seen > 0
+                        ? std::to_string(r.frames_decoded) + "/" + std::to_string(r.frames_seen)
+                        : "-");
+    }
+    sweep.add_row(row);
+  }
+  sweep.print(std::cout);
+
+  const auto far_misaligned = run_demo(4_m, 0.1);
+  bench::PaperCheck check("E10 / demo");
+  check.add_text("node sleeps until handled", "wakes only in motion windows",
+                 std::to_string(demo.wake_cycles) + " wakes",
+                 demo.wake_cycles > 5 && demo.wake_cycles < 60);
+  check.add_text("all frames decode at 1 m", "reliable at demo range",
+                 std::to_string(demo.frames_decoded) + "/" + std::to_string(demo.frames_seen),
+                 demo.frames_decoded == demo.frames_seen && demo.frames_seen > 0);
+  check.add_text("link dies when far + misaligned", "orientation-limited",
+                 std::to_string(far_misaligned.frames_decoded) + "/" +
+                     std::to_string(far_misaligned.frames_seen),
+                 far_misaligned.frames_decoded < far_misaligned.frames_seen);
+  check.add_text("decoded samples carry handling motion", "X/Y/Z plot shows waving",
+                 std::to_string(demo.samples.size()) + " samples", demo.samples.size() >= 5);
+  return check.finish();
+}

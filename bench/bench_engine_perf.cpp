@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the simulation engines themselves:
+// event-queue throughput, MNA transient step rate, SC analysis cost, and a
+// full node-simulation rate. These guard the "days of simulated time in
+// seconds of wall clock" property the neutrality analyses depend on.
+#include <benchmark/benchmark.h>
+
+#include "circuits/circuit.hpp"
+#include "circuits/components.hpp"
+#include "circuits/transient.hpp"
+#include "core/node.hpp"
+#include "scopt/analysis.hpp"
+#include "sim/simulator.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(Duration{static_cast<double>(i % 97)}, [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void BM_RecurringEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    sim.every(1_ms, [&counter] { ++counter; });
+    sim.run_until(Duration{static_cast<double>(state.range(0)) * 1e-3});
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecurringEvents)->Arg(10000);
+
+void BM_MnaTransientRc(benchmark::State& state) {
+  for (auto _ : state) {
+    circuits::Circuit c;
+    const auto in = c.node("in");
+    const auto out = c.node("out");
+    c.add<circuits::VoltageSource>("V", in, circuits::kGround,
+                                   [](double t) { return std::sin(6283.0 * t); });
+    c.add<circuits::Resistor>("R", in, out, 1_kOhm);
+    c.add<circuits::Capacitor>("C", out, circuits::kGround, 1_uF);
+    circuits::Transient::Options opt;
+    opt.dt = 1e-6;
+    circuits::Transient tr(c, opt);
+    tr.run_until(Duration{static_cast<double>(state.range(0)) * 1e-6});
+    benchmark::DoNotOptimize(tr.voltage(out));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("steps");
+}
+BENCHMARK(BM_MnaTransientRc)->Arg(10000);
+
+void BM_MnaNonlinearBridge(benchmark::State& state) {
+  for (auto _ : state) {
+    circuits::Circuit c;
+    const auto ac = c.node("ac");
+    const auto out = c.node("out");
+    c.add<circuits::VoltageSource>("V", ac, circuits::kGround,
+                                   [](double t) { return 3.0 * std::sin(700.0 * t); });
+    c.add<circuits::Diode>("D1", ac, out);
+    c.add<circuits::Capacitor>("C", out, circuits::kGround, 10_uF);
+    c.add<circuits::Resistor>("RL", out, circuits::kGround, 10_kOhm);
+    circuits::Transient::Options opt;
+    opt.dt = 1e-5;
+    circuits::Transient tr(c, opt);
+    tr.run_until(Duration{static_cast<double>(state.range(0)) * 1e-5});
+    benchmark::DoNotOptimize(tr.voltage(out));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("newton steps");
+}
+BENCHMARK(BM_MnaNonlinearBridge)->Arg(2000);
+
+void BM_ScAnalysis(benchmark::State& state) {
+  for (auto _ : state) {
+    scopt::ConverterAnalysis an(scopt::Topology::dickson_up(4));
+    benchmark::DoNotOptimize(an.ratio());
+  }
+}
+BENCHMARK(BM_ScAnalysis);
+
+void BM_NodeSimulationRate(benchmark::State& state) {
+  for (auto _ : state) {
+    core::NodeConfig cfg;
+    cfg.drive = harvest::make_parked(Duration{static_cast<double>(state.range(0)) * 2.0});
+    core::PicoCubeNode node(cfg);
+    node.run(Duration{static_cast<double>(state.range(0))});
+    benchmark::DoNotOptimize(node.report().average_power.value());
+  }
+  // Simulated seconds per wall-clock second shows up as items/s.
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("simulated seconds");
+}
+BENCHMARK(BM_NodeSimulationRate)->Arg(600);
+
+void BM_NodeWithHarvester(benchmark::State& state) {
+  for (auto _ : state) {
+    core::NodeConfig cfg;
+    cfg.drive = harvest::make_city_cycle();
+    cfg.attach_harvester = true;
+    core::PicoCubeNode node(cfg);
+    node.run(Duration{static_cast<double>(state.range(0))});
+    benchmark::DoNotOptimize(node.report().harvested_energy_in.value());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("simulated seconds");
+}
+BENCHMARK(BM_NodeWithHarvester)->Arg(120);
+
+}  // namespace
+
+BENCHMARK_MAIN();

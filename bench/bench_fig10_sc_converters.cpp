@@ -1,0 +1,96 @@
+// E5 / Figure 10 — the power IC's switched-capacitor converters:
+// (a) the 1:2 doubler for the microcontroller/sensor rail and (b) the 3:2
+// step-down for the radio rail. Paper claim: "the converters exceed 84 %
+// efficiency" [14], regulated by switching-frequency modulation.
+//
+// The bench regenerates, per converter: the automatically-derived charge
+// multipliers (the Seeman–Sanders analysis), the SSL/FSL impedance
+// asymptotes vs frequency, and efficiency vs load.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "scopt/analysis.hpp"
+#include "scopt/topology.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+namespace {
+
+void characterize(const scopt::Topology& topo, Voltage vin, Voltage vtarget,
+                  Current design_load, bench::PaperCheck& check) {
+  scopt::ConverterAnalysis an(topo);
+
+  Table mult("charge multipliers — " + topo.name());
+  mult.set_header({"element", "a_i (per unit q_out)", "DC voltage / blocking (x Vin)"});
+  for (std::size_t i = 0; i < topo.num_caps(); ++i) {
+    mult.add_row({topo.caps()[i].name, fixed(an.charge().cap[i], 4),
+                  fixed(an.voltages().cap_voltage[i], 4)});
+  }
+  for (std::size_t j = 0; j < topo.num_switches(); ++j) {
+    mult.add_row({topo.switches()[j].name, fixed(an.charge().sw[j], 4),
+                  fixed(an.voltages().switch_block[j], 4)});
+  }
+  mult.add_note("ratio M = " + fixed(an.ratio(), 4) +
+                ", input charge/q_out = " + fixed(an.charge().input_charge, 4));
+  mult.print(std::cout);
+
+  scopt::SizedConverter conv(std::move(an), scopt::Technology{}, Area{1.2e-6}, Area{0.3e-6});
+
+  // R_out vs fsw: SSL 1/f asymptote meeting the FSL floor.
+  Table imp("output impedance vs switching frequency — " + topo.name());
+  imp.set_header({"fsw", "R_SSL", "R_FSL", "R_out"});
+  std::vector<double> xs, ys;
+  for (double f = 1e3; f <= 1e8; f *= 10.0) {
+    const Frequency fsw{f};
+    const auto ssl = conv.analysis().r_ssl(conv.cap_values(), fsw, Capacitance{1e-6});
+    const auto fsl = conv.analysis().r_fsl(conv.switch_resistances());
+    imp.add_row({si(f, "Hz"), si(ssl.value(), "Ohm"), si(fsl.value(), "Ohm"),
+                 si(conv.r_out(fsw).value(), "Ohm")});
+    xs.push_back(std::log10(f));
+    ys.push_back(std::log10(conv.r_out(fsw).value()));
+  }
+  imp.print(std::cout);
+  bench::ascii_plot("log10 R_out [Ohm] vs log10 fsw [Hz] — " + topo.name(), xs, ys);
+
+  // Efficiency vs load with frequency-modulation regulation.
+  Table eff("efficiency vs load — " + topo.name() + " regulating " + si(vtarget));
+  eff.set_header({"load", "fsw (regulated)", "Vout", "efficiency"});
+  double eff_at_design = 0.0;
+  for (double frac : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const Current i{design_load.value() * frac};
+    const Frequency f = conv.regulate(vin, vtarget, i);
+    if (f.value() <= 0.0) {
+      eff.add_row({si(i), "unreachable", "-", "-"});
+      continue;
+    }
+    const double e = conv.efficiency(vin, i, f);
+    if (frac == 1.0) eff_at_design = e;
+    eff.add_row({si(i), si(f), si(conv.output_voltage(vin, i, f)), pct(e)});
+  }
+  eff.print(std::cout);
+
+  check.add_text("efficiency > 84% @ design load — " + topo.name(), "> 84%",
+                 pct(eff_at_design), eff_at_design > 0.84);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E5 (Fig 10)", "switched-capacitor converters of the power IC");
+  bench::PaperCheck check("E5 / Fig 10 converters");
+
+  // Fig 10a: 1:2 doubler, 1.2 V -> 2.1 V for the MCU/sensors.
+  characterize(scopt::Topology::doubler(), 1.2_V, 2.1_V, 200_uA, check);
+  // Fig 10b: 3:2 step-down, 1.2 V -> 0.7 V for the radio.
+  characterize(scopt::Topology::step_down_3to2(), 1.2_V, Voltage{0.7}, 2.5_mA, check);
+
+  // Structural checks against the hand analysis of ref [13].
+  scopt::ConverterAnalysis dbl(scopt::Topology::doubler());
+  check.add("doubler ratio", 2.0, dbl.ratio(), "", 1e-6);
+  check.add("doubler flying-cap multiplier", 1.0, dbl.charge().cap[0], "", 1e-6);
+  scopt::ConverterAnalysis s32(scopt::Topology::step_down_3to2());
+  check.add("3:2 ratio", 2.0 / 3.0, s32.ratio(), "", 1e-6);
+  check.add("3:2 cap voltage (Vin/3)", 1.0 / 3.0, s32.voltages().cap_voltage[0], "", 1e-6);
+  return check.finish();
+}

@@ -1,0 +1,68 @@
+// E15 (extension) — four wheels, one receiver: beacon collisions.
+//
+// The paper demos a single node; a deployed TPMS carries four. With each
+// SP12 timer at its own RC tolerance, beacon phases drift through each
+// other and frames occasionally overlap on air. This bench measures the
+// collision rate from merged simulations and checks it against the
+// unslotted-ALOHA closed form — the classic justification for why a 14 ms
+// frame every 6 s needs no MAC at all.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/fleet.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+int main() {
+  bench::heading("E15", "multi-node beacon collisions (four-wheel TPMS)");
+
+  core::FleetConfig cfg;
+  cfg.sim_time = Duration{7200.0};  // two hours of driving
+  const auto four = core::FleetAnalysis::run(cfg);
+
+  Table t("four wheels, two hours");
+  t.set_header({"metric", "value"});
+  for (std::size_t i = 0; i < four.intervals_s.size(); ++i) {
+    t.add_row({"wheel " + std::to_string(i + 1) + " timer",
+               fixed(four.intervals_s[i], 4) + " s"});
+  }
+  t.add_row({"frames on air", std::to_string(four.frames_total)});
+  t.add_row({"frame airtime", si(four.mean_airtime)});
+  t.add_row({"frames collided", std::to_string(four.frames_collided)});
+  t.add_row({"collision rate (measured)", pct(four.collision_rate, 3)});
+  t.add_row({"collision rate (ALOHA)", pct(four.aloha_prediction, 3)});
+  t.add_note("deterministic timers can measure *below* ALOHA: with ~18 ms of");
+  t.add_note("relative phase drift per cycle, beacon phases hop clean over the");
+  t.add_note("~1 ms vulnerability window instead of dwelling in it");
+  t.print(std::cout);
+
+  // Scaling with fleet size: a dense deployment (the intro's "very dense
+  // collaborative networks") eventually needs more than pure ALOHA.
+  Table scale("collision rate vs fleet size (30 min each)");
+  scale.set_header({"nodes", "measured", "ALOHA prediction"});
+  std::vector<double> xs, ys;
+  double measured_at_32 = 0.0;
+  for (int n : {2, 4, 8, 16, 32}) {
+    core::FleetConfig c;
+    c.nodes = n;
+    c.sim_time = Duration{1800.0};
+    const auto r = core::FleetAnalysis::run(c);
+    scale.add_row({std::to_string(n), pct(r.collision_rate, 2), pct(r.aloha_prediction, 2)});
+    xs.push_back(n);
+    ys.push_back(r.collision_rate * 100.0);
+    if (n == 32) measured_at_32 = r.collision_rate;
+  }
+  scale.print(std::cout);
+  bench::ascii_plot("collision rate [%] vs fleet size", xs, ys);
+
+  bench::PaperCheck check("E15 / fleet collisions");
+  check.add_text("four-wheel collision rate is negligible", "< 0.5%",
+                 pct(four.collision_rate, 3), four.collision_rate < 0.005);
+  check.add("measured vs ALOHA at 4 nodes (absolute rates)", four.aloha_prediction,
+            four.collision_rate, "", 1.0);
+  check.add_text("rate grows roughly linearly with fleet size", "32 nodes ~ 8x of 4",
+                 pct(measured_at_32, 2),
+                 measured_at_32 > 2.0 * four.collision_rate);
+  return check.finish();
+}

@@ -1,0 +1,107 @@
+// E7 — the integrated power-interface IC (paper §7.1, Fig 9): 18 nA
+// current reference, sampled bandgap, two SC converters, linear
+// post-regulator, ~6.5 uA measured leakage on a ~2 mm die; compared with
+// the COTS (v1) power train.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/powertrain.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+int main() {
+  bench::heading("E7", "power-interface IC vs COTS power train");
+
+  power::PowerInterfaceIc ic;
+  Table blocks("IC blocks (Fig 9)");
+  blocks.set_header({"block", "key figure"});
+  blocks.add_row({"current reference",
+                  si(ic.current_reference().output(1.2_V, Temperature{300.0})) +
+                      " (18 nA self-biased)"});
+  blocks.add_row({"sampled bandgap",
+                  si(ic.bandgap().output(1.2_V, Temperature{300.0})) + " @ " +
+                      si(ic.bandgap().supply_current(1.2_V))});
+  blocks.add_row({"SC 1:2 (mcu/sensor)", "ratio " + fixed(ic.mcu_converter().converter().ratio(), 3)});
+  blocks.add_row({"SC 3:2 (radio)", "ratio " + fixed(ic.radio_converter().converter().ratio(), 3)});
+  blocks.add_row({"post-regulator set point",
+                  si(ic.radio_post_regulator().params().v_set)});
+  blocks.add_row({"die", si(ic.options().die_edge.value(), "m") + " square"});
+  blocks.add_row({"measured-class leakage", si(ic.options().leakage)});
+  blocks.print(std::cout);
+
+  // Rail delivery under load.
+  ic.set_radio_chain_enabled(true);
+  Table rails("delivered rails at vbatt = 1.2 V");
+  rails.set_header({"rail", "load", "voltage"});
+  rails.add_row({"mcu/sensor (2.1 V)", si(300_uA), si(ic.mcu_rail_voltage(1.2_V, 300_uA))});
+  rails.add_row({"radio RF (0.65 V)", si(2_mA), si(ic.radio_rail_voltage(1.2_V, 2_mA))});
+  rails.print(std::cout);
+
+  // Head-to-head: v1 COTS vs v2 IC.
+  core::CotsPowerTrain cots;
+  core::IcPowerTrain icv2;
+  Table cmp("battery draw: COTS (v1) vs power IC (v2)");
+  cmp.set_header({"condition", "COTS v1", "IC v2"});
+  auto both = [&](const std::string& label, const core::RailLoads& loads, bool radio) {
+    cots.set_radio_powered(radio);
+    icv2.set_radio_powered(radio);
+    cmp.add_row({label, si(Power{1.2 * cots.battery_current(1.2_V, loads).value()}),
+                 si(Power{1.2 * icv2.battery_current(1.2_V, loads).value()})});
+  };
+  both("sleep floor (no loads)", core::RailLoads{}, false);
+  core::RailLoads sleep;
+  sleep.mcu_sensor = Current{1.05e-6};  // LPM3 + sensor timer
+  both("deep sleep (LPM3 + sensor timer)", sleep, false);
+  core::RailLoads active;
+  active.mcu_sensor = 450_uA;
+  both("CPU + sensor active", active, false);
+  core::RailLoads tx;
+  tx.mcu_sensor = 300_uA;
+  tx.radio_rf = 4_mA;
+  tx.radio_digital = 200_uA;
+  both("transmitting", tx, true);
+  cmp.add_note("the IC idles hotter (pad-ring leakage, as measured in the paper) but");
+  cmp.add_note("converts heavy loads more efficiently than the charge pump + LDO");
+  cmp.print(std::cout);
+
+  // Conversion efficiency at the transmit operating point.
+  cots.set_radio_powered(true);
+  icv2.set_radio_powered(true);
+  auto delivered = [&](core::PowerTrain& ptr, const core::RailLoads& loads) {
+    double p = 0.0;
+    p += ptr.rail_voltage(core::RailId::kVddMcu, 1.2_V, loads).value() *
+         loads.mcu_sensor.value();
+    p += ptr.rail_voltage(core::RailId::kVddRadioRf, 1.2_V, loads).value() *
+         loads.radio_rf.value();
+    p += ptr.rail_voltage(core::RailId::kVddRadioDigital, 1.2_V, loads).value() *
+         loads.radio_digital.value();
+    return p;
+  };
+  const double eff_cots =
+      delivered(cots, tx) / (1.2 * cots.battery_current(1.2_V, tx).value());
+  const double eff_ic = delivered(icv2, tx) / (1.2 * icv2.battery_current(1.2_V, tx).value());
+  Table eff("end-to-end conversion efficiency while transmitting");
+  eff.set_header({"train", "efficiency"});
+  eff.add_row({"COTS v1 (pump + LDO from battery)", pct(eff_cots)});
+  eff.add_row({"power IC v2 (SC converters)", pct(eff_ic)});
+  eff.print(std::cout);
+
+  // Back to the idle configuration before measuring sleep floors.
+  cots.set_radio_powered(false);
+  icv2.set_radio_powered(false);
+
+  bench::PaperCheck check("E7 / power IC");
+  check.add("current reference", 18e-9,
+            ic.current_reference().output(1.2_V, Temperature{300.0}).value(), "A", 0.02);
+  check.add("IC idle draw (6.5 uA leakage class)", 1.2 * 6.5e-6, icv2.quiescent_power(1.2_V).value(),
+            "W", 0.30);
+  check.add("mcu rail", 2.1, ic.mcu_rail_voltage(1.2_V, 300_uA).value(), "V", 0.03);
+  check.add("radio rail", 0.65, ic.radio_rail_voltage(1.2_V, 2_mA).value(), "V", 0.03);
+  check.add_text("IC beats COTS while transmitting", "higher efficiency",
+                 pct(eff_ic) + " vs " + pct(eff_cots), eff_ic > eff_cots);
+  check.add_text("IC idles hotter than COTS (pad-ring leakage)", "v2 floor > v1 floor",
+                 si(icv2.quiescent_power(1.2_V)) + " vs " + si(cots.quiescent_power(1.2_V)),
+                 icv2.quiescent_power(1.2_V).value() > cots.quiescent_power(1.2_V).value());
+  return check.finish();
+}

@@ -1,0 +1,96 @@
+// E4 — the FBAR OOK transmitter numbers (paper §4.6 / ref [11]):
+// 1.863 GHz channel, 46 % efficiency at 0.8 dBm (1.2 mW), 650 mV supply,
+// 1.35 mW DC at 50 % OOK, data rates up to 330 kbps.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "radio/transmitter.hpp"
+#include "sim/simulator.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+namespace {
+
+// Measure DC energy of one frame by integrating the RF-rail current.
+double frame_energy_j(const std::vector<std::uint8_t>& frame, Frequency rate) {
+  sim::Simulator sim;
+  radio::FbarOokTransmitter tx{sim, radio::FbarOscillator{radio::FbarResonator{}}};
+  tx.set_digital_rail(1_V);
+  tx.set_rf_rail(Voltage{0.65});
+  double last_t = 0.0, last_i = 0.0, charge = 0.0;
+  tx.set_current_listener([&](Current rf, Current) {
+    const double now = sim.now().value();
+    charge += last_i * (now - last_t);
+    last_t = now;
+    last_i = rf.value();
+  });
+  tx.transmit(frame, rate, {});
+  sim.run();
+  return charge * 0.65;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E4", "FBAR OOK transmitter characterization");
+
+  sim::Simulator sim;
+  radio::FbarOokTransmitter tx{sim, radio::FbarOscillator{radio::FbarResonator{}}};
+
+  Table t("transmitter operating point");
+  t.set_header({"property", "value"});
+  t.add_row({"channel", si(tx.oscillator().resonator().params().resonance.value(), "Hz")});
+  t.add_row({"TX power", si(tx.params().tx_power) + " (" + dbm(tx.params().tx_power) + ")"});
+  t.add_row({"PA efficiency", pct(tx.params().pa_efficiency)});
+  t.add_row({"RF supply", si(tx.params().rf_supply)});
+  t.add_row({"carrier-on DC power", si(tx.dc_power_at_duty(1.0))});
+  t.add_row({"DC power @ 50% OOK", si(tx.dc_power_at_duty(0.5))});
+  t.add_row({"oscillator startup", si(tx.oscillator().startup_time())});
+  t.add_row({"max data rate", si(tx.params().max_data_rate.value(), "bps")});
+  t.print(std::cout);
+
+  // DC power vs OOK duty (figure): linear in duty, 1.35 mW at 50 %.
+  std::vector<double> xs, ys;
+  Table duty("DC power vs OOK duty");
+  duty.set_header({"duty", "DC power"});
+  for (double d = 0.0; d <= 1.0001; d += 0.125) {
+    duty.add_row({pct(d, 1), si(tx.dc_power_at_duty(d))});
+    xs.push_back(d);
+    ys.push_back(tx.dc_power_at_duty(d).value() * 1e3);
+  }
+  duty.print(std::cout);
+  bench::ascii_plot("DC power [mW] vs OOK duty", xs, ys);
+
+  // Airtime and per-frame energy vs data rate for a 21-byte TPMS frame.
+  const std::vector<std::uint8_t> frame(21, 0xAA);  // 50 % ones
+  Table rates("21-byte frame vs data rate");
+  rates.set_header({"data rate", "airtime", "frame RF energy", "energy/bit"});
+  for (double kbps : {50.0, 100.0, 200.0, 330.0}) {
+    const Frequency rate{kbps * 1e3};
+    const double air = tx.airtime(frame.size(), rate).value();
+    const double e = frame_energy_j(frame, rate);
+    rates.add_row({si(rate.value(), "bps"), si(air, "s"), si(e, "J"),
+                   si(e / (static_cast<double>(frame.size()) * 8.0), "J")});
+  }
+  rates.add_note("energy/bit is rate-independent at fixed duty: OOK burns only on '1' bits");
+  rates.print(std::cout);
+
+  const double e50 = frame_energy_j(frame, 330_kHz);
+  const double bits = static_cast<double>(frame.size()) * 8.0;
+  const double avg_dc_power = e50 / (bits / 330e3);  // over the bit period only
+
+  bench::PaperCheck check("E4 / transmitter");
+  check.add("TX power (0.8 dBm)", 1.2e-3, tx.params().tx_power.value(), "W", 0.05);
+  check.add("carrier DC power (1.2 mW / 46%)", 2.6e-3, tx.dc_power_at_duty(1.0).value(), "W",
+            0.05);
+  check.add("DC power @ 50% OOK", 1.35e-3, tx.dc_power_at_duty(0.5).value(), "W", 0.05);
+  check.add("measured frame-average DC power @ 50% duty", 1.35e-3, avg_dc_power, "W", 0.15);
+  check.add_text("supports 330 kbps", ">= 330 kbps",
+                 si(tx.params().max_data_rate.value(), "bps"),
+                 tx.params().max_data_rate.value() >= 330e3);
+  check.add_text("startup << bit time at 330 kbps", "osc startup ~ us",
+                 si(tx.oscillator().startup_time()),
+                 tx.oscillator().startup_time().value() < 1.0 / 330e3 * 2.0);
+  return check.finish();
+}

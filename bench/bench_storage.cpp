@@ -1,0 +1,96 @@
+// E3 — storage trade study (paper §4.4): NiMH vs supercapacitor vs
+// capacitor. The paper's numbers: 220 J/g vs 10 J/g vs 2 J/g, the NiMH
+// 1.2 V plateau "stable until just prior to full discharge", indefinite
+// C/10 trickle, and the inverted burst-current ranking.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "storage/capacitors.hpp"
+#include "storage/nimh.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+int main() {
+  bench::heading("E3", "harvested-energy storage comparison");
+
+  storage::NiMhBattery nimh;
+  auto supercap = storage::make_supercap();
+  auto ceramic = storage::make_ceramic_bank();
+  supercap.set_voltage(2.5_V);
+  ceramic.set_voltage(Voltage{6.3});
+
+  Table t("storage buffer comparison (as modeled)");
+  t.set_header({"buffer", "energy density", "capacity", "burst current", "V @ 50% charge"});
+  auto row = [&](storage::EnergyStore& s, Voltage v_half) {
+    t.add_row({s.name(), fixed(s.energy_density().value() / 1e3, 1) + " J/g",
+               si(s.capacity_energy()), si(s.max_burst_current()), si(v_half)});
+  };
+  nimh.set_soc(0.5);
+  row(nimh, nimh.open_circuit_voltage());
+  // Half *energy* for the caps: V = Vmax / sqrt(2).
+  supercap.set_voltage(Voltage{2.5 / std::sqrt(2.0)});
+  row(supercap, supercap.open_circuit_voltage());
+  ceramic.set_voltage(Voltage{6.3 / std::sqrt(2.0)});
+  row(ceramic, ceramic.open_circuit_voltage());
+  t.print(std::cout);
+
+  // NiMH discharge plateau (the reason it was chosen).
+  std::vector<double> xs, ys;
+  Table plateau("NiMH rest voltage vs state of charge");
+  plateau.set_header({"SoC", "OCV"});
+  for (double soc = 1.0; soc >= 0.0; soc -= 0.05) {
+    nimh.set_soc(std::max(soc, 0.0));
+    plateau.add_row({pct(soc, 0), si(nimh.open_circuit_voltage())});
+    xs.push_back(1.0 - soc);
+    ys.push_back(nimh.open_circuit_voltage().value());
+  }
+  plateau.print(std::cout);
+  bench::ascii_plot("NiMH OCV [V] vs depth of discharge", xs, ys);
+
+  // Capacitor inconvenience: voltage tracks state of charge; usable energy
+  // above a 1.0 V converter minimum.
+  supercap.set_voltage(2.5_V);
+  const double total = supercap.stored_energy().value();
+  const double usable = supercap.usable_energy(1_V).value();
+  Table cap("supercap: state-of-charge vs voltage coupling");
+  cap.set_header({"metric", "value"});
+  cap.add_row({"stored energy @ 2.5 V", si(total, "J")});
+  cap.add_row({"usable above 1.0 V converter minimum", si(usable, "J")});
+  cap.add_row({"stranded fraction", pct(1.0 - usable / total)});
+  cap.print(std::cout);
+
+  // Trickle charging at C/10 indefinitely.
+  storage::NiMhBattery::Params tp;
+  tp.initial_soc = 1.0;
+  storage::NiMhBattery full(tp);
+  const auto trickle = full.transfer(full.trickle_limit(), Duration{7 * 86400.0});
+  Table tr("one week of C/10 trickle at full charge");
+  tr.set_header({"metric", "value"});
+  tr.add_row({"trickle current (C/10)", si(full.trickle_limit())});
+  tr.add_row({"SoC after a week", pct(full.soc())});
+  tr.add_row({"overcharge converted to heat", si(full.overcharge_heat())});
+  tr.add_row({"charge forced in", si(trickle.moved)});
+  tr.print(std::cout);
+
+  nimh.set_soc(0.5);
+  supercap.set_voltage(Voltage{2.0});
+  bench::PaperCheck check("E3 / storage");
+  check.add("NiMH energy density [J/kg]", 220e3, nimh.energy_density().value(), "J/kg", 0.1);
+  check.add("supercap energy density [J/kg]", 10e3, supercap.energy_density().value(),
+            "J/kg", 0.1);
+  check.add("capacitor energy density [J/kg]", 2e3, ceramic.energy_density().value(), "J/kg",
+            0.1);
+  nimh.set_soc(0.3);
+  const double v30 = nimh.open_circuit_voltage().value();
+  nimh.set_soc(0.8);
+  const double v80 = nimh.open_circuit_voltage().value();
+  check.add_text("1.2 V plateau stable over mid-SoC", "< 0.1 V swing",
+                 fixed((v80 - v30) * 1e3, 0) + " mV", (v80 - v30) < 0.1);
+  check.add_text("caps out-burst the battery", "capacitor >> NiMH",
+                 si(supercap.max_burst_current()) + " vs " + si(nimh.max_burst_current()),
+                 supercap.max_burst_current().value() > nimh.max_burst_current().value());
+  check.add_text("C/10 trickle is indefinite (no overcharge damage)", "SoC stays 100%",
+                 pct(full.soc()), full.soc() >= 0.999);
+  return check.finish();
+}

@@ -1,0 +1,93 @@
+// E14 (extension) — Monte Carlo tolerance study of the 6 uW claim.
+//
+// The paper reports one prototype's measurement. A production run would
+// see part-to-part spread in every quiescent parameter; this bench samples
+// datasheet-class tolerances and asks how robust the average-power figure
+// (and energy-neutrality on the city cycle) actually is.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/node.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+namespace {
+
+struct Sample {
+  double avg_uw;
+  double floor_uw;
+  double cycle_ms;
+};
+
+Sample run_variant(Rng& rng) {
+  core::NodeConfig cfg;
+  cfg.drive = harvest::make_parked(600_s);
+
+  // Datasheet-class part spreads (1-sigma):
+  mcu::Msp430::Params mp;
+  mp.lpm3 = Current{mp.lpm3.value() * rng.normal(1.0, 0.20)};
+  mp.active_base = Current{mp.active_base.value() * rng.normal(1.0, 0.10)};
+  mp.active_per_hz *= rng.normal(1.0, 0.10);
+  cfg.mcu_params = mp;
+
+  sensors::Sp12Tpms::Params sp;
+  sp.sleep_current = Current{sp.sleep_current.value() * rng.normal(1.0, 0.20)};
+  sp.convert_current = Current{sp.convert_current.value() * rng.normal(1.0, 0.15)};
+  cfg.tpms_params = sp;
+
+  power::ChargePumpTps60313::Params pp;
+  pp.iq_snooze = Current{pp.iq_snooze.value() * rng.normal(1.0, 0.25)};
+  pp.transfer_loss = clamp(pp.transfer_loss * rng.normal(1.0, 0.15), 0.01, 0.3);
+  cfg.charge_pump_params = pp;
+
+  core::PicoCubeNode node(cfg);
+  node.run(120_s);
+  const auto r = node.report();
+  return {r.average_power.value() * 1e6, r.sleep_floor.value() * 1e6,
+          r.last_cycle_time.value() * 1e3};
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E14", "Monte Carlo tolerance study of the 6 uW figure");
+
+  Rng rng(20260706);
+  RunningStats avg, floor_stats;
+  Histogram hist(4.0, 10.0, 12);
+  std::vector<double> samples;
+  const int n = 80;
+  for (int i = 0; i < n; ++i) {
+    const auto s = run_variant(rng);
+    avg.add(s.avg_uw);
+    floor_stats.add(s.floor_uw);
+    hist.add(s.avg_uw);
+    samples.push_back(s.avg_uw);
+  }
+
+  Table t("average node power over " + std::to_string(n) + " sampled builds");
+  t.set_header({"statistic", "value"});
+  t.add_row({"mean", fixed(avg.mean(), 2) + " uW"});
+  t.add_row({"std dev", fixed(avg.stddev(), 2) + " uW"});
+  t.add_row({"min / max", fixed(avg.min(), 2) + " / " + fixed(avg.max(), 2) + " uW"});
+  t.add_row({"p10 / p50 / p90", fixed(percentile(samples, 0.10), 2) + " / " +
+                                    fixed(percentile(samples, 0.50), 2) + " / " +
+                                    fixed(percentile(samples, 0.90), 2) + " uW"});
+  t.add_row({"mean sleep floor", fixed(floor_stats.mean(), 2) + " uW"});
+  t.print(std::cout);
+
+  std::cout << "-- distribution of average power [uW] --\n" << hist.ascii(40);
+
+  bench::PaperCheck check("E14 / tolerance Monte Carlo");
+  check.add("fleet-mean average power", 6e-6, avg.mean() * 1e-6, "W", 0.25);
+  check.add_text("spread stays single-digit uW", "p90 < 9 uW",
+                 fixed(percentile(samples, 0.90), 2) + " uW",
+                 percentile(samples, 0.90) < 9.0);
+  check.add_text("every sampled build is quiescent-dominated", "floor > half of avg",
+                 fixed(floor_stats.mean() / avg.mean(), 2),
+                 floor_stats.mean() > 0.45 * avg.mean());
+  return check.finish();
+}

@@ -1,0 +1,84 @@
+// bench_util.hpp — shared output helpers for the reproduction benches.
+//
+// Every bench prints (a) the regenerated table/figure and (b) a
+// paper-vs-measured summary through these helpers so EXPERIMENTS.md can be
+// cross-checked mechanically.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/mathutil.hpp"
+#include "common/table.hpp"
+
+namespace pico::bench {
+
+inline void heading(const std::string& id, const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << id << ": " << title << "\n"
+            << "================================================================\n";
+}
+
+// Paper-vs-measured comparison table accumulated per bench.
+class PaperCheck {
+ public:
+  explicit PaperCheck(std::string experiment) : table_("paper vs measured — " + experiment) {
+    table_.set_header({"claim", "paper", "measured", "rel.diff", "verdict"});
+  }
+
+  void add(const std::string& claim, double paper, double measured, const std::string& unit,
+           double tolerance = 0.25) {
+    const double rd = rel_diff(paper, measured);
+    table_.add_row({claim, si(paper, unit), si(measured, unit), pct(rd),
+                    rd <= tolerance ? "OK" : "DIVERGES"});
+    if (rd > tolerance) ++diverging_;
+  }
+
+  void add_text(const std::string& claim, const std::string& paper,
+                const std::string& measured, bool ok) {
+    table_.add_row({claim, paper, measured, "-", ok ? "OK" : "DIVERGES"});
+    if (!ok) ++diverging_;
+  }
+
+  // Prints the table; returns the number of diverging rows (bench exit code).
+  int finish() {
+    table_.print(std::cout);
+    return diverging_;
+  }
+
+ private:
+  Table table_;
+  int diverging_ = 0;
+};
+
+// ASCII line plot of a (x, y) series: a quick look at "figure" shape.
+inline void ascii_plot(const std::string& title, const std::vector<double>& x,
+                       const std::vector<double>& y, std::size_t rows = 14,
+                       std::size_t cols = 64) {
+  if (x.empty() || x.size() != y.size()) return;
+  double ymin = y[0], ymax = y[0];
+  for (double v : y) {
+    ymin = std::min(ymin, v);
+    ymax = std::max(ymax, v);
+  }
+  if (ymax == ymin) ymax = ymin + 1.0;
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto c = static_cast<std::size_t>(
+        static_cast<double>(i) / static_cast<double>(x.size() - 1) *
+        static_cast<double>(cols - 1));
+    const double frac = (y[i] - ymin) / (ymax - ymin);
+    const auto r = static_cast<std::size_t>(frac * static_cast<double>(rows - 1));
+    grid[rows - 1 - r][c] = '*';
+  }
+  std::cout << "-- " << title << " --\n";
+  std::printf("  ymax = %s\n", si(ymax, "").c_str());
+  for (const auto& line : grid) std::cout << "  |" << line << "\n";
+  std::printf("  ymin = %s   (x: %s .. %s)\n", si(ymin, "").c_str(), si(x.front(), "").c_str(),
+              si(x.back(), "").c_str());
+}
+
+}  // namespace pico::bench

@@ -1,0 +1,80 @@
+// E13 (extension, paper §7.3) — the wake-up radio trade study: when does
+// an always-on listener beat the 6 s beacon? "This radio contains an
+// extremely low-power receiver that listens full-time for a wake-up
+// signal, then starts a more complex (and more power hungry) receiver."
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "radio/wakeup.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+int main() {
+  bench::heading("E13 (§7.3)", "wake-up radio vs periodic beaconing");
+
+  radio::WakeupReceiver rx;
+  Table det("wake-up detector (ref [16] class)");
+  det.set_header({"property", "value"});
+  det.add_row({"standing listen power", si(rx.params().listen_power)});
+  det.add_row({"sensitivity", fixed(rx.params().sensitivity_dbm, 0) + " dBm"});
+  det.add_row({"code", std::to_string(rx.params().code_bits) + " chips @ " +
+                           si(rx.params().chip_rate.value(), "Hz")});
+  det.add_row({"code airtime", si(rx.code_duration())});
+  det.add_row({"false wakes / day",
+               fixed(rx.expected_false_wakes(Duration{86400.0}), 1)});
+  det.print(std::cout);
+
+  // Detection waterfall.
+  Table wf("wake probability vs received power");
+  wf.set_header({"RX power", "P(chip)", "P(wake)"});
+  std::vector<double> xs, ys;
+  for (double dbm = -66.0; dbm <= -46.0; dbm += 2.0) {
+    wf.add_row({fixed(dbm, 0) + " dBm", pct(rx.chip_success_probability(dbm)),
+                pct(rx.wake_probability(dbm))});
+    xs.push_back(dbm);
+    ys.push_back(rx.wake_probability(dbm) * 100.0);
+  }
+  wf.print(std::cout);
+  bench::ascii_plot("wake probability [%] vs RX power [dBm]", xs, ys);
+
+  // The architectural trade.
+  radio::WakeupDutyAnalysis::Inputs in;  // defaults mirror the measured node
+  radio::WakeupDutyAnalysis ref16{in};
+  radio::WakeupDutyAnalysis::Inputs in_uw = in;
+  in_uw.wakeup_listen = Power{1e-6};
+  radio::WakeupDutyAnalysis future{in_uw};
+
+  Table trade("average node power: beacon vs wake-up architectures");
+  trade.set_header({"query rate", "beacon @ 6 s", "wakeup (50 uW RX)", "wakeup (1 uW RX)"});
+  for (double per_hour : {0.0, 1.0, 10.0, 60.0, 600.0, 3600.0}) {
+    const double q = per_hour / 3600.0;
+    trade.add_row({fixed(per_hour, 0) + "/h", si(ref16.beacon_average(6_s)),
+                   si(ref16.wakeup_average(q)), si(future.wakeup_average(q))});
+  }
+  trade.add_note("the beacon wastes energy on unwanted samples; the wake-up radio");
+  trade.add_note("wastes energy listening — the listener power decides the winner");
+  trade.print(std::cout);
+
+  Table budget("listen-power budget to beat the 6 s beacon");
+  budget.set_header({"query rate", "required listen power"});
+  for (double per_hour : {1.0, 10.0, 60.0, 300.0}) {
+    budget.add_row({fixed(per_hour, 0) + "/h",
+                    si(ref16.required_listen_power(6_s, per_hour / 3600.0))});
+  }
+  budget.print(std::cout);
+
+  bench::PaperCheck check("E13 / wake-up radio");
+  check.add_text("50 uW listener cannot beat the 6 uW node", "crossover does not exist",
+                 fixed(ref16.crossover_query_rate(6_s), 3) + " Hz",
+                 ref16.crossover_query_rate(6_s) == 0.0);
+  const double q_cross = future.crossover_query_rate(6_s);
+  check.add_text("1 uW listener wins below a real crossover", "crossover > 0",
+                 fixed(q_cross * 3600.0, 1) + " queries/h", q_cross > 0.0);
+  check.add_text("required listener budget is ~uW", "microwatt class",
+                 si(ref16.required_listen_power(6_s, 10.0 / 3600.0)),
+                 ref16.required_listen_power(6_s, 10.0 / 3600.0).value() < 3e-6);
+  check.add_text("detector waterfall spans ~6 dB", "steep envelope detector",
+                 "see table", rx.wake_probability(-50.0) > 0.95 && rx.wake_probability(-58.0) < 0.5);
+  return check.finish();
+}

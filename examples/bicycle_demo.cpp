@@ -1,0 +1,77 @@
+// bicycle_demo — "the node was also demonstrated in combination with an
+// energy scavenger mounted on a bicycle wheel" (paper §6).
+//
+// A bicycle wheel turns far slower than a car tire, so the stock shaker
+// coefficient is useless; this example re-winds the scavenger (more
+// magnets, more turns) and shows the node riding through a short loop,
+// charging while rolling.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/node.hpp"
+#include "harvest/harvester.hpp"
+#include "power/rectifier.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+int main() {
+  const auto ride = harvest::make_bicycle_ride();
+
+  // The bicycle scavenger: 8 magnet passes per revolution and a high-turn
+  // coil so walking-pace rotation still clears the battery voltage.
+  harvest::ElectromagneticShaker::Params sp;
+  sp.pulses_per_rev = 8;
+  sp.volts_per_rad_per_s = 0.35;
+  sp.coil_resistance = Resistance{420.0};
+  sp.ring_frequency = 90_Hz;
+  harvest::ElectromagneticShaker shaker(ride, sp);
+
+  // Characterize the scavenger across the ride.
+  power::DiodeBridgeRectifier bridge;
+  power::SynchronousRectifier sync;
+  Table h("bicycle scavenger output into the 1.25 V cell");
+  h.set_header({"window", "mean wheel speed", "bridge", "synchronous"});
+  for (double t0 : {0.0, 30.0, 60.0, 90.0, 120.0}) {
+    const double w = ride.omega(t0 + 15.0);
+    const auto rb = bridge.rectify(shaker, Voltage{1.25}, t0, t0 + 30.0, 20000);
+    const auto rs = sync.rectify(shaker, Voltage{1.25}, t0, t0 + 30.0, 20000);
+    h.add_row({si(t0, "s") + "+30s", fixed(w, 1) + " rad/s", si(rb.delivered_power),
+               si(rs.delivered_power)});
+  }
+  h.add_note("the synchronous rectifier's advantage is largest at low speed,");
+  h.add_note("where two diode drops eat most of the small EMF");
+  h.print(std::cout);
+
+  // Ride the node: accelerometer build (the actual demo pairing), but with
+  // the TPMS board's 6 s beacon replaced by motion wakes from road buzz is
+  // beyond the demo; we run the TPMS cadence as the beacon.
+  core::NodeConfig cfg;
+  cfg.sensor = core::NodeConfig::Sensor::kTpms;
+  cfg.drive = ride;
+  cfg.attach_harvester = false;  // we integrate the custom scavenger manually
+  core::PicoCubeNode node(cfg);
+
+  // Manually feed the custom scavenger into the node's battery through the
+  // bridge (the node API exposes the battery for exactly this kind of
+  // experiment).
+  auto& battery = node.battery();
+  node.simulator().every(2_s, [&] {
+    const double t = node.simulator().now().value();
+    const auto r = bridge.rectify(shaker, battery.open_circuit_voltage(), t, t + 2.0, 4096);
+    battery.transfer(r.avg_current, 2_s);
+  });
+
+  node.run(Duration{330.0});  // two loops of the ride
+
+  const auto rep = node.report();
+  std::cout << "\n-- bicycle ride summary (5.5 min) --\n"
+            << "node consumption : " << si(rep.average_power) << " average\n"
+            << "battery          : " << pct(rep.soc_start) << " -> " << pct(battery.soc())
+            << "\n"
+            << "beacons sent     : " << rep.frames_ok << "\n";
+  const bool charged = battery.soc() > rep.soc_start;
+  std::cout << (charged ? "the wheel keeps the cube alive indefinitely\n"
+                        : "this ride was too gentle; pedal harder\n");
+  return 0;
+}

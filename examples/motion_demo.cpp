@@ -1,0 +1,74 @@
+// motion_demo — the BWRC retreat demo (paper §6, Figs 7/8).
+//
+// The Cube, fitted with the SCA3000 accelerometer board in motion-detect
+// mode, sits on a table in deep sleep. A visitor picks it up; per-axis
+// thresholds raise an interrupt, the node samples X/Y/Z and transmits,
+// and the "laptop" (this program) plots the decoded stream. Put it back
+// down and the plotting stops.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/node.hpp"
+#include "radio/receiver.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+namespace {
+
+// A tiny "laptop display": one line per decoded sample, bar-graph style.
+void plot_axis(const std::string& label, double mps2) {
+  const int mid = 26;
+  std::string bar(53, ' ');
+  bar[static_cast<std::size_t>(mid)] = '|';
+  const int dev = static_cast<int>(mps2 / 15.0 * mid);
+  const int pos = std::clamp(mid + dev, 0, 52);
+  bar[static_cast<std::size_t>(pos)] = '#';
+  std::cout << "  " << label << " [" << bar << "] " << fixed(mps2, 1) << " m/s^2\n";
+}
+
+}  // namespace
+
+int main() {
+  // Script the visit: picked up at t=10 s, waved, set down; handled again
+  // at t=40 s.
+  core::NodeConfig cfg;
+  cfg.sensor = core::NodeConfig::Sensor::kAccelerometer;
+  cfg.motion = sensors::MotionScenario::retreat_demo();
+
+  core::PicoCubeNode node(cfg);
+
+  // The demo receiver (ref [12]'s superregenerative radio) a meter away.
+  radio::Channel::Params cp;
+  cp.distance = 1_m;
+  cp.tx_alignment = 0.7;
+  radio::SuperregenReceiver rx{radio::Channel{radio::PatchAntenna{}, cp}};
+
+  std::cout << "PicoCube motion demo — pick the cube up to see samples\n"
+            << "-------------------------------------------------------\n";
+  int shown = 0;
+  node.set_frame_listener([&](const radio::RfFrame& f) {
+    const auto r = rx.receive(f);
+    if (!r.packet.has_value()) return;
+    const auto a = radio::decode_accel_payload(r.packet->payload);
+    if (!a) return;
+    if (++shown % 3 != 1) return;  // thin the display
+    std::cout << "t=" << si(f.start) << "  (seq " << int(r.packet->seq) << ", "
+              << fixed(r.rx_power_dbm, 1) << " dBm, " << r.bit_errors << " bit err)\n";
+    plot_axis("X", a->x);
+    plot_axis("Y", a->y);
+    plot_axis("Z", a->z - 9.81);
+  });
+
+  node.run(60_s);
+
+  const auto rep = node.report();
+  std::cout << "\n-- demo summary --\n"
+            << "motion wakeups       : " << rep.wake_cycles << "\n"
+            << "frames sent / decoded: " << rep.frames_ok << " / " << rx.frames_decoded()
+            << "\n"
+            << "average node power   : " << si(rep.average_power)
+            << " (deep sleep between handlings)\n"
+            << "sleep floor          : " << si(rep.sleep_floor) << "\n";
+  return 0;
+}

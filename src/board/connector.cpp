@@ -1,0 +1,58 @@
+#include "board/connector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pico::board {
+
+ElastomericConnector::ElastomericConnector() : ElastomericConnector(Params{}) {}
+
+ElastomericConnector::ElastomericConnector(Params p) : prm_(p) {
+  PICO_REQUIRE(prm_.wire_pitch.value() > 0.0, "wire pitch must be positive");
+  PICO_REQUIRE(prm_.wire_diameter.value() > 0.0 &&
+                   prm_.wire_diameter.value() <= prm_.wire_pitch.value(),
+               "wire diameter must fit within the pitch");
+  PICO_REQUIRE(prm_.min_deflection > 0.0 && prm_.max_deflection > prm_.min_deflection &&
+                   prm_.max_deflection < 1.0,
+               "deflection limits must satisfy 0 < min < max < 1");
+}
+
+int ElastomericConnector::wires_per_pad(Length pad_length) const {
+  PICO_REQUIRE(pad_length.value() > 0.0, "pad length must be positive");
+  return static_cast<int>(std::floor(pad_length.value() / prm_.wire_pitch.value()));
+}
+
+Resistance ElastomericConnector::pad_resistance(Length pad_length) const {
+  const int n = wires_per_pad(pad_length);
+  PICO_REQUIRE(n >= 1, "pad too small for even one wire contact");
+  return Resistance{prm_.wire_contact_resistance.value() / n};
+}
+
+Current ElastomericConnector::pad_current_limit(Length pad_length) const {
+  const int n = wires_per_pad(pad_length);
+  return Current{prm_.wire_current_limit.value() * n};
+}
+
+double ElastomericConnector::deflection_at_gap(Length gap) const {
+  PICO_REQUIRE(gap.value() > 0.0, "gap must be positive");
+  const double d = 1.0 - gap.value() / prm_.free_height.value();
+  PICO_REQUIRE(d >= prm_.min_deflection,
+               "connector under-compressed: contact pressure too low");
+  PICO_REQUIRE(d <= prm_.max_deflection, "connector over-compressed: beyond max deflection");
+  return d;
+}
+
+bool ElastomericConnector::deflection_ok(Length gap) const {
+  const double d = 1.0 - gap.value() / prm_.free_height.value();
+  return d >= prm_.min_deflection && d <= prm_.max_deflection;
+}
+
+Length ElastomericConnector::deformed_width(Length gap) const {
+  // Elastomers deform, they do not compress: displaced volume bulges
+  // sideways in proportion to the vertical deflection.
+  const double d = deflection_at_gap(gap);
+  return Length{prm_.beam_width.value() * (1.0 + prm_.bulge_factor * d)};
+}
+
+}  // namespace pico::board

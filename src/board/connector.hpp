@@ -1,0 +1,56 @@
+// connector.hpp — elastomeric ("zebra strip") connectors (paper §4.1).
+//
+// The Cube's vertical bus uses elastomeric beams: alternating conductive
+// and insulating strips, 0.05 mm gold wires on a 0.1 mm pitch, pressed
+// against 1.2 x 1.0 mm pads. Multiple wires land on each pad, so contact
+// resistance and current capacity come for free — "even the smallest pad
+// turned out to be larger than needed."
+//
+// Elastomers deform but do not compress: the design rules model vertical
+// deflection limits and the horizontal deformation clearance the package
+// must provide.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace pico::board {
+
+class ElastomericConnector {
+ public:
+  struct Params {
+    Length wire_diameter{0.05e-3};
+    Length wire_pitch{0.1e-3};
+    Length free_height{1.7e-3};          // uncompressed beam height
+    double min_deflection = 0.05;        // must compress at least 5 %
+    double max_deflection = 0.25;        // no more than 25 %
+    Resistance wire_contact_resistance{0.10};  // per wire, both contacts
+    Current wire_current_limit{0.1};     // per wire
+    // Horizontal bulge: deformed width grows by ~half the deflection.
+    double bulge_factor = 0.5;
+    Length beam_width{0.7e-3};
+  };
+
+  ElastomericConnector();
+  explicit ElastomericConnector(Params p);
+
+  // Wires making contact across a pad of the given length along the beam.
+  [[nodiscard]] int wires_per_pad(Length pad_length) const;
+  // Pad-to-pad resistance through the beam for that pad size.
+  [[nodiscard]] Resistance pad_resistance(Length pad_length) const;
+  // Total current a pad contact can carry.
+  [[nodiscard]] Current pad_current_limit(Length pad_length) const;
+
+  // Compressed height given the gap the package enforces; throws if the
+  // resulting deflection violates the design rules.
+  [[nodiscard]] double deflection_at_gap(Length gap) const;
+  [[nodiscard]] bool deflection_ok(Length gap) const;
+  // Horizontal clearance the deformation channel must provide at a gap.
+  [[nodiscard]] Length deformed_width(Length gap) const;
+
+  [[nodiscard]] const Params& params() const { return prm_; }
+
+ private:
+  Params prm_;
+};
+
+}  // namespace pico::board

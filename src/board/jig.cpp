@@ -1,0 +1,48 @@
+#include "board/jig.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::board {
+
+TestJig::TestJig(ElastomericConnector connector) : TestJig(std::move(connector), Params{}) {}
+
+TestJig::TestJig(ElastomericConnector connector, Params p)
+    : conn_(std::move(connector)), prm_(p) {}
+
+bool TestJig::clamp_ok() const { return conn_.deflection_ok(prm_.clamp_gap); }
+
+std::vector<TestJig::ProbeResult> TestJig::probe_map(
+    const Pcb& board, const std::vector<std::string>& expected_bus) const {
+  std::vector<ProbeResult> out;
+  out.reserve(expected_bus.size());
+  const bool clamped = clamp_ok();
+  for (const auto& sig : expected_bus) {
+    ProbeResult r;
+    r.signal = sig;
+    const auto pad = board.pad_of_signal(sig);
+    if (pad.has_value() && clamped) {
+      r.pad_index = *pad;
+      r.reachable = true;
+      r.resistance = Resistance{conn_.pad_resistance(board.params().pad_length).value() +
+                                prm_.header_wiring.value()};
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+bool TestJig::board_passes(const Pcb& board, const std::vector<std::string>& expected_bus,
+                           Resistance max_r) const {
+  for (const auto& r : probe_map(board, expected_bus)) {
+    if (!r.reachable || r.resistance.value() > max_r.value()) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> picocube_bus_signals() {
+  return {"VBATT",    "GND1",    "VDD_MCU",  "GND2",     "VDD_RF_IN", "VDD_RF",
+          "VDD_DIG",  "SPI_CLK", "SPI_MOSI", "SPI_MISO", "SPI_CS",    "TX_DATA",
+          "PA_EN",    "SPI_PWR_EN", "SENS_INT", "JTAG_TDO", "JTAG_TDI", "JTAG_TMS"};
+}
+
+}  // namespace pico::board

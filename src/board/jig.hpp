@@ -1,0 +1,63 @@
+// jig.hpp — bench test jigs (paper §6): "The JTAG pins on the controller
+// are remapped to bus signals after boot-up, so the Cube cannot be tested
+// in-system. Test jigs were built for PCB top side up and PCB top side
+// down. The 18 signal bus is pinned out to headers."
+//
+// A `TestJig` clamps one board, presses an elastomeric connector against
+// one face, and breaks the pad ring out to headers; `probe_map` verifies
+// that every expected bus signal is reachable and reports the contact
+// resistance to each header pin.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "board/connector.hpp"
+#include "board/pcb.hpp"
+
+namespace pico::board {
+
+class TestJig {
+ public:
+  struct Params {
+    Side face = Side::kTop;      // which face the jig presses against
+    Length clamp_gap{1.5e-3};    // enforced connector compression gap
+    Resistance header_wiring{0.05};  // jig PCB trace to the header pin
+  };
+
+  TestJig(ElastomericConnector connector, Params p);
+  explicit TestJig(ElastomericConnector connector);
+
+  struct ProbeResult {
+    std::string signal;
+    int pad_index = -1;
+    bool reachable = false;
+    Resistance resistance{};  // pad contact + jig wiring
+  };
+
+  // Probe the full expected bus on a board. Signals missing from the board
+  // come back unreachable.
+  [[nodiscard]] std::vector<ProbeResult> probe_map(
+      const Pcb& board, const std::vector<std::string>& expected_bus) const;
+
+  // The jig is usable only if the clamp gap satisfies the connector's
+  // deflection rules.
+  [[nodiscard]] bool clamp_ok() const;
+
+  // Convenience: all expected signals reachable with sane resistance.
+  [[nodiscard]] bool board_passes(const Pcb& board,
+                                  const std::vector<std::string>& expected_bus,
+                                  Resistance max_r = Resistance{0.5}) const;
+
+  [[nodiscard]] const Params& params() const { return prm_; }
+
+ private:
+  ElastomericConnector conn_;
+  Params prm_;
+};
+
+// The 18-signal PicoCube bus, in pad order (see stack.cpp's map_bus).
+std::vector<std::string> picocube_bus_signals();
+
+}  // namespace pico::board

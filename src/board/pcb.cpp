@@ -1,0 +1,126 @@
+#include "board/pcb.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pico::board {
+
+Pcb::Pcb(std::string name) : Pcb(std::move(name), Params{}) {}
+
+Pcb::Pcb(std::string name, Params p) : name_(std::move(name)), prm_(p) {
+  PICO_REQUIRE(prm_.edge.value() > 0.0, "board edge must be positive");
+  PICO_REQUIRE(prm_.pads_per_side >= 1, "need at least one pad per side");
+  PICO_REQUIRE(placement_area().valid(),
+               "connector margin leaves no placement area");
+  // The pad ring must physically fit along each edge (pads live in the
+  // span between the corner regions).
+  const double span = prm_.edge.value() - 2.0 * prm_.connector_margin.value();
+  PICO_REQUIRE(prm_.pads_per_side * prm_.pad_length.value() <= span + 1e-9,
+               "pad ring does not fit along the edge");
+  build_pad_ring();
+}
+
+Rect Pcb::outline() const {
+  return Rect::centered({0.0, 0.0}, prm_.edge, prm_.edge);
+}
+
+Rect Pcb::placement_area() const { return outline().inset(prm_.connector_margin); }
+
+void Pcb::build_pad_ring() {
+  // Pads are distributed uniformly along each edge, centered in the
+  // connector margin, on all four sides; both faces share the pattern
+  // (connected by vias), so one Pad object represents the pair.
+  pads_.clear();
+  const int n = prm_.pads_per_side;
+  const double edge = prm_.edge.value();
+  const double margin = prm_.connector_margin.value();
+  const double span = edge - 2.0 * margin;
+  const double step = span / n;
+  const double inset = margin / 2.0;  // ring centered in the margin band
+  for (int side = 0; side < 4; ++side) {
+    for (int k = 0; k < n; ++k) {
+      const double along = -span / 2.0 + (k + 0.5) * step;
+      Point center;
+      Length w = prm_.pad_length, h = prm_.pad_width;
+      switch (side) {
+        case 0:  // bottom edge (y = -edge/2 + inset)
+          center = {along, -edge / 2.0 + inset};
+          break;
+        case 1:  // right edge
+          center = {edge / 2.0 - inset, along};
+          std::swap(w, h);
+          break;
+        case 2:  // top edge
+          center = {-along, edge / 2.0 - inset};
+          break;
+        case 3:  // left edge
+          center = {-edge / 2.0 + inset, -along};
+          std::swap(w, h);
+          break;
+        default:
+          break;
+      }
+      Pad pad;
+      pad.index = side * n + k;
+      pad.shape = Rect::centered(center, w, h);
+      pad.has_via = true;
+      pads_.push_back(pad);
+    }
+  }
+}
+
+bool Pcb::can_place(const Component& c, std::string* why) const {
+  if (!placement_area().contains(c.footprint)) {
+    if (why) *why = c.name + " leaves the 7.2x7.2 mm placement area";
+    return false;
+  }
+  for (const auto& other : comps_) {
+    if (other.side == c.side && other.footprint.overlaps(c.footprint)) {
+      if (why) *why = c.name + " overlaps " + other.name;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Pcb::place(Component c) {
+  std::string why;
+  PICO_REQUIRE(can_place(c, &why), "placement rule violation on " + name_ + ": " + why);
+  comps_.push_back(std::move(c));
+}
+
+Length Pcb::max_component_height(Side side) const {
+  double h = 0.0;
+  for (const auto& c : comps_) {
+    if (c.side == side) h = std::max(h, c.height.value());
+  }
+  return Length{h};
+}
+
+double Pcb::utilization(Side side) const {
+  double used = 0.0;
+  for (const auto& c : comps_) {
+    if (c.side == side) used += c.footprint.area().value();
+  }
+  return used / placement_area().area().value();
+}
+
+void Pcb::assign_signal(int pad_index, const std::string& signal) {
+  PICO_REQUIRE(pad_index >= 0 && pad_index < total_pads(), "pad index out of range");
+  PICO_REQUIRE(!signal.empty(), "signal name must not be empty");
+  for (const auto& p : pads_) {
+    PICO_REQUIRE(p.signal != signal || p.index == pad_index,
+                 "signal already assigned to another pad");
+  }
+  pads_[static_cast<std::size_t>(pad_index)].signal = signal;
+}
+
+std::optional<int> Pcb::pad_of_signal(const std::string& signal) const {
+  for (const auto& p : pads_) {
+    if (p.signal == signal) return p.index;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pico::board

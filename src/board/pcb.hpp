@@ -1,0 +1,86 @@
+// pcb.hpp — PicoCube printed circuit boards (paper §4.1/4.5/4.6).
+//
+// Each board is 1 cm on a side. The outer 1.4 mm of every edge is devoted
+// to the connector pad ring and inner housing, leaving a 7.2 x 7.2 mm
+// placement area. A ring of 18 pads per side on both faces carries the
+// vertical bus; pads for a given signal sit directly above each other
+// through the stack.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "board/geometry.hpp"
+#include "common/units.hpp"
+
+namespace pico::board {
+
+enum class Side { kTop, kBottom };
+
+struct Component {
+  std::string name;
+  Rect footprint;   // board coordinates
+  Side side = Side::kTop;
+  Length height{1e-3};
+};
+
+struct Pad {
+  int index = 0;          // 0..(pads_per_side*4 - 1), counterclockwise
+  std::string signal;     // assigned bus signal ("" = unassigned)
+  Rect shape;
+  bool has_via = false;   // connects top and bottom faces
+};
+
+class Pcb {
+ public:
+  struct Params {
+    Length edge{10e-3};
+    Length connector_margin{1.4e-3};  // pad ring + housing
+    // 18 pads per side: tighter than the 1.2 x 1.0 mm "standard" pad the
+    // elastomer datasheet suggests — the bus pin count forces a finer
+    // pitch, which the 0.1 mm wire pitch comfortably supports.
+    int pads_per_side = 18;
+    Length pad_length{0.35e-3};  // along the edge
+    Length pad_width{1.0e-3};    // into the board
+    Length thickness{0.6e-3};
+    int metal_layers = 2;
+  };
+
+  Pcb(std::string name, Params p);
+  explicit Pcb(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Params& params() const { return prm_; }
+  [[nodiscard]] Rect outline() const;
+  [[nodiscard]] Rect placement_area() const;
+
+  // --- Components ----------------------------------------------------------
+  // Place a component; throws DesignError if it leaves the placement area
+  // or overlaps an existing component on the same side.
+  void place(Component c);
+  // Check without placing.
+  [[nodiscard]] bool can_place(const Component& c, std::string* why = nullptr) const;
+  [[nodiscard]] const std::vector<Component>& components() const { return comps_; }
+  [[nodiscard]] Length max_component_height(Side side) const;
+  // Fraction of the placement area covered on a side.
+  [[nodiscard]] double utilization(Side side) const;
+
+  // --- Pad ring --------------------------------------------------------------
+  [[nodiscard]] int total_pads() const { return prm_.pads_per_side * 4; }
+  [[nodiscard]] const std::vector<Pad>& pads() const { return pads_; }
+  // Assign a bus signal to a pad (mirrored on both faces via the through
+  // via, per the paper's design).
+  void assign_signal(int pad_index, const std::string& signal);
+  [[nodiscard]] std::optional<int> pad_of_signal(const std::string& signal) const;
+
+ private:
+  void build_pad_ring();
+
+  std::string name_;
+  Params prm_;
+  std::vector<Component> comps_;
+  std::vector<Pad> pads_;
+};
+
+}  // namespace pico::board

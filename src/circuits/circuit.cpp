@@ -1,0 +1,83 @@
+#include "circuits/circuit.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::circuits {
+
+Stamper::Stamper(Matrix& a, Vector& b, std::size_t num_nodes)
+    : a_(a), b_(b), num_nodes_(num_nodes) {}
+
+void Stamper::conductance(Node n1, Node n2, double g) {
+  const int r1 = row(n1);
+  const int r2 = row(n2);
+  if (r1 >= 0) a_.at(static_cast<std::size_t>(r1), static_cast<std::size_t>(r1)) += g;
+  if (r2 >= 0) a_.at(static_cast<std::size_t>(r2), static_cast<std::size_t>(r2)) += g;
+  if (r1 >= 0 && r2 >= 0) {
+    a_.at(static_cast<std::size_t>(r1), static_cast<std::size_t>(r2)) -= g;
+    a_.at(static_cast<std::size_t>(r2), static_cast<std::size_t>(r1)) -= g;
+  }
+}
+
+void Stamper::current(Node n_from, Node n_to, double amps) {
+  const int rf = row(n_from);
+  const int rt = row(n_to);
+  if (rf >= 0) b_[static_cast<std::size_t>(rf)] -= amps;
+  if (rt >= 0) b_[static_cast<std::size_t>(rt)] += amps;
+}
+
+std::size_t Stamper::branch_row(std::size_t branch) const { return num_nodes_ + branch; }
+
+void Stamper::voltage_source(std::size_t branch, Node np, Node nn, double volts) {
+  const std::size_t br = branch_row(branch);
+  const int rp = row(np);
+  const int rn = row(nn);
+  if (rp >= 0) {
+    a_.at(static_cast<std::size_t>(rp), br) += 1.0;
+    a_.at(br, static_cast<std::size_t>(rp)) += 1.0;
+  }
+  if (rn >= 0) {
+    a_.at(static_cast<std::size_t>(rn), br) -= 1.0;
+    a_.at(br, static_cast<std::size_t>(rn)) -= 1.0;
+  }
+  b_[br] += volts;
+}
+
+Node Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = node_index_.find(name);
+  if (it != node_index_.end()) return it->second;
+  node_names_.push_back(name);
+  const Node n = static_cast<Node>(node_names_.size());
+  node_index_.emplace(name, n);
+  return n;
+}
+
+void Circuit::finalize() {
+  if (finalized_) return;
+  num_branches_ = 0;
+  for (const auto& c : components_) {
+    const std::size_t nb = c->branches();
+    if (nb > 0) {
+      c->assign_branch(num_branches_);
+      num_branches_ += nb;
+    }
+  }
+  finalized_ = true;
+}
+
+bool Circuit::has_nonlinear() const {
+  for (const auto& c : components_) {
+    if (c->nonlinear()) return true;
+  }
+  return false;
+}
+
+const std::string& Circuit::node_name(Node n) const {
+  static const std::string kGroundName = "GND";
+  if (n == kGround) return kGroundName;
+  PICO_REQUIRE(n >= 1 && static_cast<std::size_t>(n) <= node_names_.size(),
+               "invalid node handle");
+  return node_names_[static_cast<std::size_t>(n - 1)];
+}
+
+}  // namespace pico::circuits

@@ -1,0 +1,143 @@
+// circuit.hpp — modified nodal analysis (MNA) circuit description.
+//
+// A `Circuit` holds named nodes and components. Components contribute to
+// the MNA system via `stamp()`, called once per Newton iteration of each
+// timestep; after a step is accepted, `commit()` lets reactive components
+// update their companion-model history.
+//
+// Unknown vector layout: [ node voltages (1..N, ground excluded) |
+// branch currents (voltage sources, one each) ].
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuits/matrix.hpp"
+#include "common/units.hpp"
+
+namespace pico::circuits {
+
+// Node handle; kGround is node 0.
+using Node = int;
+inline constexpr Node kGround = 0;
+
+enum class Method {
+  kBackwardEuler,
+  kTrapezoidal,
+};
+
+// Context handed to stamps: timestep state plus access to the previous
+// Newton iterate (for linearization) and last accepted solution.
+struct StampContext {
+  double time = 0.0;           // end-of-step time being solved for
+  double dt = 0.0;             // current step size (0 during DC analysis)
+  Method method = Method::kTrapezoidal;
+  bool dc = false;             // true during operating-point analysis
+  const Vector* iterate = nullptr;  // previous Newton iterate (may be null on 1st)
+  const Vector* previous = nullptr; // last accepted solution (null before t=0)
+};
+
+class Circuit;
+
+// Accumulates stamps into the MNA matrix/rhs, hiding ground handling and
+// the node->row mapping.
+class Stamper {
+ public:
+  Stamper(Matrix& a, Vector& b, std::size_t num_nodes);
+
+  // Conductance g between nodes n1 and n2.
+  void conductance(Node n1, Node n2, double g);
+  // Current source of `amps` flowing from n_from into n_to.
+  void current(Node n_from, Node n_to, double amps);
+  // Voltage-source row: branch current variable `branch`, v(np) - v(nn) = volts.
+  void voltage_source(std::size_t branch, Node np, Node nn, double volts);
+
+  [[nodiscard]] std::size_t branch_row(std::size_t branch) const;
+
+ private:
+  [[nodiscard]] int row(Node n) const { return n - 1; }  // ground -> -1
+
+  Matrix& a_;
+  Vector& b_;
+  std::size_t num_nodes_;
+};
+
+// Base class for circuit elements.
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  virtual void stamp(Stamper& s, const StampContext& ctx) const = 0;
+  // Update history after an accepted timestep. `sol` is the full unknown
+  // vector; use Circuit::voltage_of helpers.
+  virtual void commit(const Vector& sol, const StampContext& ctx) { (void)sol, (void)ctx; }
+  // Nonlinear components force Newton iteration.
+  [[nodiscard]] virtual bool nonlinear() const { return false; }
+  // Number of branch-current unknowns this component owns (V sources: 1).
+  [[nodiscard]] virtual std::size_t branches() const { return 0; }
+  // Called by Circuit::finalize with the first branch index assigned.
+  virtual void assign_branch(std::size_t first) { (void)first; }
+  // Pre-step hook: event-style components (switch controllers) may change
+  // discrete state based on the last accepted solution.
+  virtual void pre_step(const Vector& last, double time) { (void)last, (void)time; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ private:
+  std::string name_;
+};
+
+class Circuit {
+ public:
+  Circuit() = default;
+  Circuit(const Circuit&) = delete;
+  Circuit& operator=(const Circuit&) = delete;
+
+  // Get or create a named node. "0", "gnd" and "GND" map to ground.
+  Node node(const std::string& name);
+  [[nodiscard]] std::size_t num_nodes() const { return node_names_.size(); }  // excl. ground
+
+  // Construct a component in place; returns a non-owning pointer.
+  template <typename T, typename... Args>
+  T* add(std::string name, Args&&... args) {
+    auto comp = std::make_unique<T>(std::forward<Args>(args)...);
+    comp->set_name(std::move(name));
+    T* raw = comp.get();
+    components_.push_back(std::move(comp));
+    finalized_ = false;
+    return raw;
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Component>>& components() const {
+    return components_;
+  }
+
+  // Assign branch indices; must be called (or is called lazily) before solving.
+  void finalize();
+  [[nodiscard]] std::size_t num_branches() const { return num_branches_; }
+  [[nodiscard]] std::size_t system_size() const { return num_nodes() + num_branches_; }
+  [[nodiscard]] bool has_nonlinear() const;
+
+  // Voltage of node `n` in solution vector `sol`.
+  [[nodiscard]] static double voltage_of(const Vector& sol, Node n) {
+    return n == kGround ? 0.0 : sol[static_cast<std::size_t>(n - 1)];
+  }
+  // Branch current of branch index `b`.
+  [[nodiscard]] double branch_current(const Vector& sol, std::size_t b) const {
+    return sol[num_nodes() + b];
+  }
+
+  [[nodiscard]] const std::string& node_name(Node n) const;
+
+ private:
+  std::unordered_map<std::string, Node> node_index_;
+  std::vector<std::string> node_names_;  // index i -> node i+1
+  std::vector<std::unique_ptr<Component>> components_;
+  std::size_t num_branches_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace pico::circuits

@@ -1,0 +1,46 @@
+#include "circuits/references.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::circuits {
+
+CurrentReference::CurrentReference() : CurrentReference(Params{}) {}
+
+CurrentReference::CurrentReference(Params p) : prm_(p) {
+  PICO_REQUIRE(prm_.nominal.value() > 0.0, "reference current must be positive");
+}
+
+Current CurrentReference::output(Voltage vdd, Temperature t) const {
+  if (vdd < prm_.min_vdd) return Current{0.0};
+  const double dt = t.value() - prm_.nominal_temp.value();
+  const double dv = vdd.value() - prm_.nominal_vdd.value();
+  const double factor = (1.0 + prm_.temp_coeff_per_k * dt) * (1.0 + prm_.vdd_coeff_per_v * dv);
+  return prm_.nominal * (factor > 0.0 ? factor : 0.0);
+}
+
+Current CurrentReference::supply_current(Voltage vdd, Temperature t) const {
+  // Bias core plus mirror branches: ~3x the delivered bias.
+  return output(vdd, t) * 3.0;
+}
+
+BandgapReference::BandgapReference() : BandgapReference(Params{}) {}
+
+BandgapReference::BandgapReference(Params p) : prm_(p) {
+  PICO_REQUIRE(prm_.vref.value() > 0.0, "bandgap voltage must be positive");
+  PICO_REQUIRE(prm_.sample_rate.value() > 0.0, "sample rate must be positive");
+}
+
+Voltage BandgapReference::output(Voltage vdd, Temperature t) const {
+  if (vdd < prm_.min_vdd) return Voltage{0.0};
+  const double dt = t.value() - prm_.nominal_temp.value();
+  // Parabolic residual curvature around the trim temperature.
+  const double frac = prm_.temp_coeff_ppm_per_k * 1e-6 * dt * dt / 40.0;
+  return prm_.vref * (1.0 - frac);
+}
+
+Current BandgapReference::supply_current(Voltage vdd) const {
+  if (vdd < prm_.min_vdd) return Current{0.0};
+  return prm_.sampling_current;
+}
+
+}  // namespace pico::circuits

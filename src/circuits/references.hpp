@@ -1,0 +1,66 @@
+// references.hpp — behavioral models of the analog support blocks in the
+// PicoCube power-interface IC (paper §7.1, Fig 9): the self-biased 18 nA
+// current reference and the ultralow-power sampled bandgap reference.
+//
+// These are not solved by the MNA engine; they are support blocks whose
+// contribution to the system is a bias current, a reference voltage, and a
+// quiescent power draw that the energy accountant charges to the battery.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace pico::circuits {
+
+// Self-biased current reference: nominally VDD-independent, mildly
+// temperature dependent (paper: "biased at 18 nA independent of VDD and
+// mildly dependent on temperature").
+class CurrentReference {
+ public:
+  struct Params {
+    Current nominal{18e-9};
+    Temperature nominal_temp{300.0};
+    // Fractional change per kelvin (mild PTAT behaviour).
+    double temp_coeff_per_k = 0.0015;
+    // Residual VDD sensitivity (fraction per volt) — near zero by design.
+    double vdd_coeff_per_v = 0.002;
+    Voltage nominal_vdd{1.2};
+    Voltage min_vdd{0.9};  // headroom below which the reference collapses
+  };
+
+  CurrentReference();
+  explicit CurrentReference(Params p);
+
+  // Output bias current at operating conditions.
+  [[nodiscard]] Current output(Voltage vdd, Temperature t) const;
+  // The reference's own draw from VDD (mirror branches ~ 3x the bias).
+  [[nodiscard]] Current supply_current(Voltage vdd, Temperature t) const;
+
+ private:
+  Params prm_;
+};
+
+// Sampled bandgap reference: produces vref with a small residual tempco;
+// sampling (duty-cycled comparator) keeps average current in the nA range.
+class BandgapReference {
+ public:
+  struct Params {
+    Voltage vref{0.6};
+    Temperature nominal_temp{300.0};
+    double temp_coeff_ppm_per_k = 35.0;   // residual curvature
+    Current sampling_current{25e-9};      // average supply draw
+    Frequency sample_rate{1e3};
+    Voltage min_vdd{1.0};
+  };
+
+  BandgapReference();
+  explicit BandgapReference(Params p);
+
+  [[nodiscard]] Voltage output(Voltage vdd, Temperature t) const;
+  [[nodiscard]] Current supply_current(Voltage vdd) const;
+  [[nodiscard]] Frequency sample_rate() const { return prm_.sample_rate; }
+
+ private:
+  Params prm_;
+};
+
+}  // namespace pico::circuits

@@ -1,0 +1,92 @@
+#include "circuits/transient.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pico::circuits {
+
+Transient::Transient(Circuit& circuit, Options options) : circuit_(circuit), opt_(options) {
+  PICO_REQUIRE(opt_.dt > 0.0, "transient timestep must be positive");
+  circuit_.finalize();
+  x_.assign(circuit_.system_size(), 0.0);
+}
+
+void Transient::set_initial(Node n, Voltage v) {
+  PICO_REQUIRE(n != kGround, "cannot set ground voltage");
+  x_[static_cast<std::size_t>(n - 1)] = v.value();
+}
+
+void Transient::solve_system(StampContext ctx) {
+  const std::size_t dim = circuit_.system_size();
+  Matrix a(dim, dim);
+  Vector b(dim);
+  Vector iterate = x_;
+  const bool needs_newton = circuit_.has_nonlinear();
+  const int iters = needs_newton ? opt_.max_newton : 1;
+
+  Vector prev_state = x_;  // last accepted solution, for companion history
+  ctx.previous = &prev_state;
+
+  int it = 0;
+  for (; it < iters; ++it) {
+    a.fill(0.0);
+    b.fill(0.0);
+    Stamper stamper(a, b, circuit_.num_nodes());
+    ctx.iterate = &iterate;
+    for (const auto& comp : circuit_.components()) comp->stamp(stamper, ctx);
+    Vector next = LuSolver(a).solve(b);
+
+    // Convergence: infinity-norm of the update.
+    double delta = 0.0;
+    double scale = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      delta = std::max(delta, std::fabs(next[i] - iterate[i]));
+      scale = std::max(scale, std::fabs(next[i]));
+    }
+    iterate = next;
+    if (!needs_newton || delta <= opt_.tol_abs + opt_.tol_rel * scale) {
+      ++it;
+      break;
+    }
+  }
+  last_newton_ = it;
+  x_ = iterate;
+
+  ctx.iterate = &x_;
+  for (const auto& comp : circuit_.components()) comp->commit(x_, ctx);
+}
+
+void Transient::solve_dc() {
+  StampContext ctx;
+  ctx.time = time_;
+  ctx.dt = 0.0;
+  ctx.dc = true;
+  ctx.method = opt_.method;
+  for (const auto& comp : circuit_.components()) comp->pre_step(x_, time_);
+  solve_system(ctx);
+}
+
+void Transient::step() {
+  const double t_next = time_ + opt_.dt;
+  for (const auto& comp : circuit_.components()) comp->pre_step(x_, time_);
+  StampContext ctx;
+  ctx.time = t_next;
+  ctx.dt = opt_.dt;
+  ctx.dc = false;
+  ctx.method = first_step_ ? Method::kBackwardEuler : opt_.method;
+  first_step_ = false;
+  solve_system(ctx);
+  time_ = t_next;
+}
+
+void Transient::run_until(Duration t_end, const Observer& observer) {
+  PICO_REQUIRE(t_end.value() >= time_, "run_until target is in the past");
+  // Half-step tolerance avoids a missed final step from accumulation error.
+  while (time_ + 0.5 * opt_.dt < t_end.value()) {
+    step();
+    if (observer) observer(time_, x_);
+  }
+}
+
+}  // namespace pico::circuits

@@ -1,0 +1,65 @@
+// transient.hpp — transient and DC operating-point analysis over a Circuit.
+//
+// Fixed-timestep integration (trapezoidal by default, backward Euler
+// available) with Newton–Raphson iteration when the circuit contains
+// nonlinear elements. Observers are invoked after every accepted step to
+// record waveforms into `pico::sim::Trace`s.
+#pragma once
+
+#include <functional>
+
+#include "circuits/circuit.hpp"
+#include "circuits/components.hpp"
+#include "sim/trace.hpp"
+
+namespace pico::circuits {
+
+class Transient {
+ public:
+  struct Options {
+    Method method = Method::kTrapezoidal;
+    double dt = 1e-6;        // timestep [s]
+    int max_newton = 100;    // Newton iterations per step
+    double tol_abs = 1e-9;   // absolute convergence tolerance [V / A]
+    double tol_rel = 1e-6;   // relative convergence tolerance
+  };
+
+  Transient(Circuit& circuit, Options options);
+
+  // Set an initial node voltage guess (before the first step).
+  void set_initial(Node n, Voltage v);
+
+  // Solve the DC operating point (capacitors open, inductors shorted) and
+  // make it the current state.
+  void solve_dc();
+
+  // Advance one timestep.
+  void step();
+  // Advance until `t_end`, invoking `observer` (if set) after each step.
+  using Observer = std::function<void(double /*time*/, const Vector& /*solution*/)>;
+  void run_until(Duration t_end, const Observer& observer = {});
+
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] const Vector& solution() const { return x_; }
+  [[nodiscard]] double voltage(Node n) const { return Circuit::voltage_of(x_, n); }
+  [[nodiscard]] double source_current(const VoltageSource& src) const {
+    return circuit_.branch_current(x_, src.branch_index());
+  }
+  [[nodiscard]] int last_newton_iterations() const { return last_newton_; }
+
+ private:
+  // One nonlinear solve at the given context; updates x_.
+  void solve_system(StampContext ctx);
+
+  Circuit& circuit_;
+  Options opt_;
+  Vector x_;
+  double time_ = 0.0;
+  int last_newton_ = 0;
+  // First transient step uses backward Euler: trapezoidal companion models
+  // need a consistent reactive-current history, which does not exist at
+  // t = 0 (standard SPICE startup practice).
+  bool first_step_ = true;
+};
+
+}  // namespace pico::circuits

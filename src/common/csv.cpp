@@ -1,0 +1,49 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace pico {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  PICO_REQUIRE(out_.good(), "CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  write_row(columns);
+  --rows_;  // header does not count as a data row
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.12g", values[i]);
+    out_ << buf;
+    if (i + 1 < values.size()) out_ << ',';
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << csv_escape(values[i]);
+    if (i + 1 < values.size()) out_ << ',';
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace pico

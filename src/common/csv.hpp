@@ -1,0 +1,30 @@
+// csv.hpp — minimal CSV writer for exporting simulation traces and bench
+// series (so figures can be re-plotted outside the harness).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pico {
+
+class CsvWriter {
+ public:
+  // Opens (and truncates) the file; throws DesignError on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<double>& values);
+  void write_row(const std::vector<std::string>& values);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+// Quote a CSV field if it contains separators/quotes.
+std::string csv_escape(const std::string& field);
+
+}  // namespace pico

@@ -1,0 +1,47 @@
+// error.hpp — error handling and contract checking for the PicoCube library.
+//
+// Design errors (bad configuration, violated physical constraints) throw
+// `pico::DesignError`; internal invariant violations use `PICO_ASSERT`,
+// which throws `pico::InternalError` so tests can observe them. Simulation
+// models are expected to validate their parameters at construction time.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace pico {
+
+// A user-visible error: invalid parameters, infeasible design, rule violation.
+class DesignError : public std::runtime_error {
+ public:
+  explicit DesignError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// An internal invariant violation (a bug in the library, not the caller).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, std::source_location loc) {
+  throw InternalError(std::string("PICO_ASSERT failed: ") + expr + " at " + loc.file_name() +
+                      ":" + std::to_string(loc.line()));
+}
+}  // namespace detail
+
+// Contract check for internal invariants. Always on (models are cheap
+// relative to the cost of silently wrong physics).
+#define PICO_ASSERT(expr)                                                       \
+  do {                                                                          \
+    if (!(expr)) ::pico::detail::assert_fail(#expr, std::source_location::current()); \
+  } while (false)
+
+// Precondition check for user-supplied parameters.
+#define PICO_REQUIRE(expr, msg)                                                 \
+  do {                                                                          \
+    if (!(expr)) throw ::pico::DesignError(std::string(msg) + " (violated: " #expr ")"); \
+  } while (false)
+
+}  // namespace pico

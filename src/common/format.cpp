@@ -1,0 +1,65 @@
+#include "common/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace pico {
+
+namespace {
+struct Prefix {
+  double scale;
+  const char* symbol;
+};
+// Largest-first so the scan picks the first prefix <= |value|.
+constexpr std::array<Prefix, 11> kPrefixes{{{1e12, "T"},
+                                            {1e9, "G"},
+                                            {1e6, "M"},
+                                            {1e3, "k"},
+                                            {1.0, ""},
+                                            {1e-3, "m"},
+                                            {1e-6, "u"},
+                                            {1e-9, "n"},
+                                            {1e-12, "p"},
+                                            {1e-15, "f"},
+                                            {1e-18, "a"}}};
+}  // namespace
+
+std::string si(double value, const std::string& unit, int significant) {
+  if (value == 0.0) return "0 " + unit;
+  if (std::isnan(value)) return "nan " + unit;
+  if (std::isinf(value)) return (value > 0 ? "inf " : "-inf ") + unit;
+  const double mag = std::fabs(value);
+  Prefix chosen = kPrefixes.back();
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale * 0.9995) {  // tolerate rounding at the boundary
+      chosen = p;
+      break;
+    }
+  }
+  const double scaled = value / chosen.scale;
+  // Decimals so that total significant digits ~= `significant`.
+  const double amag = std::fabs(scaled);
+  int int_digits = amag >= 1.0 ? static_cast<int>(std::floor(std::log10(amag))) + 1 : 1;
+  int decimals = significant - int_digits;
+  if (decimals < 0) decimals = 0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %s%s", decimals, scaled, chosen.symbol, unit.c_str());
+  return buf;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string pct(double fraction, int decimals) {
+  return fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string dbm(Power p, int decimals) {
+  return fixed(watts_to_dbm(p), decimals) + " dBm";
+}
+
+}  // namespace pico

@@ -1,0 +1,36 @@
+// format.hpp — human-readable engineering formatting for bench output:
+// SI-prefixed values ("6.03 uW"), fixed-width numbers, and percentage /
+// dB helpers. All functions are locale-independent.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace pico {
+
+// Format with an engineering SI prefix: 6.1e-6 with unit "W" -> "6.10 uW".
+// Covers prefixes from atto (1e-18) to tera (1e12). Zero prints as "0 W".
+std::string si(double value, const std::string& unit, int significant = 3);
+
+// Strongly-typed overloads for the common cases.
+inline std::string si(Power p, int significant = 3) { return si(p.value(), "W", significant); }
+inline std::string si(Energy e, int significant = 3) { return si(e.value(), "J", significant); }
+inline std::string si(Voltage v, int significant = 3) { return si(v.value(), "V", significant); }
+inline std::string si(Current i, int significant = 3) { return si(i.value(), "A", significant); }
+inline std::string si(Duration t, int significant = 3) { return si(t.value(), "s", significant); }
+inline std::string si(Frequency f, int significant = 3) { return si(f.value(), "Hz", significant); }
+inline std::string si(Resistance r, int significant = 3) { return si(r.value(), "Ohm", significant); }
+inline std::string si(Capacitance c, int significant = 3) { return si(c.value(), "F", significant); }
+inline std::string si(Charge q, int significant = 3) { return si(q.value(), "C", significant); }
+
+// Fixed-point with given decimals, e.g. fixed(0.4637, 1, 100) -> "46.4".
+std::string fixed(double value, int decimals);
+
+// Percentage: pct(0.464) -> "46.4%".
+std::string pct(double fraction, int decimals = 1);
+
+// dBm rendering of a power.
+std::string dbm(Power p, int decimals = 1);
+
+}  // namespace pico

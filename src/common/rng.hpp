@@ -1,0 +1,56 @@
+// rng.hpp — deterministic random number generation.
+//
+// All stochastic models in the library draw from `pico::Rng`, a
+// xoshiro256++ generator seeded via splitmix64. The same seed always yields
+// the same simulation trace on every platform, which the integration tests
+// rely on (deterministic replay).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pico {
+
+// xoshiro256++ 1.0 (Blackman & Vigna, public domain reference
+// implementation), seeded with splitmix64 so that any 64-bit seed produces
+// a well-distributed initial state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+  // Standard normal via Box–Muller (cached second deviate).
+  double normal();
+  // Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+  // Exponential with given rate lambda (mean 1/lambda).
+  double exponential(double lambda);
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Derive an independent child stream (for per-component randomness that
+  // stays stable when other components add or remove draws).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4] = {};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace pico

@@ -1,0 +1,270 @@
+// units.hpp — compile-time dimensional analysis for the PicoCube library.
+//
+// Every physical quantity in the public API is a strongly-typed Quantity
+// carrying SI dimension exponents (length, mass, time, current,
+// temperature). Arithmetic composes dimensions at compile time, so
+// `Voltage * Current` is a `Power` and mixing volts with amps is a compile
+// error. Values are always stored in SI base units; literals (`1.2_V`,
+// `15_mAh`, `6_uW`) perform the scaling.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace pico {
+
+// A physical quantity with SI dimension exponents <L, M, T, I, Th>:
+// length^L * mass^M * time^T * current^I * temperature^Th.
+template <int L, int M, int T, int I, int Th>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  // Value in SI base units (m, kg, s, A, K and their products).
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  // Value expressed in a given unit, e.g. `v.in(units::mV)`.
+  [[nodiscard]] constexpr double in(Quantity unit) const { return v_ / unit.v_; }
+
+  constexpr Quantity& operator+=(Quantity rhs) {
+    v_ += rhs.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity rhs) {
+    v_ -= rhs.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  constexpr Quantity operator-() const { return Quantity{-v_}; }
+  constexpr Quantity operator+() const { return *this; }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.v_ + b.v_}; }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.v_ - b.v_}; }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity{a.v_ * s}; }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity{s * a.v_}; }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity{a.v_ / s}; }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) { return a.v_ <=> b.v_; }
+  friend constexpr bool operator==(Quantity a, Quantity b) { return a.v_ == b.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+// Dimension composition: Quantity * Quantity adds exponents.
+template <int L1, int M1, int T1, int I1, int Th1, int L2, int M2, int T2, int I2, int Th2>
+constexpr auto operator*(Quantity<L1, M1, T1, I1, Th1> a, Quantity<L2, M2, T2, I2, Th2> b) {
+  return Quantity<L1 + L2, M1 + M2, T1 + T2, I1 + I2, Th1 + Th2>{a.value() * b.value()};
+}
+
+// Quantity / Quantity subtracts exponents; same-dimension ratio is a plain double.
+template <int L1, int M1, int T1, int I1, int Th1, int L2, int M2, int T2, int I2, int Th2>
+constexpr auto operator/(Quantity<L1, M1, T1, I1, Th1> a, Quantity<L2, M2, T2, I2, Th2> b) {
+  if constexpr (L1 == L2 && M1 == M2 && T1 == T2 && I1 == I2 && Th1 == Th2) {
+    return a.value() / b.value();
+  } else {
+    return Quantity<L1 - L2, M1 - M2, T1 - T2, I1 - I2, Th1 - Th2>{a.value() / b.value()};
+  }
+}
+
+// double / Quantity inverts the dimension.
+template <int L, int M, int T, int I, int Th>
+constexpr auto operator/(double s, Quantity<L, M, T, I, Th> q) {
+  return Quantity<-L, -M, -T, -I, -Th>{s / q.value()};
+}
+
+// sqrt of a quantity with even exponents (e.g. sqrt(R_ssl^2 + R_fsl^2)).
+template <int L, int M, int T, int I, int Th>
+  requires(L % 2 == 0 && M % 2 == 0 && T % 2 == 0 && I % 2 == 0 && Th % 2 == 0)
+inline auto sqrt(Quantity<L, M, T, I, Th> q) {
+  return Quantity<L / 2, M / 2, T / 2, I / 2, Th / 2>{std::sqrt(q.value())};
+}
+
+template <int L, int M, int T, int I, int Th>
+constexpr auto abs(Quantity<L, M, T, I, Th> q) {
+  return Quantity<L, M, T, I, Th>{q.value() < 0 ? -q.value() : q.value()};
+}
+
+// ---------------------------------------------------------------------------
+// Named dimensions.
+// ---------------------------------------------------------------------------
+using Dimensionless = Quantity<0, 0, 0, 0, 0>;
+using Length = Quantity<1, 0, 0, 0, 0>;          // m
+using Mass = Quantity<0, 1, 0, 0, 0>;            // kg
+using Duration = Quantity<0, 0, 1, 0, 0>;        // s
+using Current = Quantity<0, 0, 0, 1, 0>;         // A
+using Temperature = Quantity<0, 0, 0, 0, 1>;     // K
+using Area = Quantity<2, 0, 0, 0, 0>;            // m^2
+using Volume = Quantity<3, 0, 0, 0, 0>;          // m^3
+using Frequency = Quantity<0, 0, -1, 0, 0>;      // Hz
+using Velocity = Quantity<1, 0, -1, 0, 0>;       // m/s
+using Acceleration = Quantity<1, 0, -2, 0, 0>;   // m/s^2
+using Force = Quantity<1, 1, -2, 0, 0>;          // N
+using Pressure = Quantity<-1, 1, -2, 0, 0>;      // Pa
+using Energy = Quantity<2, 1, -2, 0, 0>;         // J
+using Power = Quantity<2, 1, -3, 0, 0>;          // W
+using Charge = Quantity<0, 0, 1, 1, 0>;          // C
+using Voltage = Quantity<2, 1, -3, -1, 0>;       // V
+using Resistance = Quantity<2, 1, -3, -2, 0>;    // Ohm
+using Conductance = Quantity<-2, -1, 3, 2, 0>;   // S
+using Capacitance = Quantity<-2, -1, 4, 2, 0>;   // F
+using Inductance = Quantity<2, 1, -2, -2, 0>;    // H
+using MagneticFlux = Quantity<2, 1, -2, -1, 0>;  // Wb
+using SpecificEnergy = Quantity<2, 0, -2, 0, 0>; // J/kg
+
+// ---------------------------------------------------------------------------
+// Canonical unit constants (value == 1 unit, in SI base units).
+// ---------------------------------------------------------------------------
+namespace units {
+inline constexpr Length m{1.0};
+inline constexpr Length cm{1e-2};
+inline constexpr Length mm{1e-3};
+inline constexpr Length um{1e-6};
+inline constexpr Length mil{25.4e-6};  // 1/1000 inch, PCB convention
+inline constexpr Area mm2{1e-6};
+inline constexpr Volume cm3{1e-6};
+inline constexpr Volume mm3{1e-9};
+inline constexpr Mass kg{1.0};
+inline constexpr Mass g{1e-3};
+inline constexpr Mass mg{1e-6};
+inline constexpr Duration s{1.0};
+inline constexpr Duration ms{1e-3};
+inline constexpr Duration us{1e-6};
+inline constexpr Duration ns{1e-9};
+inline constexpr Duration minute{60.0};
+inline constexpr Duration hour{3600.0};
+inline constexpr Duration day{86400.0};
+inline constexpr Current A{1.0};
+inline constexpr Current mA{1e-3};
+inline constexpr Current uA{1e-6};
+inline constexpr Current nA{1e-9};
+inline constexpr Temperature K{1.0};
+inline constexpr Frequency Hz{1.0};
+inline constexpr Frequency kHz{1e3};
+inline constexpr Frequency MHz{1e6};
+inline constexpr Frequency GHz{1e9};
+inline constexpr Energy J{1.0};
+inline constexpr Energy mJ{1e-3};
+inline constexpr Energy uJ{1e-6};
+inline constexpr Energy nJ{1e-9};
+inline constexpr Power W{1.0};
+inline constexpr Power mW{1e-3};
+inline constexpr Power uW{1e-6};
+inline constexpr Power nW{1e-9};
+inline constexpr Charge C{1.0};
+inline constexpr Charge mAh{3.6};  // 1 mA * 3600 s
+inline constexpr Charge uAh{3.6e-3};
+inline constexpr Voltage V{1.0};
+inline constexpr Voltage mV{1e-3};
+inline constexpr Voltage uV{1e-6};
+inline constexpr Resistance Ohm{1.0};
+inline constexpr Resistance kOhm{1e3};
+inline constexpr Resistance MOhm{1e6};
+inline constexpr Resistance mOhm{1e-3};
+inline constexpr Capacitance F{1.0};
+inline constexpr Capacitance mF{1e-3};
+inline constexpr Capacitance uF{1e-6};
+inline constexpr Capacitance nF{1e-9};
+inline constexpr Capacitance pF{1e-12};
+inline constexpr Inductance H{1.0};
+inline constexpr Inductance uH{1e-6};
+inline constexpr Inductance nH{1e-9};
+inline constexpr Pressure Pa{1.0};
+inline constexpr Pressure kPa{1e3};
+inline constexpr Pressure bar{1e5};
+inline constexpr Pressure psi{6894.757};
+inline constexpr Acceleration mps2{1.0};
+inline constexpr Acceleration g0{9.80665};  // standard gravity
+inline constexpr Velocity mps{1.0};
+inline constexpr Velocity kph{1.0 / 3.6};
+}  // namespace units
+
+// Celsius convenience (absolute temperature).
+constexpr Temperature celsius(double deg_c) { return Temperature{deg_c + 273.15}; }
+constexpr double to_celsius(Temperature t) { return t.value() - 273.15; }
+
+// ---------------------------------------------------------------------------
+// dBm / dB helpers (RF link budgets).
+// ---------------------------------------------------------------------------
+inline double watts_to_dbm(Power p) { return 10.0 * std::log10(p.in(units::mW)); }
+inline Power dbm_to_watts(double dbm) { return std::pow(10.0, dbm / 10.0) * units::mW; }
+inline double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+// ---------------------------------------------------------------------------
+// User-defined literals. `using namespace pico::literals;`
+// ---------------------------------------------------------------------------
+namespace literals {
+#define PICO_LITERAL(suffix, Type, scale)                                               \
+  constexpr Type operator""_##suffix(long double v) {                                   \
+    return Type{static_cast<double>(v) * (scale)};                                      \
+  }                                                                                     \
+  constexpr Type operator""_##suffix(unsigned long long v) {                            \
+    return Type{static_cast<double>(v) * (scale)};                                      \
+  }
+
+PICO_LITERAL(m, Length, 1.0)
+PICO_LITERAL(cm, Length, 1e-2)
+PICO_LITERAL(mm, Length, 1e-3)
+PICO_LITERAL(um, Length, 1e-6)
+PICO_LITERAL(mil, Length, 25.4e-6)
+PICO_LITERAL(kg, Mass, 1.0)
+PICO_LITERAL(gram, Mass, 1e-3)
+PICO_LITERAL(s, Duration, 1.0)
+PICO_LITERAL(ms, Duration, 1e-3)
+PICO_LITERAL(us, Duration, 1e-6)
+PICO_LITERAL(ns, Duration, 1e-9)
+PICO_LITERAL(min, Duration, 60.0)
+PICO_LITERAL(hr, Duration, 3600.0)
+PICO_LITERAL(A, Current, 1.0)
+PICO_LITERAL(mA, Current, 1e-3)
+PICO_LITERAL(uA, Current, 1e-6)
+PICO_LITERAL(nA, Current, 1e-9)
+PICO_LITERAL(Hz, Frequency, 1.0)
+PICO_LITERAL(kHz, Frequency, 1e3)
+PICO_LITERAL(MHz, Frequency, 1e6)
+PICO_LITERAL(GHz, Frequency, 1e9)
+PICO_LITERAL(J, Energy, 1.0)
+PICO_LITERAL(mJ, Energy, 1e-3)
+PICO_LITERAL(uJ, Energy, 1e-6)
+PICO_LITERAL(nJ, Energy, 1e-9)
+PICO_LITERAL(W, Power, 1.0)
+PICO_LITERAL(mW, Power, 1e-3)
+PICO_LITERAL(uW, Power, 1e-6)
+PICO_LITERAL(nW, Power, 1e-9)
+PICO_LITERAL(V, Voltage, 1.0)
+PICO_LITERAL(mV, Voltage, 1e-3)
+PICO_LITERAL(uV, Voltage, 1e-6)
+PICO_LITERAL(Ohm, Resistance, 1.0)
+PICO_LITERAL(kOhm, Resistance, 1e3)
+PICO_LITERAL(MOhm, Resistance, 1e6)
+PICO_LITERAL(F, Capacitance, 1.0)
+PICO_LITERAL(mF, Capacitance, 1e-3)
+PICO_LITERAL(uF, Capacitance, 1e-6)
+PICO_LITERAL(nF, Capacitance, 1e-9)
+PICO_LITERAL(pF, Capacitance, 1e-12)
+PICO_LITERAL(C, Charge, 1.0)
+PICO_LITERAL(mAh, Charge, 3.6)
+PICO_LITERAL(uAh, Charge, 3.6e-3)
+PICO_LITERAL(Pa, Pressure, 1.0)
+PICO_LITERAL(kPa, Pressure, 1e3)
+PICO_LITERAL(psi, Pressure, 6894.757)
+PICO_LITERAL(mps2, Acceleration, 1.0)
+PICO_LITERAL(gee, Acceleration, 9.80665)
+PICO_LITERAL(mps, Velocity, 1.0)
+PICO_LITERAL(kph, Velocity, 1.0 / 3.6)
+
+#undef PICO_LITERAL
+}  // namespace literals
+
+}  // namespace pico

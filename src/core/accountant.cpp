@@ -1,0 +1,114 @@
+#include "core/accountant.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::core {
+
+PowerAccountant::PowerAccountant(sim::Simulator& simulator, storage::NiMhBattery& battery,
+                                 PowerTrain& train, sim::TraceSet& traces)
+    : sim_(simulator), battery_(battery), train_(train), traces_(traces) {
+  record();
+}
+
+DeviceId PowerAccountant::add_device(std::string name, RailId rail) {
+  devices_.push_back(DeviceLedger{std::move(name), rail, Current{0.0}, 0.0});
+  return devices_.size() - 1;
+}
+
+Current PowerAccountant::battery_draw() const {
+  return train_.battery_current(battery_.terminal_voltage(Current{0.0}), loads_);
+}
+
+Power PowerAccountant::battery_power() const {
+  const Voltage v = battery_.terminal_voltage(battery_draw());
+  return Power{v.value() * battery_draw().value()};
+}
+
+Voltage PowerAccountant::rail_voltage(RailId r) const {
+  return train_.rail_voltage(r, battery_.terminal_voltage(battery_draw()), loads_);
+}
+
+void PowerAccountant::integrate_to_now() {
+  const double now = sim_.now().value();
+  const double dt = now - last_time_;
+  if (dt <= 0.0) {
+    last_time_ = now;
+    return;
+  }
+  const Voltage vb = battery_.open_circuit_voltage();
+  const Current draw = train_.battery_current(vb, loads_);
+  // Net battery current: harvest in, load out (signs: + charges).
+  const Current net{harvest_.value() - draw.value()};
+  const auto moved = battery_.transfer(net, Duration{dt});
+  battery_.idle(Duration{dt});  // self-discharge in parallel
+  if (moved.hit_empty && !empty_signaled_) {
+    empty_signaled_ = true;
+    if (on_empty_) on_empty_();  // brown-out: the node drops its supplies
+  }
+  energy_out_ += vb.value() * draw.value() * dt;
+  energy_in_ += vb.value() * harvest_.value() * dt;
+  // Device-level (rail-referred) energies.
+  for (auto& d : devices_) {
+    const Voltage vr = train_.rail_voltage(d.rail, vb, loads_);
+    d.energy_j += vr.value() * d.current.value() * dt;
+  }
+  last_time_ = now;
+}
+
+void PowerAccountant::record() {
+  const Duration now = sim_.now();
+  const Voltage vb = battery_.open_circuit_voltage();
+  const Current draw = train_.battery_current(vb, loads_);
+  traces_.channel("p_node").record(now, vb.value() * draw.value());
+  traces_.channel("i_batt").record(now, draw.value());
+  traces_.channel("i_harvest").record(now, harvest_.value());
+  traces_.channel("v_batt", sim::Interp::kLinear).record(now, vb.value());
+  traces_.channel("soc", sim::Interp::kLinear).record(now, battery_.soc());
+  traces_.channel("p_mcu_rail").record(
+      now, train_.rail_voltage(RailId::kVddMcu, vb, loads_).value() *
+               loads_.mcu_sensor.value());
+  traces_.channel("p_radio_rf").record(
+      now, train_.rail_voltage(RailId::kVddRadioRf, vb, loads_).value() *
+               loads_.radio_rf.value());
+  traces_.channel("p_radio_dig").record(
+      now, train_.rail_voltage(RailId::kVddRadioDigital, vb, loads_).value() *
+               loads_.radio_digital.value());
+}
+
+void PowerAccountant::set_current(DeviceId dev, Current i) {
+  PICO_REQUIRE(dev < devices_.size(), "unknown device id");
+  PICO_REQUIRE(i.value() >= 0.0, "device current must be non-negative");
+  integrate_to_now();
+  auto& d = devices_[dev];
+  loads_.of(d.rail) += Current{i.value() - d.current.value()};
+  // Guard against negative rail totals from floating-point residue.
+  if (loads_.of(d.rail).value() < 0.0) loads_.of(d.rail) = Current{0.0};
+  d.current = i;
+  record();
+}
+
+void PowerAccountant::set_radio_powered(bool on) {
+  integrate_to_now();
+  train_.set_radio_powered(on);
+  record();
+}
+
+void PowerAccountant::set_harvest_current(Current i) {
+  PICO_REQUIRE(i.value() >= 0.0, "harvest current must be non-negative");
+  integrate_to_now();
+  harvest_ = i;
+  record();
+}
+
+void PowerAccountant::settle() {
+  integrate_to_now();
+  record();
+}
+
+Energy PowerAccountant::management_overhead() const {
+  double devices_total = 0.0;
+  for (const auto& d : devices_) devices_total += d.energy_j;
+  return Energy{energy_out_ - devices_total};
+}
+
+}  // namespace pico::core

@@ -1,0 +1,86 @@
+// accountant.hpp — the node's energy ledger.
+//
+// Devices (MCU, sensor, radio RF/digital) report their instantaneous rail
+// currents whenever their state changes; between events everything is
+// piecewise constant, so the accountant integrates battery energy exactly
+// and records the Fig 6-style power profile. Rail currents are mapped to
+// battery current through the active PowerTrain — which is how quiescent
+// and conversion losses dominate the ledger, exactly as in the paper.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/powertrain.hpp"
+#include "core/rails.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "storage/nimh.hpp"
+
+namespace pico::core {
+
+using DeviceId = std::size_t;
+
+struct DeviceLedger {
+  std::string name;
+  RailId rail{};
+  Current current{};     // present draw
+  double energy_j = 0.0; // rail-referred energy consumed
+};
+
+class PowerAccountant {
+ public:
+  PowerAccountant(sim::Simulator& simulator, storage::NiMhBattery& battery,
+                  PowerTrain& train, sim::TraceSet& traces);
+  PowerAccountant(const PowerAccountant&) = delete;
+  PowerAccountant& operator=(const PowerAccountant&) = delete;
+
+  DeviceId add_device(std::string name, RailId rail);
+  // Device state change: integrates the elapsed interval at the previous
+  // currents, then applies the new value.
+  void set_current(DeviceId dev, Current i);
+  // Radio gating must flow through the accountant so the quiescent change
+  // is integrated at the right instant.
+  void set_radio_powered(bool on);
+  // Harvester charging current into the battery (set by the integrator).
+  void set_harvest_current(Current i);
+
+  // Integrate up to `now` (called internally; call once at end of run).
+  void settle();
+
+  // Invoked once, the first time the battery runs dry mid-integration —
+  // the node uses it to brown out (drop all supplies).
+  void set_empty_callback(std::function<void()> cb) { on_empty_ = std::move(cb); }
+  [[nodiscard]] bool battery_died() const { return empty_signaled_; }
+
+  // --- Queries ---------------------------------------------------------------
+  [[nodiscard]] Current battery_draw() const;
+  [[nodiscard]] Power battery_power() const;
+  [[nodiscard]] Voltage rail_voltage(RailId r) const;
+  [[nodiscard]] const std::vector<DeviceLedger>& devices() const { return devices_; }
+  [[nodiscard]] Energy battery_energy_out() const { return Energy{energy_out_}; }
+  [[nodiscard]] Energy harvested_energy_in() const { return Energy{energy_in_}; }
+  // Battery energy not attributable to any device: the management tax.
+  [[nodiscard]] Energy management_overhead() const;
+  [[nodiscard]] const RailLoads& loads() const { return loads_; }
+
+ private:
+  void integrate_to_now();
+  void record();
+
+  sim::Simulator& sim_;
+  storage::NiMhBattery& battery_;
+  PowerTrain& train_;
+  sim::TraceSet& traces_;
+  std::vector<DeviceLedger> devices_;
+  RailLoads loads_{};
+  Current harvest_{};
+  double last_time_ = 0.0;
+  double energy_out_ = 0.0;
+  double energy_in_ = 0.0;
+  std::function<void()> on_empty_;
+  bool empty_signaled_ = false;
+};
+
+}  // namespace pico::core

@@ -1,0 +1,83 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pico::core {
+
+double FleetAnalysis::aloha_collision_probability(int nodes, Duration airtime,
+                                                  Duration interval) {
+  PICO_REQUIRE(nodes >= 1, "need at least one node");
+  PICO_REQUIRE(interval.value() > 0.0, "interval must be positive");
+  // Unslotted ALOHA vulnerability window: 2*tau around each frame, (N-1)
+  // independent interferers at rate 1/T.
+  const double load = 2.0 * (nodes - 1) * airtime.value() / interval.value();
+  return 1.0 - std::exp(-load);
+}
+
+FleetResult FleetAnalysis::run(const FleetConfig& cfg) {
+  PICO_REQUIRE(cfg.nodes >= 1, "need at least one node");
+  PICO_REQUIRE(cfg.sim_time.value() > 0.0, "simulation time must be positive");
+
+  struct Interval {
+    double start;
+    double end;
+    int node;
+  };
+  std::vector<Interval> frames;
+  Rng rng(cfg.seed);
+
+  FleetResult res;
+  res.nodes = cfg.nodes;
+  double airtime_sum = 0.0;
+
+  for (int n = 0; n < cfg.nodes; ++n) {
+    // Each wheel's timer runs at its own RC-tolerance period.
+    const double interval =
+        cfg.nominal_interval.value() * (1.0 + rng.normal(0.0, cfg.interval_tolerance));
+    res.intervals_s.push_back(interval);
+
+    NodeConfig nc;
+    nc.node_id = static_cast<std::uint8_t>(n + 1);
+    nc.drive = harvest::make_city_cycle();
+    nc.sample_interval = Duration{interval};
+    nc.data_rate = cfg.data_rate;
+    nc.seed = cfg.seed + static_cast<std::uint64_t>(n) * 7919;
+    PicoCubeNode node(nc);
+    node.set_frame_listener([&frames, &airtime_sum, n](const radio::RfFrame& f) {
+      const double air = static_cast<double>(f.bytes.size()) * 8.0 / f.data_rate.value();
+      frames.push_back({f.start.value(), f.start.value() + air, n});
+      airtime_sum += air;
+    });
+    node.run(cfg.sim_time);
+  }
+
+  res.frames_total = frames.size();
+  if (frames.empty()) return res;
+  res.mean_airtime = Duration{airtime_sum / static_cast<double>(frames.size())};
+
+  // Merge by start time; a frame collides if it overlaps any neighbour
+  // from a different node (sweep line).
+  std::sort(frames.begin(), frames.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::vector<bool> collided(frames.size(), false);
+  for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+    for (std::size_t j = i + 1; j < frames.size() && frames[j].start < frames[i].end; ++j) {
+      if (frames[j].node != frames[i].node) {
+        collided[i] = true;
+        collided[j] = true;
+      }
+    }
+  }
+  for (bool c : collided) res.frames_collided += c ? 1 : 0;
+  res.collision_rate =
+      static_cast<double>(res.frames_collided) / static_cast<double>(res.frames_total);
+  res.aloha_prediction =
+      aloha_collision_probability(cfg.nodes, res.mean_airtime, cfg.nominal_interval);
+  return res;
+}
+
+}  // namespace pico::core

@@ -1,0 +1,52 @@
+// fleet.hpp — multi-node beacon collisions (the four-wheel question).
+//
+// A car carries four PicoCubes and one receiver. Each SP12 event timer
+// runs at "six seconds" only to its own RC accuracy, so the four beacon
+// phases drift through each other; whenever two frames overlap on air,
+// the OOK receiver captures neither. This module runs N independent node
+// simulations (deterministic, staggered boots, per-node timer tolerance),
+// merges the transmitted frame intervals onto one timeline, and counts
+// collisions — compared against the unslotted-ALOHA prediction
+// P(collision) ≈ 1 − e^{−2(N−1)τ/T}.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/node.hpp"
+
+namespace pico::core {
+
+struct FleetConfig {
+  int nodes = 4;
+  Duration sim_time{1800.0};
+  Duration nominal_interval{6.0};
+  // Per-node timer tolerance (1-sigma, fractional): SP12-class RC timers.
+  double interval_tolerance = 0.004;
+  Frequency data_rate{200e3};
+  std::uint64_t seed = 99;
+};
+
+struct FleetResult {
+  int nodes = 0;
+  std::uint64_t frames_total = 0;
+  std::uint64_t frames_collided = 0;  // frames overlapping any other frame
+  double collision_rate = 0.0;        // collided / total
+  double aloha_prediction = 0.0;      // 1 - exp(-2 (N-1) tau / T)
+  Duration mean_airtime{};
+  // Per-node actual timer intervals (for reporting).
+  std::vector<double> intervals_s;
+};
+
+class FleetAnalysis {
+ public:
+  // Run the fleet; each node is an independent deterministic simulation
+  // whose transmitted frames are merged by absolute timestamp.
+  [[nodiscard]] static FleetResult run(const FleetConfig& cfg);
+
+  // Closed-form unslotted-ALOHA collision probability.
+  [[nodiscard]] static double aloha_collision_probability(int nodes, Duration airtime,
+                                                          Duration interval);
+};
+
+}  // namespace pico::core

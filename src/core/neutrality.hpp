@@ -1,0 +1,44 @@
+// neutrality.hpp — energy-neutrality analysis (the paper's design goal:
+// "eliminate the need for long-term energy storage" — the node must live
+// on what the wheel gives it).
+//
+// Couples the harvesting chain (shaker -> rectifier -> NiMH) with the
+// node's consumption at a given duty cycle and answers: what is the net
+// power on this drive profile, and what is the fastest sustainable sample
+// interval?
+#pragma once
+
+#include "core/node.hpp"
+#include "harvest/harvester.hpp"
+#include "power/rectifier.hpp"
+
+namespace pico::core {
+
+class NeutralityAnalysis {
+ public:
+  struct Result {
+    Power harvest{};      // average rectified power into the cell
+    Power consumption{};  // average node draw
+    Power net{};
+    bool neutral = false;
+  };
+
+  // Average node power at a config (runs a short calibration simulation).
+  static Power average_node_power(NodeConfig cfg, Duration sim_time);
+
+  // Average rectified charging power over one profile period.
+  static Power average_harvest_power(const harvest::Harvester& h,
+                                     const power::Rectifier& rect, Voltage vbatt,
+                                     Duration window);
+
+  // Net balance for a config on its drive profile.
+  static Result balance(const NodeConfig& cfg, Duration sim_time);
+
+  // Fastest sample interval that keeps the node energy-neutral on the
+  // given profile (bisection over the interval). Returns 0 if even the
+  // sleep floor exceeds the harvest.
+  static Duration sustainable_interval(NodeConfig cfg, Duration min_interval,
+                                       Duration max_interval);
+};
+
+}  // namespace pico::core

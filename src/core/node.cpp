@@ -1,0 +1,251 @@
+#include "core/node.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::core {
+
+namespace {
+using namespace pico::literals;
+
+std::unique_ptr<PowerTrain> make_train(const NodeConfig& cfg) {
+  if (cfg.power == NodeConfig::PowerVersion::kIc) return std::make_unique<IcPowerTrain>();
+  CotsPowerTrain::Params p;
+  if (cfg.charge_pump_params.has_value()) p.charge_pump = *cfg.charge_pump_params;
+  return std::make_unique<CotsPowerTrain>(p);
+}
+}  // namespace
+
+PicoCubeNode::PicoCubeNode(NodeConfig cfg)
+    : cfg_(std::move(cfg)),
+      battery_([&] {
+        storage::NiMhBattery::Params bp;
+        bp.initial_soc = cfg_.battery_initial_soc;
+        return storage::NiMhBattery(bp);
+      }()),
+      train_(make_train(cfg_)),
+      accountant_(sim_, battery_, *train_, traces_),
+      sequencer_(sim_) {
+  // Stimuli.
+  if (cfg_.sensor == NodeConfig::Sensor::kTpms || cfg_.attach_harvester) {
+    harvest::SpeedProfile profile =
+        cfg_.drive.has_value() ? *cfg_.drive : harvest::make_city_cycle();
+    tire_env_ = std::make_unique<sensors::TireEnvironment>(profile);
+    if (cfg_.attach_harvester &&
+        cfg_.harvester == NodeConfig::HarvesterKind::kShaker) {
+      shaker_ = std::make_unique<harvest::ElectromagneticShaker>(profile);
+      if (cfg_.power == NodeConfig::PowerVersion::kIc) {
+        rectifier_ = std::make_unique<power::SynchronousRectifier>();
+      } else {
+        rectifier_ = std::make_unique<power::DiodeBridgeRectifier>();
+      }
+    }
+  }
+  if (cfg_.attach_harvester && cfg_.harvester == NodeConfig::HarvesterKind::kSolar) {
+    solar_ = std::make_unique<harvest::SolarCell>(
+        cfg_.irradiance.has_value() ? *cfg_.irradiance : harvest::IrradianceProfile{});
+  }
+  if (cfg_.sensor == NodeConfig::Sensor::kAccelerometer) {
+    motion_ = std::make_unique<sensors::MotionScenario>(
+        cfg_.motion.has_value() ? *cfg_.motion : sensors::MotionScenario::retreat_demo());
+  }
+
+  // Devices + ledger.
+  dev_mcu_ = accountant_.add_device("MSP430", RailId::kVddMcu);
+  dev_sensor_ = accountant_.add_device(
+      cfg_.sensor == NodeConfig::Sensor::kTpms ? "SP12 TPMS" : "SCA3000", RailId::kVddMcu);
+  dev_radio_rf_ = accountant_.add_device("radio RF (PA+osc)", RailId::kVddRadioRf);
+  dev_radio_dig_ = accountant_.add_device("radio digital", RailId::kVddRadioDigital);
+
+  cpu_ = cfg_.mcu_params.has_value()
+             ? std::make_unique<mcu::Msp430>(sim_, *cfg_.mcu_params)
+             : std::make_unique<mcu::Msp430>(sim_);
+  cpu_->set_current_listener(
+      [this](Current i) { accountant_.set_current(dev_mcu_, i); });
+
+  if (cfg_.sensor == NodeConfig::Sensor::kTpms) {
+    sensors::Sp12Tpms::Params sp =
+        cfg_.tpms_params.has_value() ? *cfg_.tpms_params : sensors::Sp12Tpms::Params{};
+    sp.event_interval = cfg_.sample_interval;
+    tpms_ = std::make_unique<sensors::Sp12Tpms>(sim_, *tire_env_, sp);
+    tpms_->set_current_listener(
+        [this](Current i) { accountant_.set_current(dev_sensor_, i); });
+  } else {
+    sensors::Sca3000::Params ap;
+    // The IC's 2.1 V rail sits below the stock SCA3000 minimum; the demo
+    // build uses the low-voltage variant.
+    ap.vdd_min = Voltage{2.0};
+    accel_ = std::make_unique<sensors::Sca3000>(sim_, *motion_, ap);
+    accel_->set_current_listener(
+        [this](Current i) { accountant_.set_current(dev_sensor_, i); });
+  }
+
+  radio::FbarOscillator::Params op;
+  op.startup_failure_prob = cfg_.oscillator_failure_prob;
+  radio::FbarOscillator osc{radio::FbarResonator{}, op};
+  tx_ = std::make_unique<radio::FbarOokTransmitter>(sim_, osc);
+  tx_->reseed_faults(cfg_.seed ^ 0x9E3779B97F4A7C15ULL);
+  tx_->set_current_listener([this](Current rf, Current dig) {
+    accountant_.set_current(dev_radio_rf_, rf);
+    accountant_.set_current(dev_radio_dig_, dig);
+  });
+}
+
+void PicoCubeNode::set_frame_listener(radio::FbarOokTransmitter::FrameListener cb) {
+  tx_->set_frame_listener(std::move(cb));
+}
+
+void PicoCubeNode::boot() {
+  if (booted_) return;
+  booted_ = true;
+  // A dead cell browns the whole node out: every supply collapses and the
+  // event machinery goes quiet (device callbacks check powered()).
+  accountant_.set_empty_callback([this] {
+    cpu_->set_supply(Voltage{0.0});
+    if (tpms_) tpms_->set_supply(Voltage{0.0});
+    if (accel_) accel_->set_supply(Voltage{0.0});
+    tx_->set_rf_rail(Voltage{0.0});
+    tx_->set_digital_rail(Voltage{0.0});
+    sequencer_.power_down();
+  });
+  // Bring up the always-on rail and let the firmware configure itself.
+  const Voltage v_mcu = accountant_.rail_voltage(RailId::kVddMcu);
+  cpu_->set_supply(v_mcu);
+  cpu_->set_interrupt_handler([this](mcu::Irq irq) { on_interrupt(irq); });
+  if (tpms_) {
+    tpms_->set_supply(v_mcu);
+    tpms_->start(*cpu_);
+  }
+  if (accel_) {
+    accel_->set_supply(v_mcu);
+    accel_->enter_motion_detect(*cpu_);
+  }
+  // Boot code done: drop to deep sleep.
+  cpu_->run_for(2_ms, [this] { cpu_->sleep(mcu::PowerState::kLpm3); });
+
+  if ((shaker_ && rectifier_) || solar_) {
+    sim_.every(cfg_.harvest_update, [this] { update_harvest(); });
+    update_harvest();
+  }
+}
+
+void PicoCubeNode::update_harvest() {
+  const double t = sim_.now().value();
+  if (solar_) {
+    // MPP-tracked solar charger: harvested power through the tracker's
+    // efficiency, delivered as a charging current at the cell voltage.
+    const double p = solar_->mpp_at_time(t).value() * cfg_.mpp_efficiency;
+    accountant_.set_harvest_current(
+        Current{p / battery_.open_circuit_voltage().value()});
+    return;
+  }
+  const auto res = rectifier_->rectify(*shaker_, battery_.open_circuit_voltage(), t,
+                                       t + cfg_.harvest_update.value(), 2048);
+  accountant_.set_harvest_current(res.avg_current);
+}
+
+void PicoCubeNode::on_interrupt(mcu::Irq irq) {
+  if (irq != mcu::Irq::kSensorEvent) return;
+  if (cycle_busy_) return;  // one outstanding cycle, like the real firmware
+  // Defensive firmware: the sensor may have lost its rail since raising
+  // the interrupt (brown-out mid-wake).
+  if (tpms_ && !tpms_->powered()) return;
+  if (accel_ && !accel_->powered()) return;
+  cycle_busy_ = true;
+  ++wake_cycles_;
+  cycle_start_s_ = sim_.now().value();
+  if (cfg_.sensor == NodeConfig::Sensor::kTpms) {
+    tpms_cycle();
+  } else {
+    motion_cycle();
+  }
+}
+
+void PicoCubeNode::tpms_cycle() {
+  // The CPU naps in LPM0 while the SP12 converts; the readout wakes it.
+  tpms_->measure(*cpu_, [this](const sensors::TpmsSample& sample) {
+    cpu_->run_for(cfg_.format_time, [this, sample] {
+      radio::Packet pkt;
+      pkt.node_id = cfg_.node_id;
+      pkt.seq = seq_++;
+      pkt.payload = radio::encode_tpms_payload(sample);
+      radio_send(codec_.encode(pkt));
+    });
+  });
+  cpu_->sleep(mcu::PowerState::kLpm0);
+}
+
+void PicoCubeNode::motion_cycle() {
+  accel_->enter_measurement();
+  accel_->read_sample(*cpu_, [this](const sensors::AccelSample& sample) {
+    cpu_->run_for(cfg_.format_time, [this, sample] {
+      radio::Packet pkt;
+      pkt.node_id = cfg_.node_id;
+      pkt.seq = seq_++;
+      pkt.payload = radio::encode_accel_payload(sample.accel);
+      radio_send(codec_.encode(pkt));
+    });
+  });
+}
+
+void PicoCubeNode::radio_send(std::vector<std::uint8_t> frame) {
+  // Switch-board sequence: shunt + LDO energized, input gate first, output
+  // gate after the clean-edge delay.
+  accountant_.set_radio_powered(true);
+  sequencer_.power_up([this, frame = std::move(frame)] {
+    tx_->set_digital_rail(Voltage{1.0});
+    tx_->set_rf_rail(Voltage{0.65});
+    tx_->transmit(frame, cfg_.data_rate, [this](bool ok) { finish_cycle(ok); });
+  });
+}
+
+void PicoCubeNode::finish_cycle(bool tx_ok) {
+  if (tx_ok) {
+    ++frames_ok_;
+  } else {
+    ++frames_failed_;
+  }
+  tx_->set_rf_rail(Voltage{0.0});
+  tx_->set_digital_rail(Voltage{0.0});
+  sequencer_.power_down();
+  accountant_.set_radio_powered(false);
+  if (accel_) accel_->enter_motion_detect(*cpu_);
+  last_cycle_s_ = sim_.now().value() - cycle_start_s_;
+  cycle_busy_ = false;
+  cpu_->sleep(mcu::PowerState::kLpm3);
+}
+
+void PicoCubeNode::run(Duration until) {
+  boot();
+  sim_.run_until(until);
+  accountant_.settle();
+}
+
+NodeReport PicoCubeNode::report() const {
+  NodeReport r;
+  r.duration = sim_.now();
+  r.battery_energy_out = accountant_.battery_energy_out();
+  r.harvested_energy_in = accountant_.harvested_energy_in();
+  r.average_power =
+      Power{r.duration.value() > 0.0 ? r.battery_energy_out.value() / r.duration.value()
+                                     : 0.0};
+  // Sleep floor: management quiescent plus the sleeping loads.
+  RailLoads sleep_loads;
+  const Voltage vb = battery_.open_circuit_voltage();
+  sleep_loads.mcu_sensor = Current{
+      (cpu_ ? cpu_->params().lpm3.value() : 0.0) +
+      (tpms_ ? tpms_->params().sleep_current.value() : 0.0) +
+      (accel_ ? accel_->params().motion_detect_current.value() : 0.0)};
+  r.sleep_floor = Power{vb.value() * train_->battery_current(vb, sleep_loads).value()};
+  r.soc_start = cfg_.battery_initial_soc;
+  r.soc_end = battery_.soc();
+  r.wake_cycles = wake_cycles_;
+  r.frames_ok = frames_ok_;
+  r.frames_failed = frames_failed_;
+  r.last_cycle_time = Duration{last_cycle_s_};
+  r.devices = accountant_.devices();
+  r.management_overhead = accountant_.management_overhead();
+  r.power_train = train_->name();
+  return r;
+}
+
+}  // namespace pico::core

@@ -1,0 +1,162 @@
+// node.hpp — the integrated PicoCube node (the paper's system contribution).
+//
+// Composes the five boards' worth of models — storage, power train (COTS
+// v1 or integrated IC v2), MSP430, sensor board (TPMS or accelerometer),
+// switch-board sequencing, and the FBAR OOK radio — on one discrete-event
+// simulation, with the power accountant integrating every quiescent and
+// active microampere back to the NiMH cell.
+//
+// The firmware is the paper's interrupt-driven loop: deep sleep, wake on
+// the sensor event, sample, format, sequence the radio rails up, transmit,
+// tear down, sleep. No operating system, exactly one outstanding cycle.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/accountant.hpp"
+#include "core/powertrain.hpp"
+#include "core/report.hpp"
+#include "harvest/harvester.hpp"
+#include "mcu/msp430.hpp"
+#include "power/gating.hpp"
+#include "power/rectifier.hpp"
+#include "radio/packet.hpp"
+#include "radio/transmitter.hpp"
+#include "sensors/accelerometer.hpp"
+#include "sensors/stimulus.hpp"
+#include "sensors/tpms.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "storage/nimh.hpp"
+
+namespace pico::core {
+
+struct NodeConfig {
+  enum class Sensor { kTpms, kAccelerometer };
+  enum class PowerVersion { kCots, kIc };
+
+  Sensor sensor = Sensor::kTpms;
+  PowerVersion power = PowerVersion::kCots;
+  std::uint8_t node_id = 1;
+
+  // TPMS digital-die event timer (the paper's six seconds).
+  Duration sample_interval{6.0};
+  Frequency data_rate{200e3};
+  Duration format_time{3.5e-3};  // firmware packetization compute
+
+  double battery_initial_soc = 0.8;
+
+  // Physical stimulus: wheel profile for the TPMS node (also drives the
+  // shaker when attached), motion script for the accelerometer node.
+  std::optional<harvest::SpeedProfile> drive;
+  std::optional<sensors::MotionScenario> motion;
+
+  // Attach a harvesting path. The shaker feeds the rectifier front-end;
+  // the solar variant ("cladding the outside of the node with solar
+  // cells", paper §1) feeds an MPP-tracking charger.
+  enum class HarvesterKind { kShaker, kSolar };
+  bool attach_harvester = false;
+  HarvesterKind harvester = HarvesterKind::kShaker;
+  std::optional<harvest::IrradianceProfile> irradiance;
+  double mpp_efficiency = 0.85;  // MPP tracker + boost stage
+  Duration harvest_update{1.0};  // charging-current refresh window
+
+  // Fault injection.
+  double oscillator_failure_prob = 0.0;
+
+  // Component-parameter overrides (tolerance studies / part variation).
+  std::optional<mcu::Msp430::Params> mcu_params;
+  std::optional<sensors::Sp12Tpms::Params> tpms_params;
+  std::optional<power::ChargePumpTps60313::Params> charge_pump_params;
+
+  std::uint64_t seed = 1;
+};
+
+class PicoCubeNode {
+ public:
+  explicit PicoCubeNode(NodeConfig cfg);
+  PicoCubeNode(const PicoCubeNode&) = delete;
+  PicoCubeNode& operator=(const PicoCubeNode&) = delete;
+
+  // Boot the firmware (t = 0 event) and run until `until`.
+  void run(Duration until);
+
+  [[nodiscard]] NodeReport report() const;
+
+  // --- Access for benches/examples -----------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::TraceSet& traces() { return traces_; }
+  [[nodiscard]] const storage::NiMhBattery& battery() const { return battery_; }
+  [[nodiscard]] storage::NiMhBattery& battery() { return battery_; }
+  [[nodiscard]] PowerTrain& power_train() { return *train_; }
+  [[nodiscard]] mcu::Msp430& cpu() { return *cpu_; }
+  [[nodiscard]] radio::FbarOokTransmitter& transmitter() { return *tx_; }
+  [[nodiscard]] const radio::PacketCodec& codec() const { return codec_; }
+  // Attach the demo receiver (or any observer) to the RF output.
+  void set_frame_listener(radio::FbarOokTransmitter::FrameListener cb);
+
+  [[nodiscard]] std::uint64_t wake_cycles() const { return wake_cycles_; }
+  [[nodiscard]] std::uint64_t frames_ok() const { return frames_ok_; }
+  [[nodiscard]] std::uint64_t frames_failed() const { return frames_failed_; }
+  // Duration of the most recent complete sample/format/transmit cycle.
+  [[nodiscard]] Duration last_cycle_time() const { return Duration{last_cycle_s_}; }
+  [[nodiscard]] const NodeConfig& config() const { return cfg_; }
+  [[nodiscard]] const sensors::TireEnvironment* tire_environment() const {
+    return tire_env_ ? tire_env_.get() : nullptr;
+  }
+
+ private:
+  void boot();
+  void on_interrupt(mcu::Irq irq);
+  void tpms_cycle();
+  void motion_cycle();
+  void radio_send(std::vector<std::uint8_t> frame);
+  void finish_cycle(bool tx_ok);
+  void update_harvest();
+
+  NodeConfig cfg_;
+  sim::Simulator sim_;
+  sim::TraceSet traces_;
+
+  // Stimuli.
+  std::unique_ptr<sensors::TireEnvironment> tire_env_;
+  std::unique_ptr<sensors::MotionScenario> motion_;
+
+  // Electrical chain.
+  storage::NiMhBattery battery_;
+  std::unique_ptr<PowerTrain> train_;
+  PowerAccountant accountant_;
+
+  // Boards.
+  std::unique_ptr<mcu::Msp430> cpu_;
+  std::unique_ptr<sensors::Sp12Tpms> tpms_;
+  std::unique_ptr<sensors::Sca3000> accel_;
+  std::unique_ptr<radio::FbarOokTransmitter> tx_;
+  power::RadioRailSequencer sequencer_;
+  radio::PacketCodec codec_;
+
+  // Harvest path.
+  std::unique_ptr<harvest::ElectromagneticShaker> shaker_;
+  std::unique_ptr<power::Rectifier> rectifier_;
+  std::unique_ptr<harvest::SolarCell> solar_;
+
+  // Device ledger handles.
+  DeviceId dev_mcu_ = 0;
+  DeviceId dev_sensor_ = 0;
+  DeviceId dev_radio_rf_ = 0;
+  DeviceId dev_radio_dig_ = 0;
+
+  // Firmware state.
+  bool cycle_busy_ = false;
+  std::uint64_t wake_cycles_ = 0;
+  std::uint64_t frames_ok_ = 0;
+  std::uint64_t frames_failed_ = 0;
+  std::uint8_t seq_ = 0;
+  double cycle_start_s_ = 0.0;
+  double last_cycle_s_ = 0.0;
+  double harvested_avg_w_ = 0.0;
+  bool booted_ = false;
+};
+
+}  // namespace pico::core

@@ -1,0 +1,109 @@
+#include "core/powertrain.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::core {
+
+// ---------------------------------------------------------------------------
+// CotsPowerTrain
+// ---------------------------------------------------------------------------
+CotsPowerTrain::CotsPowerTrain() : CotsPowerTrain(Params{}) {}
+
+CotsPowerTrain::CotsPowerTrain(Params p)
+    : pump_(p.charge_pump), ldo_(p.ldo), shunt_(p.shunt), rf_in_gate_(p.gate) {
+  set_radio_powered(false);
+}
+
+void CotsPowerTrain::set_radio_powered(bool on) {
+  radio_on_ = on;
+  ldo_.set_enabled(on);
+  shunt_.set_enabled(on);
+  rf_in_gate_.set_on(on);
+}
+
+Voltage CotsPowerTrain::rail_voltage(RailId rail, Voltage vbatt,
+                                     const RailLoads& loads) const {
+  switch (rail) {
+    case RailId::kVddMcu:
+      return pump_.output_voltage(vbatt, loads.mcu_sensor);
+    case RailId::kVddRadioDigital: {
+      // Shunt fed from an MCU I/O pin at the MCU rail.
+      const Voltage v_io = pump_.output_voltage(vbatt, loads.mcu_sensor);
+      return shunt_.output_voltage(v_io, loads.radio_digital);
+    }
+    case RailId::kVddRadioRf:
+      // LDO fed from the battery through the input gate.
+      return ldo_.output_voltage(rf_in_gate_.pass(vbatt, loads.radio_rf), loads.radio_rf);
+    case RailId::kCount:
+      break;
+  }
+  throw InternalError("invalid rail");
+}
+
+Current CotsPowerTrain::battery_current(Voltage vbatt, const RailLoads& loads) const {
+  const Voltage v_mcu = pump_.output_voltage(vbatt, loads.mcu_sensor);
+  // The shunt's feed current comes out of the MCU rail (through the I/O pin).
+  const Current shunt_in = shunt_.input_current(v_mcu, loads.radio_digital);
+  const Current mcu_rail_load{loads.mcu_sensor.value() + shunt_in.value()};
+  const Current pump_in = pump_.input_current(vbatt, mcu_rail_load);
+  // The RF LDO draws straight from the battery (via its input gate).
+  const Current ldo_in = ldo_.input_current(vbatt, loads.radio_rf);
+  const Current gate_in = rf_in_gate_.draw(vbatt, ldo_in);
+  return Current{pump_in.value() + gate_in.value()};
+}
+
+Power CotsPowerTrain::quiescent_power(Voltage vbatt) const {
+  return Power{vbatt.value() * battery_current(vbatt, RailLoads{}).value()};
+}
+
+// ---------------------------------------------------------------------------
+// IcPowerTrain
+// ---------------------------------------------------------------------------
+IcPowerTrain::IcPowerTrain() : IcPowerTrain(power::PowerInterfaceIc::BuildOptions{}) {}
+
+IcPowerTrain::IcPowerTrain(power::PowerInterfaceIc::BuildOptions opt) : ic_(opt) {
+  power::LinearRegulatorLt3020::Params dig;
+  dig.v_set = Voltage{1.0};
+  dig.dropout = Voltage{0.2};
+  dig.iq_enabled = Current{0.5e-6};
+  dig.gate_leakage = Current{1e-9};
+  digital_ldo_ = power::LinearRegulatorLt3020(dig);
+  set_radio_powered(false);
+}
+
+void IcPowerTrain::set_radio_powered(bool on) {
+  radio_on_ = on;
+  ic_.set_radio_chain_enabled(on);
+  digital_ldo_.set_enabled(on);
+}
+
+Voltage IcPowerTrain::rail_voltage(RailId rail, Voltage vbatt,
+                                   const RailLoads& loads) const {
+  switch (rail) {
+    case RailId::kVddMcu:
+      return ic_.mcu_rail_voltage(vbatt, loads.mcu_sensor);
+    case RailId::kVddRadioDigital: {
+      const Voltage v_mcu = ic_.mcu_rail_voltage(vbatt, loads.mcu_sensor);
+      return digital_ldo_.output_voltage(v_mcu, loads.radio_digital);
+    }
+    case RailId::kVddRadioRf:
+      return ic_.radio_rail_voltage(vbatt, loads.radio_rf);
+    case RailId::kCount:
+      break;
+  }
+  throw InternalError("invalid rail");
+}
+
+Current IcPowerTrain::battery_current(Voltage vbatt, const RailLoads& loads) const {
+  // Digital rail hangs off the MCU converter through the small LDO.
+  const Voltage v_mcu = ic_.mcu_rail_voltage(vbatt, loads.mcu_sensor);
+  const Current dig_in = digital_ldo_.input_current(v_mcu, loads.radio_digital);
+  const Current mcu_total{loads.mcu_sensor.value() + dig_in.value()};
+  return ic_.battery_current(vbatt, mcu_total, loads.radio_rf);
+}
+
+Power IcPowerTrain::quiescent_power(Voltage vbatt) const {
+  return Power{vbatt.value() * battery_current(vbatt, RailLoads{}).value()};
+}
+
+}  // namespace pico::core

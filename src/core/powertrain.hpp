@@ -1,0 +1,100 @@
+// powertrain.hpp — the two power-management generations of the PicoCube.
+//
+// v1 (COTS, §4.3/4.5): TPS60313 charge pump (always on, snooze mode) for
+// the MCU/sensor rail; a shunt regulator fed from an MCU I/O pin for the
+// radio digital rail; an LT3020 LDO gated at input and output for the
+// radio RF rail.
+//
+// v2 (integrated, §7.1): the power-interface IC — synchronous rectifier,
+// 1:2 and 3:2 on-die SC converters, linear post-regulator, nano-amp
+// references — replacing the switch board and the COTS supplies.
+//
+// A PowerTrain maps rail loads to a battery current, which is how every
+// conversion loss and quiescent drain reaches the energy ledger.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/rails.hpp"
+#include "power/converters.hpp"
+#include "power/gating.hpp"
+#include "power/power_ic.hpp"
+
+namespace pico::core {
+
+class PowerTrain {
+ public:
+  virtual ~PowerTrain() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  // Battery current needed to support the given loads.
+  [[nodiscard]] virtual Current battery_current(Voltage vbatt,
+                                                const RailLoads& loads) const = 0;
+  // Delivered voltage on a rail under the given loads.
+  [[nodiscard]] virtual Voltage rail_voltage(RailId rail, Voltage vbatt,
+                                             const RailLoads& loads) const = 0;
+  // Gate the duty-cycled radio supplies.
+  virtual void set_radio_powered(bool on) = 0;
+  [[nodiscard]] virtual bool radio_powered() const = 0;
+  // Always-on management draw with all loads idle (the sleep floor).
+  [[nodiscard]] virtual Power quiescent_power(Voltage vbatt) const = 0;
+};
+
+// v1: the COTS power train of the five-board Cube.
+class CotsPowerTrain : public PowerTrain {
+ public:
+  struct Params {
+    power::ChargePumpTps60313::Params charge_pump{};
+    power::LinearRegulatorLt3020::Params ldo{};
+    power::ShuntRegulatorStage::Params shunt{};
+    power::PowerGate::Params gate{};
+  };
+
+  CotsPowerTrain();
+  explicit CotsPowerTrain(Params p);
+
+  [[nodiscard]] std::string name() const override { return "COTS (v1)"; }
+  [[nodiscard]] Current battery_current(Voltage vbatt, const RailLoads& loads) const override;
+  [[nodiscard]] Voltage rail_voltage(RailId rail, Voltage vbatt,
+                                     const RailLoads& loads) const override;
+  void set_radio_powered(bool on) override;
+  [[nodiscard]] bool radio_powered() const override { return radio_on_; }
+  [[nodiscard]] Power quiescent_power(Voltage vbatt) const override;
+
+  [[nodiscard]] const power::ChargePumpTps60313& charge_pump() const { return pump_; }
+  [[nodiscard]] const power::LinearRegulatorLt3020& ldo() const { return ldo_; }
+
+ private:
+  power::ChargePumpTps60313 pump_;
+  power::LinearRegulatorLt3020 ldo_;
+  power::ShuntRegulatorStage shunt_;
+  power::PowerGate rf_in_gate_;
+  bool radio_on_ = false;
+};
+
+// v2: the integrated power-interface IC.
+class IcPowerTrain : public PowerTrain {
+ public:
+  IcPowerTrain();
+  explicit IcPowerTrain(power::PowerInterfaceIc::BuildOptions opt);
+
+  [[nodiscard]] std::string name() const override { return "power IC (v2)"; }
+  [[nodiscard]] Current battery_current(Voltage vbatt, const RailLoads& loads) const override;
+  [[nodiscard]] Voltage rail_voltage(RailId rail, Voltage vbatt,
+                                     const RailLoads& loads) const override;
+  void set_radio_powered(bool on) override;
+  [[nodiscard]] bool radio_powered() const override { return radio_on_; }
+  [[nodiscard]] Power quiescent_power(Voltage vbatt) const override;
+
+  [[nodiscard]] power::PowerInterfaceIc& ic() { return ic_; }
+
+ private:
+  power::PowerInterfaceIc ic_;
+  // Radio digital rail on the IC: a small integrated 1.0 V linear branch
+  // off the MCU converter.
+  power::LinearRegulatorLt3020 digital_ldo_;
+  bool radio_on_ = false;
+};
+
+}  // namespace pico::core

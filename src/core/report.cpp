@@ -1,0 +1,30 @@
+#include "core/report.hpp"
+
+#include "common/format.hpp"
+
+namespace pico::core {
+
+Table NodeReport::to_table(const std::string& title) const {
+  Table t(title);
+  t.set_header({"metric", "value"});
+  t.add_row({"power train", power_train});
+  t.add_row({"simulated time", si(duration)});
+  t.add_row({"average node power", si(average_power)});
+  t.add_row({"sleep floor (management + sleep loads)", si(sleep_floor)});
+  t.add_row({"battery energy out", si(battery_energy_out)});
+  t.add_row({"harvested energy in", si(harvested_energy_in)});
+  t.add_row({"net power (harvest - load)", si(net_power())});
+  t.add_row({"battery SoC", pct(soc_start) + " -> " + pct(soc_end)});
+  t.add_row({"wake cycles", std::to_string(wake_cycles)});
+  t.add_row({"frames ok / failed",
+             std::to_string(frames_ok) + " / " + std::to_string(frames_failed)});
+  t.add_row({"last wake-cycle duration", si(last_cycle_time)});
+  for (const auto& d : devices) {
+    t.add_row({"  energy: " + d.name + " (" + to_string(d.rail) + ")",
+               si(d.energy_j, "J")});
+  }
+  t.add_row({"  energy: power management overhead", si(management_overhead)});
+  return t;
+}
+
+}  // namespace pico::core

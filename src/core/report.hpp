@@ -1,0 +1,38 @@
+// report.hpp — end-of-run energy accounting for a PicoCube node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/accountant.hpp"
+
+namespace pico::core {
+
+struct NodeReport {
+  Duration duration{};
+  Energy battery_energy_out{};
+  Energy harvested_energy_in{};
+  Power average_power{};        // battery-referred
+  Power sleep_floor{};          // quiescent with all loads idle
+  double soc_start = 0.0;
+  double soc_end = 0.0;
+  std::uint64_t wake_cycles = 0;
+  std::uint64_t frames_ok = 0;
+  std::uint64_t frames_failed = 0;
+  Duration last_cycle_time{};
+  std::vector<DeviceLedger> devices;
+  Energy management_overhead{};
+  std::string power_train;
+
+  // Net energy per day at this duty cycle (positive = energy neutral).
+  [[nodiscard]] Power net_power() const {
+    return Power{(harvested_energy_in.value() - battery_energy_out.value()) /
+                 duration.value()};
+  }
+
+  [[nodiscard]] Table to_table(const std::string& title) const;
+};
+
+}  // namespace pico::core

@@ -1,0 +1,137 @@
+#include "harvest/profiles.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pico::harvest {
+
+SpeedProfile::SpeedProfile(std::vector<Point> points, bool loop)
+    : pts_(std::move(points)), loop_(loop) {
+  PICO_REQUIRE(pts_.size() >= 1, "SpeedProfile needs at least one point");
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    PICO_REQUIRE(pts_[i - 1].t < pts_[i].t, "SpeedProfile times must increase");
+  }
+  for (const auto& p : pts_) {
+    PICO_REQUIRE(p.omega >= 0.0, "angular speed must be non-negative");
+  }
+  // Precompute cumulative angle at breakpoints (trapezoid segments are exact
+  // for piecewise-linear speed).
+  cum_angle_.resize(pts_.size(), 0.0);
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    const double dt = pts_[i].t - pts_[i - 1].t;
+    cum_angle_[i] = cum_angle_[i - 1] + 0.5 * (pts_[i].omega + pts_[i - 1].omega) * dt;
+  }
+}
+
+double SpeedProfile::omega_raw(double t) const {
+  if (t <= pts_.front().t) return pts_.front().omega;
+  if (t >= pts_.back().t) return pts_.back().omega;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (t <= pts_[i].t) {
+      const double frac = (t - pts_[i - 1].t) / (pts_[i].t - pts_[i - 1].t);
+      return pts_[i - 1].omega + frac * (pts_[i].omega - pts_[i - 1].omega);
+    }
+  }
+  return pts_.back().omega;
+}
+
+double SpeedProfile::angle_raw(double t) const {
+  if (t <= pts_.front().t) return pts_.front().omega * (t - pts_.front().t);
+  if (t >= pts_.back().t) {
+    return cum_angle_.back() + pts_.back().omega * (t - pts_.back().t);
+  }
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (t <= pts_[i].t) {
+      const double dt = t - pts_[i - 1].t;
+      const double w = omega_raw(t);
+      return cum_angle_[i - 1] + 0.5 * (pts_[i - 1].omega + w) * dt;
+    }
+  }
+  return cum_angle_.back();
+}
+
+double SpeedProfile::omega(double t) const {
+  if (loop_ && pts_.size() > 1) {
+    const double span = pts_.back().t - pts_.front().t;
+    const double local = std::fmod(std::max(t - pts_.front().t, 0.0), span);
+    return omega_raw(pts_.front().t + local);
+  }
+  return omega_raw(t);
+}
+
+double SpeedProfile::angle(double t) const {
+  if (loop_ && pts_.size() > 1) {
+    const double span = pts_.back().t - pts_.front().t;
+    const double shifted = std::max(t - pts_.front().t, 0.0);
+    const double cycles = std::floor(shifted / span);
+    const double local = shifted - cycles * span;
+    return cycles * cum_angle_.back() + angle_raw(pts_.front().t + local);
+  }
+  return angle_raw(t);
+}
+
+double SpeedProfile::duration() const { return pts_.back().t - pts_.front().t; }
+
+namespace {
+double wheel_omega(double kph, Length radius) {
+  return (kph / 3.6) / radius.value();
+}
+}  // namespace
+
+SpeedProfile make_parked(Duration span) {
+  return SpeedProfile({{0.0, 0.0}, {span.value(), 0.0}});
+}
+
+SpeedProfile make_city_cycle(Length wheel_radius) {
+  // Stop-and-go: accelerate to 50 km/h, cruise, brake to a stop, wait.
+  auto w = [&](double kph) { return wheel_omega(kph, wheel_radius); };
+  return SpeedProfile({{0.0, w(0)},
+                       {8.0, w(50)},
+                       {35.0, w(50)},
+                       {42.0, w(0)},
+                       {60.0, w(0)},
+                       {68.0, w(30)},
+                       {95.0, w(30)},
+                       {101.0, w(0)},
+                       {120.0, w(0)}},
+                      /*loop=*/true);
+}
+
+SpeedProfile make_highway_cycle(Length wheel_radius) {
+  auto w = [&](double kph) { return wheel_omega(kph, wheel_radius); };
+  return SpeedProfile({{0.0, w(100)}, {30.0, w(115)}, {60.0, w(105)}, {90.0, w(110)}},
+                      /*loop=*/true);
+}
+
+SpeedProfile make_bicycle_ride(Length wheel_radius) {
+  auto w = [&](double kph) { return wheel_omega(kph, wheel_radius); };
+  return SpeedProfile({{0.0, w(0)},
+                       {6.0, w(18)},
+                       {60.0, w(22)},
+                       {90.0, w(15)},
+                       {120.0, w(25)},
+                       {150.0, w(0)},
+                       {165.0, w(0)}},
+                      /*loop=*/true);
+}
+
+IrradianceProfile::IrradianceProfile() : IrradianceProfile(Params{}) {}
+
+IrradianceProfile::IrradianceProfile(Params p) : prm_(p) {
+  PICO_REQUIRE(prm_.day_length.value() > 0.0, "day length must be positive");
+  PICO_REQUIRE(prm_.daylight_fraction > 0.0 && prm_.daylight_fraction <= 1.0,
+               "daylight fraction must be within (0, 1]");
+}
+
+double IrradianceProfile::at(double t) const {
+  const double day = prm_.day_length.value();
+  const double phase = std::fmod(std::max(t, 0.0), day) / day;
+  if (phase >= prm_.daylight_fraction) return prm_.floor_w_per_m2;
+  // Half-sine over the daylight window.
+  const double x = phase / prm_.daylight_fraction;
+  const double sun = std::sin(M_PI * x);
+  return prm_.floor_w_per_m2 + (prm_.peak_w_per_m2 - prm_.floor_w_per_m2) * sun;
+}
+
+}  // namespace pico::harvest

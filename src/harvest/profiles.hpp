@@ -1,0 +1,73 @@
+// profiles.hpp — motion/irradiance profiles that drive the harvesters.
+//
+// The paper's deployments are rotation-driven: a tire-pressure node on a
+// wheel rim and a bicycle-wheel scavenger demo. A `SpeedProfile` is a
+// piecewise-linear angular-speed trajectory with an analytic integral, so
+// harvester models can recover the exact rotation phase at any time.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pico::harvest {
+
+// Piecewise-linear angular speed omega(t) [rad/s] with exact phase integral.
+class SpeedProfile {
+ public:
+  struct Point {
+    double t;      // [s]
+    double omega;  // [rad/s]
+  };
+
+  // Points must be strictly increasing in t. Speed holds constant after the
+  // last point; if `loop` is true the profile repeats with period t_back.
+  explicit SpeedProfile(std::vector<Point> points, bool loop = false);
+
+  [[nodiscard]] double omega(double t) const;        // rad/s
+  [[nodiscard]] double angle(double t) const;        // integral of omega, rad
+  [[nodiscard]] double duration() const;             // profile span
+  [[nodiscard]] bool loops() const { return loop_; }
+
+ private:
+  [[nodiscard]] double omega_raw(double t) const;
+  [[nodiscard]] double angle_raw(double t) const;
+
+  std::vector<Point> pts_;
+  std::vector<double> cum_angle_;  // angle at each breakpoint
+  bool loop_;
+};
+
+// --- Canonical drive cycles -------------------------------------------------
+
+// Wheel angular speed for a road vehicle: omega = v / r_wheel.
+SpeedProfile make_parked(Duration span);
+// Urban stop-and-go: 0-50 km/h cycles. r_wheel defaults to a passenger tire.
+SpeedProfile make_city_cycle(Length wheel_radius = Length{0.31});
+// Steady highway cruise at ~110 km/h.
+SpeedProfile make_highway_cycle(Length wheel_radius = Length{0.31});
+// A leisurely bicycle ride (for the §6 bicycle-wheel demo), ~15-25 km/h.
+SpeedProfile make_bicycle_ride(Length wheel_radius = Length{0.34});
+
+// --- Irradiance -------------------------------------------------------------
+
+// Simple day/night irradiance trace for the solar variant: value in W/m^2.
+class IrradianceProfile {
+ public:
+  struct Params {
+    double peak_w_per_m2 = 400.0;   // bright indoor / shaded outdoor
+    double floor_w_per_m2 = 2.0;    // office lighting at night
+    Duration day_length{86400.0};
+    double daylight_fraction = 0.5;
+  };
+
+  IrradianceProfile();
+  explicit IrradianceProfile(Params p);
+
+  [[nodiscard]] double at(double t) const;  // W/m^2
+
+ private:
+  Params prm_;
+};
+
+}  // namespace pico::harvest

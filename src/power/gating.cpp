@@ -1,0 +1,59 @@
+#include "power/gating.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pico::power {
+
+PowerGate::PowerGate() : PowerGate(Params{}) {}
+
+PowerGate::PowerGate(Params p) : prm_(p) {
+  PICO_REQUIRE(prm_.r_on.value() > 0.0, "gate on-resistance must be positive");
+}
+
+Voltage PowerGate::pass(Voltage vin, Current iout) const {
+  if (!on_) return Voltage{0.0};
+  return Voltage{std::max(vin.value() - iout.value() * prm_.r_on.value(), 0.0)};
+}
+
+Current PowerGate::draw(Voltage vin, Current iout) const {
+  (void)vin;
+  if (!on_) return prm_.off_leakage;
+  return iout;
+}
+
+RadioRailSequencer::RadioRailSequencer(sim::Simulator& simulator)
+    : RadioRailSequencer(simulator, Params{}) {}
+
+RadioRailSequencer::RadioRailSequencer(sim::Simulator& simulator, Params p)
+    : sim_(simulator), prm_(p) {
+  PICO_REQUIRE(prm_.input_to_output_delay.value() >= 0.0, "delay must be non-negative");
+}
+
+Duration RadioRailSequencer::total_startup_time() const {
+  return prm_.input_to_output_delay + prm_.settle_time;
+}
+
+void RadioRailSequencer::power_up(std::function<void()> on_ready) {
+  const std::uint64_t gen = ++sequence_generation_;
+  input_gate_.set_on(true);
+  sim_.schedule_in(prm_.input_to_output_delay, [this, gen] {
+    if (gen != sequence_generation_) return;  // superseded by a power-down
+    output_gate_.set_on(true);
+  });
+  sim_.schedule_in(total_startup_time(), [this, gen, cb = std::move(on_ready)] {
+    if (gen != sequence_generation_) return;
+    rail_good_ = true;
+    if (cb) cb();
+  });
+}
+
+void RadioRailSequencer::power_down() {
+  ++sequence_generation_;
+  input_gate_.set_on(false);
+  output_gate_.set_on(false);
+  rail_good_ = false;
+}
+
+}  // namespace pico::power

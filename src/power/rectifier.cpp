@@ -1,0 +1,68 @@
+#include "power/rectifier.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pico::power {
+
+RectifierResult Rectifier::rectify(const harvest::Harvester& h, Voltage vdc, double t0,
+                                   double t1, int samples) const {
+  PICO_REQUIRE(t1 > t0, "averaging window must be positive");
+  PICO_REQUIRE(samples >= 2, "need at least two samples");
+  const double rs = h.source_resistance().value();
+  RectifierResult res;
+  double sum_i = 0.0;
+  double sum_psrc = 0.0;
+  int conducting = 0;
+  const double dt = (t1 - t0) / samples;
+  for (int k = 0; k < samples; ++k) {
+    const double t = t0 + (k + 0.5) * dt;
+    const double voc = h.open_circuit_voltage(t);
+    const double i = instantaneous_current(voc, vdc.value(), rs);
+    PICO_ASSERT(i >= 0.0);
+    sum_i += i;
+    sum_psrc += std::fabs(voc) * i;  // power leaving the EMF source
+    if (i > 0.0) ++conducting;
+  }
+  const double n = static_cast<double>(samples);
+  res.avg_current = Current{sum_i / n};
+  res.source_power = Power{sum_psrc / n};
+  res.delivered_power = Power{res.avg_current.value() * vdc.value()};
+  const double ctrl = control_power().value();
+  res.loss = Power{res.source_power.value() - res.delivered_power.value() + ctrl};
+  res.conduction_fraction = static_cast<double>(conducting) / n;
+  return res;
+}
+
+double IdealRectifier::instantaneous_current(double voc, double vdc, double rs) const {
+  const double drive = std::fabs(voc) - vdc;
+  return drive > 0.0 ? drive / rs : 0.0;
+}
+
+DiodeBridgeRectifier::DiodeBridgeRectifier() : DiodeBridgeRectifier(Params{}) {}
+
+DiodeBridgeRectifier::DiodeBridgeRectifier(Params p) : prm_(p) {
+  PICO_REQUIRE(prm_.diode_drop.value() >= 0.0, "diode drop must be non-negative");
+}
+
+double DiodeBridgeRectifier::instantaneous_current(double voc, double vdc, double rs) const {
+  const double drive = std::fabs(voc) - vdc - 2.0 * prm_.diode_drop.value();
+  return drive > 0.0 ? drive / rs : 0.0;
+}
+
+SynchronousRectifier::SynchronousRectifier() : SynchronousRectifier(Params{}) {}
+
+SynchronousRectifier::SynchronousRectifier(Params p) : prm_(p) {
+  PICO_REQUIRE(prm_.r_on.value() > 0.0, "switch on-resistance must be positive");
+}
+
+double SynchronousRectifier::instantaneous_current(double voc, double vdc, double rs) const {
+  // Conducts once |voc| exceeds vdc plus the comparator offset; the
+  // current path then sees Rs + 2*Ron.
+  const double drive = std::fabs(voc) - vdc - prm_.comparator_offset.value();
+  if (drive <= 0.0) return 0.0;
+  return (std::fabs(voc) - vdc) / (rs + 2.0 * prm_.r_on.value());
+}
+
+}  // namespace pico::power

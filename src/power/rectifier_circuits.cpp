@@ -1,0 +1,113 @@
+#include "power/rectifier_circuits.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pico::power {
+
+using circuits::Circuit;
+using circuits::ComparatorSwitch;
+using circuits::Diode;
+using circuits::kGround;
+using circuits::Node;
+using circuits::Resistor;
+using circuits::Switch;
+using circuits::VoltageSource;
+
+namespace {
+
+// Floating AC source: EMF behind the coil resistance, terminals A and B.
+struct AcTerminals {
+  Node a;
+  Node b;
+};
+
+AcTerminals build_source(Circuit& c, const harvest::Harvester& h) {
+  const Node emf = c.node("emf");
+  const Node a = c.node("ac_a");
+  const Node b = c.node("ac_b");
+  c.add<VoltageSource>("Vemf", emf, b,
+                       [&h](double t) { return h.open_circuit_voltage(t); });
+  c.add<Resistor>("Rs", emf, a, h.source_resistance());
+  // Weak reference to ground so the floating winding has a DC path.
+  c.add<Resistor>("Rref", b, kGround, Resistance{10e6});
+  return {a, b};
+}
+
+}  // namespace
+
+RectifierCircuit build_bridge_rectifier_circuit(const harvest::Harvester& h, Voltage vdc) {
+  RectifierCircuit rc;
+  rc.circuit = std::make_unique<Circuit>();
+  Circuit& c = *rc.circuit;
+  const auto ac = build_source(c, h);
+  rc.out = c.node("out");
+
+  // Classic full bridge between the winding (A, B) and the DC sink
+  // (out, gnd): positive half conducts A -> D1 -> out ... gnd -> D4 -> B.
+  c.add<Diode>("D1", ac.a, rc.out);
+  c.add<Diode>("D2", ac.b, rc.out);
+  c.add<Diode>("D3", kGround, ac.a);
+  c.add<Diode>("D4", kGround, ac.b);
+
+  rc.battery = c.add<VoltageSource>("Vbatt", rc.out, kGround, vdc);
+  return rc;
+}
+
+RectifierCircuit build_sync_rectifier_circuit(const harvest::Harvester& h, Voltage vdc,
+                                              Resistance r_on) {
+  RectifierCircuit rc;
+  rc.circuit = std::make_unique<Circuit>();
+  Circuit& c = *rc.circuit;
+  const auto ac = build_source(c, h);
+  rc.out = c.node("out");
+  const Resistance r_off{50e6};
+
+  // Each junction diode replaced by a comparator-driven switch that closes
+  // when its "anode" rises above its "cathode" (§7.1: "transistors are
+  // actively controlled by comparators to eliminate the large forward
+  // drops").
+  c.add<ComparatorSwitch>("S1", ac.a, rc.out, ac.a, rc.out, r_on, r_off);
+  c.add<ComparatorSwitch>("S2", ac.b, rc.out, ac.b, rc.out, r_on, r_off);
+  c.add<ComparatorSwitch>("S3", kGround, ac.a, kGround, ac.a, r_on, r_off);
+  c.add<ComparatorSwitch>("S4", kGround, ac.b, kGround, ac.b, r_on, r_off);
+
+  rc.battery = c.add<VoltageSource>("Vbatt", rc.out, kGround, vdc);
+  return rc;
+}
+
+void ScDoublerCircuit::set_phase_from_time(double t, double fsw) {
+  const double phase = t * fsw - std::floor(t * fsw);
+  const bool a = phase < 0.5;
+  s1->set_on(a);
+  s2->set_on(a);
+  s3->set_on(!a);
+  s4->set_on(!a);
+}
+
+ScDoublerCircuit build_sc_doubler_circuit(Voltage vin, Capacitance c_fly, Resistance r_on,
+                                          Capacitance c_out, Resistance r_load) {
+  ScDoublerCircuit dc;
+  dc.circuit = std::make_unique<Circuit>();
+  Circuit& c = *dc.circuit;
+  const Node in = c.node("vin");
+  const Node top = c.node("fly_top");
+  const Node bot = c.node("fly_bot");
+  dc.vout = c.node("vout");
+  const Resistance r_off{50e6};
+
+  c.add<VoltageSource>("Vin", in, kGround, vin);
+  c.add<circuits::Capacitor>("Cfly", top, bot, c_fly, vin);
+  // Phase A: flying cap across the input.
+  dc.s1 = c.add<Switch>("S1", top, in, r_on, r_off, true);
+  dc.s2 = c.add<Switch>("S2", bot, kGround, r_on, r_off, true);
+  // Phase B: stacked on the input, feeding the output.
+  dc.s3 = c.add<Switch>("S3", bot, in, r_on, r_off, false);
+  dc.s4 = c.add<Switch>("S4", top, dc.vout, r_on, r_off, false);
+  c.add<circuits::Capacitor>("Cout", dc.vout, kGround, c_out, Voltage{vin.value() * 2.0});
+  c.add<Resistor>("Rload", dc.vout, kGround, r_load);
+  return dc;
+}
+
+}  // namespace pico::power

@@ -1,0 +1,56 @@
+// rectifier_circuits.hpp — circuit-level (MNA) counterparts of the
+// behavioral rectifier models, used to *validate* them: the same shaker
+// waveform driven through an actual diode-bridge or comparator-switch
+// netlist, solved by the transient engine, must deliver the same average
+// charging current the behavioral model predicts.
+//
+// Also provides a switched netlist of the 1:2 SC doubler whose simulated
+// output droop validates the Seeman–Sanders R_out analysis.
+#pragma once
+
+#include <memory>
+
+#include "circuits/circuit.hpp"
+#include "circuits/components.hpp"
+#include "harvest/harvester.hpp"
+#include "scopt/analysis.hpp"
+
+namespace pico::power {
+
+// A built circuit plus the probes needed to evaluate it.
+struct RectifierCircuit {
+  std::unique_ptr<circuits::Circuit> circuit;
+  circuits::Node out{};                    // DC sink node (battery positive)
+  circuits::VoltageSource* battery = nullptr;  // the sink, as a source
+  // Average current into the sink is the battery branch current averaged
+  // by the caller over the run.
+};
+
+// Full-bridge of four junction diodes between the harvester EMF (voc(t)
+// behind Rs) and a stiff DC sink at `vdc`.
+RectifierCircuit build_bridge_rectifier_circuit(const harvest::Harvester& h, Voltage vdc);
+
+// Synchronous rectifier: the four diodes replaced by comparator-controlled
+// switches with the given on-resistance.
+RectifierCircuit build_sync_rectifier_circuit(const harvest::Harvester& h, Voltage vdc,
+                                              Resistance r_on);
+
+// --- Switched SC doubler -----------------------------------------------------
+
+struct ScDoublerCircuit {
+  std::unique_ptr<circuits::Circuit> circuit;
+  circuits::Node vout{};
+  circuits::Switch* s1 = nullptr;  // phase A switches
+  circuits::Switch* s2 = nullptr;
+  circuits::Switch* s3 = nullptr;  // phase B switches
+  circuits::Switch* s4 = nullptr;
+  // Drive the phases: call with the simulation time each step.
+  void set_phase_from_time(double t, double fsw);
+};
+
+// 1:2 doubler: flying cap `c_fly`, switch Ron `r_on`, output cap `c_out`,
+// resistive load `r_load`, input source `vin`.
+ScDoublerCircuit build_sc_doubler_circuit(Voltage vin, Capacitance c_fly, Resistance r_on,
+                                          Capacitance c_out, Resistance r_load);
+
+}  // namespace pico::power

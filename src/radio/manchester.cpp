@@ -1,0 +1,89 @@
+#include "radio/manchester.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::radio {
+
+namespace {
+std::vector<bool> to_bits(const std::vector<std::uint8_t>& bytes) {
+  std::vector<bool> bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t b : bytes) {
+    for (int k = 7; k >= 0; --k) bits.push_back((b >> k) & 1);
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> to_bytes(const std::vector<bool>& bits) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(bits.size() / 8);
+  for (std::size_t i = 0; i + 7 < bits.size(); i += 8) {
+    std::uint8_t b = 0;
+    for (int k = 0; k < 8; ++k) {
+      b = static_cast<std::uint8_t>((b << 1) | (bits[i + static_cast<std::size_t>(k)] ? 1 : 0));
+    }
+    bytes.push_back(b);
+  }
+  return bytes;
+}
+}  // namespace
+
+std::vector<std::uint8_t> manchester_encode(const std::vector<std::uint8_t>& bytes) {
+  const auto bits = to_bits(bytes);
+  std::vector<bool> chips;
+  chips.reserve(bits.size() * 2);
+  for (bool bit : bits) {
+    chips.push_back(bit);
+    chips.push_back(!bit);
+  }
+  return to_bytes(chips);
+}
+
+std::optional<std::vector<std::uint8_t>> manchester_decode(
+    const std::vector<std::uint8_t>& chips) {
+  if (chips.size() % 2 != 0) return std::nullopt;
+  const auto chip_bits = to_bits(chips);
+  std::vector<bool> bits;
+  bits.reserve(chip_bits.size() / 2);
+  for (std::size_t i = 0; i + 1 < chip_bits.size(); i += 2) {
+    if (chip_bits[i] == chip_bits[i + 1]) return std::nullopt;  // invalid pair
+    bits.push_back(chip_bits[i]);
+  }
+  return to_bytes(bits);
+}
+
+std::vector<std::uint8_t> manchester_decode_soft(const std::vector<std::uint8_t>& chips) {
+  const auto chip_bits = to_bits(chips);
+  std::vector<bool> bits;
+  bits.reserve(chip_bits.size() / 2);
+  for (std::size_t i = 0; i + 1 < chip_bits.size(); i += 2) {
+    bits.push_back(chip_bits[i]);
+  }
+  return to_bytes(bits);
+}
+
+double ook_duty(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) return 0.0;
+  std::size_t ones = 0;
+  for (std::uint8_t b : bytes) {
+    for (int k = 0; k < 8; ++k) ones += (b >> k) & 1;
+  }
+  return static_cast<double>(ones) / (8.0 * static_cast<double>(bytes.size()));
+}
+
+std::size_t longest_run(const std::vector<std::uint8_t>& bytes) {
+  const auto bits = to_bits(bytes);
+  std::size_t best = 0;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i > 0 && bits[i] == bits[i - 1]) {
+      ++run;
+    } else {
+      run = 1;
+    }
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+}  // namespace pico::radio

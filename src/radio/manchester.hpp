@@ -1,0 +1,44 @@
+// manchester.hpp — Manchester (bi-phase) line coding for the OOK link.
+//
+// The superregenerative receiver's envelope slicer needs a DC-balanced
+// bit stream: long runs of '0' (carrier off) starve its threshold tracker.
+// Manchester coding guarantees a transition every bit cell at the cost of
+// 2x symbol rate — with the transmitter's 330 kbps ceiling, 165 kbps of
+// payload. It also fixes the OOK duty at exactly 50 %, making the
+// transmit-energy budget payload-independent (the 1.35 mW figure).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pico::radio {
+
+// Encode bytes MSB-first: 1 -> (1,0), 0 -> (0,1) chip pairs, packed back
+// into bytes (output is exactly twice as long).
+std::vector<std::uint8_t> manchester_encode(const std::vector<std::uint8_t>& bytes);
+
+// Decode; returns nullopt if any chip pair is invalid (1,1 or 0,0) — a
+// built-in per-bit integrity check the plain stream lacks.
+std::optional<std::vector<std::uint8_t>> manchester_decode(
+    const std::vector<std::uint8_t>& chips);
+
+// Decode with per-pair majority tolerance: invalid pairs resolve to the
+// first chip (soft mode for links where CRC does the real checking).
+std::vector<std::uint8_t> manchester_decode_soft(const std::vector<std::uint8_t>& chips);
+
+// OOK duty of a chip stream ('1' density) — exactly 0.5 for valid
+// Manchester.
+double ook_duty(const std::vector<std::uint8_t>& bytes);
+
+// Longest run of identical chips (slicer stress metric).
+std::size_t longest_run(const std::vector<std::uint8_t>& bytes);
+
+// Effective payload rate through a chip-rate-limited transmitter.
+inline Frequency manchester_payload_rate(Frequency chip_rate) {
+  return Frequency{chip_rate.value() / 2.0};
+}
+
+}  // namespace pico::radio

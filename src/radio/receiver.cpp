@@ -1,0 +1,48 @@
+#include "radio/receiver.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pico::radio {
+
+SuperregenReceiver::SuperregenReceiver(Channel channel)
+    : SuperregenReceiver(std::move(channel), Params{}) {}
+
+SuperregenReceiver::SuperregenReceiver(Channel channel, Params p, std::uint64_t seed)
+    : channel_(std::move(channel)), prm_(p), rng_(seed) {}
+
+double SuperregenReceiver::ook_ber(double snr_linear) {
+  if (snr_linear <= 0.0) return 0.5;
+  return 0.5 * std::exp(-snr_linear / 2.0);
+}
+
+SuperregenReceiver::Reception SuperregenReceiver::receive(const RfFrame& frame) {
+  Reception r;
+  ++frames_seen_;
+  airtime_s_ += static_cast<double>(frame.bytes.size()) * 8.0 / frame.data_rate.value();
+  const Power p_rx = channel_.received_power(frame.tx_power);
+  r.rx_power_dbm = watts_to_dbm(p_rx);
+  if (r.rx_power_dbm < prm_.sensitivity_dbm) {
+    return r;  // below squelch: nothing detected
+  }
+  r.detected = true;
+  const double snr = p_rx.value() / channel_.noise_power(frame.data_rate).value();
+  r.snr_db = ratio_to_db(snr);
+  const double ber = ook_ber(snr);
+
+  // Flip bits independently with probability `ber`.
+  auto bits = bytes_to_bits(frame.bytes);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (rng_.chance(ber)) {
+      bits[i] = !bits[i];
+      ++r.bit_errors;
+    }
+  }
+  const auto bytes = bits_to_bytes(bits);
+  r.packet = codec_.decode(bytes);
+  if (r.packet.has_value()) ++frames_decoded_;
+  return r;
+}
+
+}  // namespace pico::radio

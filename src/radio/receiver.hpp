@@ -1,0 +1,69 @@
+// receiver.hpp — the demo receiver (paper §6): another BWRC research
+// radio, the 400 uW superregenerative transceiver of ref [12], feeding a
+// laptop display.
+//
+// OOK demodulation is modeled at the bit level: noncoherent OOK has
+// BER ~ 0.5 * exp(-SNR/2); each received frame's bits are flipped with
+// that probability (deterministic seeded RNG) and handed to the packet
+// codec, whose CRC rejects corrupted frames — so packet-error rate vs
+// range emerges from the link physics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "radio/channel.hpp"
+#include "radio/packet.hpp"
+
+namespace pico::radio {
+
+class SuperregenReceiver {
+ public:
+  struct Params {
+    Power rx_power{400e-6};       // DC draw while listening (ref [12])
+    double sensitivity_dbm = -75.0;  // squelch threshold
+  };
+
+  SuperregenReceiver(Channel channel, Params p, std::uint64_t seed = 7);
+  explicit SuperregenReceiver(Channel channel);
+
+  // Theoretical noncoherent-OOK bit error rate at a linear SNR.
+  [[nodiscard]] static double ook_ber(double snr_linear);
+
+  struct Reception {
+    bool detected = false;         // above sensitivity
+    double rx_power_dbm = -999.0;
+    double snr_db = -999.0;
+    std::size_t bit_errors = 0;
+    std::optional<Packet> packet;  // decoded if CRC passed
+  };
+
+  // Demodulate one transmitted frame.
+  [[nodiscard]] Reception receive(const RfFrame& frame);
+
+  [[nodiscard]] Channel& channel() { return channel_; }
+  [[nodiscard]] const Params& params() const { return prm_; }
+  [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
+  [[nodiscard]] std::uint64_t frames_decoded() const { return frames_decoded_; }
+  [[nodiscard]] const PacketCodec& codec() const { return codec_; }
+
+  // The receiver side has an energy budget too (ref [12]: 400 uW RX).
+  [[nodiscard]] Energy listen_energy(Duration window) const {
+    return Energy{prm_.rx_power.value() * window.value()};
+  }
+  // Cumulative airtime of the frames demodulated so far.
+  [[nodiscard]] Duration airtime_seen() const { return Duration{airtime_s_}; }
+
+ private:
+  Channel channel_;
+  Params prm_;
+  PacketCodec codec_;
+  Rng rng_;
+  std::uint64_t frames_seen_ = 0;
+  std::uint64_t frames_decoded_ = 0;
+  double airtime_s_ = 0.0;
+};
+
+}  // namespace pico::radio

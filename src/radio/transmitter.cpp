@@ -1,0 +1,133 @@
+#include "radio/transmitter.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::radio {
+
+FbarOokTransmitter::FbarOokTransmitter(sim::Simulator& simulator, FbarOscillator oscillator)
+    : FbarOokTransmitter(simulator, std::move(oscillator), Params{}) {}
+
+FbarOokTransmitter::FbarOokTransmitter(sim::Simulator& simulator, FbarOscillator oscillator,
+                                       Params p)
+    : sim_(simulator), osc_(std::move(oscillator)), prm_(p) {
+  PICO_REQUIRE(prm_.pa_efficiency > 0.0 && prm_.pa_efficiency < 1.0,
+               "PA efficiency must be within (0, 1)");
+  PICO_REQUIRE(prm_.default_data_rate.value() <= prm_.max_data_rate.value(),
+               "default data rate exceeds the part's maximum");
+}
+
+Current FbarOokTransmitter::carrier_on_current() const {
+  // DC power while the carrier is on: P_tx / efficiency at the RF rail.
+  const double p_dc = prm_.tx_power.value() / prm_.pa_efficiency;
+  return Current{p_dc / prm_.rf_supply.value()};
+}
+
+Power FbarOokTransmitter::dc_power_at_duty(double duty) const {
+  PICO_REQUIRE(duty >= 0.0 && duty <= 1.0, "duty must be within [0, 1]");
+  return Power{prm_.tx_power.value() / prm_.pa_efficiency * duty};
+}
+
+Duration FbarOokTransmitter::airtime(std::size_t frame_bytes, Frequency rate) const {
+  return Duration{osc_.startup_time().value() +
+                  static_cast<double>(frame_bytes) * 8.0 / rate.value()};
+}
+
+void FbarOokTransmitter::set_rf_rail(Voltage v) {
+  rf_rail_ = v;
+  if (rf_rail_.value() < prm_.rf_supply.value() * 0.9 && busy_) {
+    // Rail collapsed mid-frame: abort (failure surfaces via the done cb of
+    // the pending transmit through the generation check).
+    ++tx_generation_;
+    busy_ = false;
+    set_rf_current(0.0);
+  }
+}
+
+void FbarOokTransmitter::set_digital_rail(Voltage v) { digital_rail_ = v; }
+
+bool FbarOokTransmitter::rails_good() const {
+  return rf_rail_.value() >= prm_.rf_supply.value() * 0.9 &&
+         digital_rail_.value() >= prm_.digital_supply.value() * 0.9;
+}
+
+void FbarOokTransmitter::set_current_listener(CurrentListener cb) {
+  listener_ = std::move(cb);
+}
+
+void FbarOokTransmitter::set_frame_listener(FrameListener cb) {
+  frame_listener_ = std::move(cb);
+}
+
+void FbarOokTransmitter::set_rf_current(double amps) {
+  rf_current_ = amps;
+  if (listener_) {
+    const double dig = rails_good() && busy_ ? prm_.digital_current.value() : 0.0;
+    listener_(Current{rf_current_}, Current{dig});
+  }
+}
+
+void FbarOokTransmitter::transmit(const std::vector<std::uint8_t>& frame, DoneFn done) {
+  transmit(frame, prm_.default_data_rate, std::move(done));
+}
+
+void FbarOokTransmitter::transmit(const std::vector<std::uint8_t>& frame, Frequency rate,
+                                  DoneFn done) {
+  PICO_REQUIRE(!frame.empty(), "cannot transmit an empty frame");
+  PICO_REQUIRE(rate.value() > 0.0 && rate.value() <= prm_.max_data_rate.value(),
+               "data rate outside the transmitter's range");
+  PICO_REQUIRE(!busy_, "transmitter is busy");
+  if (!rails_good()) {
+    if (done) done(false);
+    return;
+  }
+  busy_ = true;
+  const std::uint64_t gen = ++tx_generation_;
+
+  // Oscillator startup: injectable failure.
+  if (osc_.params().startup_failure_prob > 0.0 &&
+      rng_.chance(osc_.params().startup_failure_prob)) {
+    sim_.schedule_in(osc_.startup_time(), [this, gen, done] {
+      if (gen != tx_generation_) return;
+      busy_ = false;
+      set_rf_current(0.0);
+      if (done) done(false);
+    });
+    set_rf_current(osc_.params().core_current.value());
+    return;
+  }
+
+  // Startup: oscillator core only.
+  set_rf_current(osc_.params().core_current.value());
+
+  const RfFrame rf{sim_.now() + osc_.startup_time(), rate, prm_.tx_power, frame};
+  const double byte_time = 8.0 / rate.value();
+  const double i_on = carrier_on_current().value();
+
+  // Schedule per-byte current updates after startup.
+  for (std::size_t k = 0; k < frame.size(); ++k) {
+    const Duration at{osc_.startup_time().value() + static_cast<double>(k) * byte_time};
+    const std::uint8_t byte = frame[k];
+    sim_.schedule_in(at, [this, gen, byte, i_on] {
+      if (gen != tx_generation_) return;
+      int ones = 0;
+      for (int b = 0; b < 8; ++b) ones += (byte >> b) & 1;
+      const double duty = ones / 8.0;
+      set_rf_current(osc_.params().core_current.value() + i_on * duty);
+    });
+  }
+  const Duration total{osc_.startup_time().value() +
+                       static_cast<double>(frame.size()) * byte_time};
+  sim_.schedule_in(total, [this, gen, rf, done] {
+    if (gen != tx_generation_) {
+      if (done) done(false);  // aborted by a rail drop
+      return;
+    }
+    busy_ = false;
+    ++frames_sent_;
+    set_rf_current(0.0);
+    if (frame_listener_) frame_listener_(rf);
+    if (done) done(true);
+  });
+}
+
+}  // namespace pico::radio

@@ -1,0 +1,94 @@
+#include "radio/wakeup.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pico::radio {
+
+WakeupReceiver::WakeupReceiver() : WakeupReceiver(Params{}) {}
+
+WakeupReceiver::WakeupReceiver(Params p, std::uint64_t seed) : prm_(p), rng_(seed) {
+  PICO_REQUIRE(prm_.code_bits > 0 && prm_.code_bits <= 32, "code length must be 1-32 bits");
+  PICO_REQUIRE(prm_.max_code_errors >= 0 && prm_.max_code_errors < prm_.code_bits,
+               "correlator threshold out of range");
+  PICO_REQUIRE(prm_.chip_rate.value() > 0.0, "chip rate must be positive");
+}
+
+double WakeupReceiver::chip_success_probability(double rx_dbm) const {
+  // Envelope detector waterfall: ~logistic around the sensitivity with a
+  // 3 dB-wide transition.
+  const double x = (rx_dbm - prm_.sensitivity_dbm) / 1.5;
+  const double p = 1.0 / (1.0 + std::exp(-x));
+  // Even far above sensitivity a chip occasionally flips.
+  return std::min(p, 0.9999);
+}
+
+double WakeupReceiver::wake_probability(double rx_dbm) const {
+  const double p = chip_success_probability(rx_dbm);
+  const int n = prm_.code_bits;
+  // P(errors <= max_code_errors) with independent chips.
+  double prob = 0.0;
+  double comb = 1.0;  // C(n, k)
+  for (int k = 0; k <= prm_.max_code_errors; ++k) {
+    if (k > 0) comb = comb * (n - k + 1) / k;
+    prob += comb * std::pow(1.0 - p, k) * std::pow(p, n - k);
+  }
+  return prob;
+}
+
+bool WakeupReceiver::try_wake(double rx_dbm) {
+  const bool ok = rng_.chance(wake_probability(rx_dbm));
+  if (ok) ++wakes_;
+  return ok;
+}
+
+Duration WakeupReceiver::code_duration() const {
+  return Duration{static_cast<double>(prm_.code_bits) / prm_.chip_rate.value()};
+}
+
+double WakeupReceiver::expected_false_wakes(Duration window) const {
+  return prm_.false_wake_rate_hz * window.value();
+}
+
+// ---------------------------------------------------------------------------
+// WakeupDutyAnalysis
+// ---------------------------------------------------------------------------
+WakeupDutyAnalysis::WakeupDutyAnalysis(Inputs in) : in_(in) {
+  PICO_REQUIRE(in_.cycle_energy.value() > 0.0, "cycle energy must be positive");
+  PICO_REQUIRE(in_.conversion_efficiency > 0.0 && in_.conversion_efficiency <= 1.0,
+               "conversion efficiency must be within (0, 1]");
+}
+
+Power WakeupDutyAnalysis::beacon_average(Duration interval) const {
+  PICO_REQUIRE(interval.value() > 0.0, "beacon interval must be positive");
+  return Power{in_.sleep_floor.value() + in_.cycle_energy.value() / interval.value()};
+}
+
+Power WakeupDutyAnalysis::wakeup_average(double query_rate_hz) const {
+  PICO_REQUIRE(query_rate_hz >= 0.0, "query rate must be non-negative");
+  const double listen = in_.wakeup_listen.value() / in_.conversion_efficiency;
+  const double cycles =
+      (query_rate_hz + in_.wakeup_false_rate_hz) * in_.cycle_energy.value();
+  return Power{in_.sleep_floor.value() + listen + cycles};
+}
+
+double WakeupDutyAnalysis::crossover_query_rate(Duration beacon_interval) const {
+  const double beacon = beacon_average(beacon_interval).value();
+  const double idle_wakeup = wakeup_average(0.0).value();
+  if (idle_wakeup >= beacon) return 0.0;  // listening alone already loses
+  // beacon == sleep + listen + (q + false) * E  ->  solve for q.
+  const double q = (beacon - idle_wakeup) / in_.cycle_energy.value();
+  return q;
+}
+
+Power WakeupDutyAnalysis::required_listen_power(Duration beacon_interval,
+                                                double query_rate_hz) const {
+  const double beacon = beacon_average(beacon_interval).value();
+  const double cycles =
+      (query_rate_hz + in_.wakeup_false_rate_hz) * in_.cycle_energy.value();
+  const double budget = beacon - in_.sleep_floor.value() - cycles;
+  return Power{std::max(budget, 0.0) * in_.conversion_efficiency};
+}
+
+}  // namespace pico::radio

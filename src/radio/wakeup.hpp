@@ -1,0 +1,93 @@
+// wakeup.hpp — the wake-up radio of paper §7.3 (ref [16]): "an extremely
+// low-power receiver that listens full-time for a wake-up signal, then
+// starts a more complex (and more power hungry) receiver for data
+// transfer."
+//
+// The model captures the architectural trade: a correlating detector with
+// microwatt-class always-on power and deliberately poor sensitivity
+// (envelope detection, no LNA). `WakeupDutyAnalysis` quantifies when
+// paying the standing listen power beats periodic beaconing — the
+// design question §7.3 raises for the PicoCube.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "radio/channel.hpp"
+
+namespace pico::radio {
+
+class WakeupReceiver {
+ public:
+  struct Params {
+    // Always-on listen power (ref [16]-class designs sit at tens of uW;
+    // later art reached single digits).
+    Power listen_power{50e-6};
+    // Envelope detector without RF gain: much worse than the data radio.
+    double sensitivity_dbm = -56.0;
+    Frequency chip_rate{10e3};
+    std::uint32_t wake_code = 0xA53C;
+    int code_bits = 16;
+    int max_code_errors = 1;   // correlator acceptance threshold
+    // Comparator noise occasionally fires the correlator by chance.
+    double false_wake_rate_hz = 1.0 / 3600.0;
+  };
+
+  WakeupReceiver();
+  explicit WakeupReceiver(Params p, std::uint64_t seed = 21);
+
+  // Probability a single OOK chip is received correctly at a given input
+  // power (envelope detector: steep waterfall around the sensitivity).
+  [[nodiscard]] double chip_success_probability(double rx_dbm) const;
+  // Probability the correlator fires for a genuine wake-up at rx power.
+  [[nodiscard]] double wake_probability(double rx_dbm) const;
+  // Stochastic trial of one wake-up attempt (deterministic seeded stream).
+  [[nodiscard]] bool try_wake(double rx_dbm);
+
+  // Time to clock the full code at the chip rate.
+  [[nodiscard]] Duration code_duration() const;
+  // Expected false wake-ups over an interval.
+  [[nodiscard]] double expected_false_wakes(Duration window) const;
+
+  [[nodiscard]] const Params& params() const { return prm_; }
+  [[nodiscard]] std::uint64_t wakes_seen() const { return wakes_; }
+
+ private:
+  Params prm_;
+  Rng rng_;
+  std::uint64_t wakes_ = 0;
+};
+
+// Architectural comparison: periodic beaconing vs wake-up-radio polling.
+class WakeupDutyAnalysis {
+ public:
+  struct Inputs {
+    Power sleep_floor{4.8e-6};        // the node's floor without either
+    Energy cycle_energy{12e-6};       // one sample/format/transmit cycle
+    Power wakeup_listen{50e-6};       // the wake-up receiver's standing draw
+    double wakeup_false_rate_hz = 1.0 / 3600.0;
+    double conversion_efficiency = 0.8;  // listen power through the train
+  };
+
+  explicit WakeupDutyAnalysis(Inputs in);
+
+  // Average power of a node beaconing every `interval`.
+  [[nodiscard]] Power beacon_average(Duration interval) const;
+  // Average power of a wake-up-radio node answering `query_rate` queries/s.
+  [[nodiscard]] Power wakeup_average(double query_rate_hz) const;
+  // Query rate below which the wake-up architecture wins against a beacon
+  // interval (0 if it never wins — listen power too high).
+  [[nodiscard]] double crossover_query_rate(Duration beacon_interval) const;
+  // Listen power below which the wake-up node beats the 6 s beacon at a
+  // given query rate — the design target §7.3 implies.
+  [[nodiscard]] Power required_listen_power(Duration beacon_interval,
+                                            double query_rate_hz) const;
+
+  [[nodiscard]] const Inputs& inputs() const { return in_; }
+
+ private:
+  Inputs in_;
+};
+
+}  // namespace pico::radio

@@ -1,0 +1,70 @@
+#include "scopt/gearbox.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::scopt {
+
+RatioGearbox::RatioGearbox(std::vector<Topology> topologies, Technology tech, Area cap_area,
+                           Area switch_area) {
+  PICO_REQUIRE(!topologies.empty(), "gearbox needs at least one ratio");
+  for (auto& topo : topologies) {
+    const std::string name = topo.name();
+    ConverterAnalysis an(topo);
+    gears_.push_back(Gear{name, SizedConverter(std::move(an), tech, cap_area, switch_area)});
+  }
+}
+
+RatioGearbox::Selection RatioGearbox::select(Voltage vin, Voltage v_target, Current iout,
+                                             Frequency fsw_max) const {
+  Selection best;
+  for (int g = 0; g < static_cast<int>(gears_.size()); ++g) {
+    const auto& conv = gears_[static_cast<std::size_t>(g)].converter;
+    const Frequency f = conv.regulate(vin, v_target, iout);
+    if (f.value() <= 0.0 || f.value() > fsw_max.value()) continue;
+    const double eff = conv.efficiency(vin, iout, f);
+    if (eff > best.efficiency) {
+      best.gear = g;
+      best.fsw = f;
+      best.efficiency = eff;
+    }
+  }
+  return best;
+}
+
+std::vector<RatioGearbox::SweepPoint> RatioGearbox::sweep(Voltage vin_min, Voltage vin_max,
+                                                          int points, Voltage v_target,
+                                                          Current iout,
+                                                          Voltage vin_nominal) const {
+  PICO_REQUIRE(points >= 2, "sweep needs at least two points");
+  const Selection nominal = select(vin_nominal, v_target, iout);
+  std::vector<SweepPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double v = vin_min.value() +
+                     (vin_max.value() - vin_min.value()) * i / (points - 1);
+    SweepPoint pt;
+    pt.vin = Voltage{v};
+    const Selection sel = select(pt.vin, v_target, iout);
+    pt.gear = sel.gear;
+    pt.gearbox_eff = sel.efficiency;
+    if (nominal.gear >= 0) {
+      const auto& fixed = gears_[static_cast<std::size_t>(nominal.gear)].converter;
+      const Frequency f = fixed.regulate(pt.vin, v_target, iout);
+      pt.fixed_eff = f.value() > 0.0 ? fixed.efficiency(pt.vin, iout, f) : 0.0;
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+RatioGearbox make_mcu_rail_gearbox(Technology tech, Area cap_area, Area switch_area) {
+  // 2.1 V from the NiMH range: the 1:2 gear covers the plateau (vin >
+  // ~1.08 V) efficiently; the 1:3 gear rescues the near-empty cell, where
+  // a fixed doubler cannot reach the rail at all.
+  std::vector<Topology> topos;
+  topos.push_back(Topology::doubler());
+  topos.push_back(Topology::series_parallel_up(3));
+  return RatioGearbox(std::move(topos), tech, cap_area, switch_area);
+}
+
+}  // namespace pico::scopt

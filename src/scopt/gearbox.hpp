@@ -1,0 +1,64 @@
+// gearbox.hpp — multi-ratio ("gear-boxed") SC conversion.
+//
+// The NiMH cell wanders between ~1.0 V (near-empty) and ~1.4 V (trickle at
+// full). A fixed-ratio converter regulated by frequency modulation pays an
+// efficiency tax proportional to the headroom M*Vin - Vout; with several
+// ratios on die, the controller can shift to the ratio with the least
+// headroom at each Vin — the "variable-ratio" idea §7.1 raises for the
+// rectifier, applied to the load converters (Seeman & Sanders §V).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scopt/analysis.hpp"
+
+namespace pico::scopt {
+
+class RatioGearbox {
+ public:
+  struct Gear {
+    std::string name;
+    SizedConverter converter;
+  };
+
+  // All gears share the die (the flying caps are reconfigured by switches),
+  // so each is sized with the full budget.
+  RatioGearbox(std::vector<Topology> topologies, Technology tech, Area cap_area,
+               Area switch_area);
+
+  [[nodiscard]] const std::vector<Gear>& gears() const { return gears_; }
+
+  struct Selection {
+    int gear = -1;
+    Frequency fsw{0.0};
+    double efficiency = 0.0;
+  };
+
+  // Best gear for the operating point: feasible (can regulate v_target at
+  // iout within fsw_max) with the highest efficiency.
+  [[nodiscard]] Selection select(Voltage vin, Voltage v_target, Current iout,
+                                 Frequency fsw_max = Frequency{20e6}) const;
+
+  // Efficiency across an input range, with and without gear shifting
+  // (fixed = the gear chosen at vin_nominal).
+  struct SweepPoint {
+    Voltage vin{};
+    double gearbox_eff = 0.0;
+    int gear = -1;
+    double fixed_eff = 0.0;
+  };
+  [[nodiscard]] std::vector<SweepPoint> sweep(Voltage vin_min, Voltage vin_max, int points,
+                                              Voltage v_target, Current iout,
+                                              Voltage vin_nominal) const;
+
+ private:
+  std::vector<Gear> gears_;
+};
+
+// The Cube's gearbox for the MCU rail: 1:2 and 2:3 step-up ratios.
+RatioGearbox make_mcu_rail_gearbox(Technology tech = Technology{},
+                                   Area cap_area = Area{1.2e-6},
+                                   Area switch_area = Area{0.3e-6});
+
+}  // namespace pico::scopt

@@ -1,0 +1,128 @@
+#include "scopt/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace pico::scopt {
+
+Optimizer::Optimizer(DesignSpec spec) : spec_(spec) {
+  PICO_REQUIRE(spec_.vout.value() > 0.0, "output voltage must be positive");
+  PICO_REQUIRE(spec_.vin_min.value() > 0.0 &&
+                   spec_.vin_min.value() <= spec_.vin_nominal.value() &&
+                   spec_.vin_nominal.value() <= spec_.vin_max.value(),
+               "input voltage range must satisfy vin_min <= vin_nominal <= vin_max");
+  PICO_REQUIRE(spec_.iout_typ.value() > 0.0 && spec_.iout_max.value() >= spec_.iout_typ.value(),
+               "load spec must satisfy 0 < iout_typ <= iout_max");
+}
+
+std::vector<Topology> Optimizer::topology_library() {
+  std::vector<Topology> lib;
+  lib.push_back(Topology::step_down_3to2());
+  lib.push_back(Topology::step_down_2to1());
+  lib.push_back(Topology::series_parallel_down(3));
+  lib.push_back(Topology::series_parallel_down(4));
+  lib.push_back(Topology::doubler());
+  lib.push_back(Topology::step_up_3to2());
+  lib.push_back(Topology::series_parallel_up(3));
+  lib.push_back(Topology::series_parallel_up(4));
+  lib.push_back(Topology::fibonacci_up5());
+  lib.push_back(Topology::dickson_up(3));
+  lib.push_back(Topology::dickson_up(4));
+  return lib;
+}
+
+SizedConverter Optimizer::size(const Topology& topo) const {
+  ConverterAnalysis analysis(topo);
+  return SizedConverter(std::move(analysis), spec_.tech, spec_.cap_area, spec_.switch_area);
+}
+
+CandidateResult Optimizer::evaluate(const Topology& topo) const {
+  CandidateResult res;
+  res.topology_name = topo.name();
+  ConverterAnalysis analysis(topo);
+  res.ratio = analysis.ratio();
+
+  const double no_load = res.ratio * spec_.vin_nominal.value();
+  if (no_load < spec_.vout.value() * (1.0 + spec_.regulation_headroom)) {
+    res.reject_reason = "ratio too low: no-load output " + fixed(no_load, 3) + " V";
+    return res;
+  }
+
+  SizedConverter conv(std::move(analysis), spec_.tech, spec_.cap_area, spec_.switch_area);
+
+  // Regulation frequency for the typical load at nominal input.
+  Frequency f_typ = conv.regulate(spec_.vin_nominal, spec_.vout, spec_.iout_typ);
+  if (f_typ.value() <= 0.0 || f_typ.value() > spec_.fsw_max.value()) {
+    res.reject_reason = "cannot regulate at typical load within fsw_max";
+    return res;
+  }
+  // Must also hold the rail at max load (higher frequency).
+  Frequency f_max = conv.regulate(spec_.vin_nominal, spec_.vout, spec_.iout_max);
+  if (f_max.value() <= 0.0 || f_max.value() > spec_.fsw_max.value()) {
+    res.reject_reason = "cannot hold rail at max load (FSL floor or fsw_max)";
+    return res;
+  }
+
+  res.feasible = true;
+  res.fsw_typ = f_typ;
+  res.efficiency_typ = conv.efficiency(spec_.vin_nominal, spec_.iout_typ, f_typ);
+  res.efficiency_max_load = conv.efficiency(spec_.vin_nominal, spec_.iout_max, f_max);
+  res.vout_at_max_load = conv.output_voltage(spec_.vin_nominal, spec_.iout_max, f_max);
+  return res;
+}
+
+DesignResult Optimizer::design() const {
+  std::vector<CandidateResult> all;
+  std::optional<std::size_t> best;
+  const auto lib = topology_library();
+  for (const auto& topo : lib) {
+    all.push_back(evaluate(topo));
+    const auto& cand = all.back();
+    if (!cand.feasible) continue;
+    if (!best || cand.efficiency_typ > all[*best].efficiency_typ) {
+      best = all.size() - 1;
+    }
+  }
+  PICO_REQUIRE(best.has_value(), "no SC topology in the library can meet this spec");
+
+  DesignResult result{all[*best], size(lib[*best]), std::move(all)};
+  return result;
+}
+
+Table DesignResult::report(const DesignSpec& spec) const {
+  Table t("SC converter design: " + chosen.topology_name);
+  t.set_header({"parameter", "value"});
+  t.add_row({"conversion ratio M", fixed(chosen.ratio, 4)});
+  t.add_row({"vin nominal", si(spec.vin_nominal)});
+  t.add_row({"vout target", si(spec.vout)});
+  t.add_row({"fsw @ typ load", si(chosen.fsw_typ)});
+  t.add_row({"efficiency @ typ load", pct(chosen.efficiency_typ)});
+  t.add_row({"efficiency @ max load", pct(chosen.efficiency_max_load)});
+  t.add_row({"R_SSL @ fsw_typ",
+             si(converter.analysis()
+                    .r_ssl(converter.cap_values(), chosen.fsw_typ, Capacitance{1e-6})
+                    .value(),
+                "Ohm")});
+  t.add_row({"R_FSL", si(converter.analysis().r_fsl(converter.switch_resistances()).value(),
+                         "Ohm")});
+  const auto& caps = converter.cap_values();
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    t.add_row({"  " + converter.analysis().topology().caps()[i].name, si(caps[i])});
+  }
+  const auto& rs = converter.switch_resistances();
+  for (std::size_t j = 0; j < rs.size(); ++j) {
+    t.add_row({"  " + converter.analysis().topology().switches()[j].name +
+                   " Ron (blocks " +
+                   fixed(converter.analysis().voltages().switch_block[j] *
+                             spec.vin_nominal.value(),
+                         2) +
+                   " V)",
+               si(rs[j])});
+  }
+  return t;
+}
+
+}  // namespace pico::scopt

@@ -1,0 +1,77 @@
+// optimizer.hpp — SC-converter design optimizer: the "library of
+// parameterizable management cores" the paper's §7.1 envisions.
+//
+// Given an electrical spec (input range, output rail, load) and a die
+// budget, the optimizer searches the topology library, sizes each
+// candidate per Seeman–Sanders optimal allocation, picks the regulation
+// frequency for the typical load, and returns the most efficient design.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "scopt/analysis.hpp"
+
+namespace pico::scopt {
+
+struct DesignSpec {
+  Voltage vin_nominal{1.2};
+  Voltage vin_min{1.0};
+  Voltage vin_max{1.4};
+  Voltage vout{2.1};
+  Current iout_typ{100e-6};
+  Current iout_max{1e-3};
+  Area cap_area{1.2e-6};     // on-die capacitor area
+  Area switch_area{0.3e-6};  // on-die switch area
+  Technology tech{};
+  Frequency fsw_max{20e6};
+  // Required headroom: M * vin_nominal must exceed vout by this fraction
+  // so frequency modulation has room to regulate.
+  double regulation_headroom = 0.02;
+};
+
+struct CandidateResult {
+  std::string topology_name;
+  double ratio = 0.0;
+  bool feasible = false;
+  std::string reject_reason;
+  Frequency fsw_typ{0.0};
+  double efficiency_typ = 0.0;
+  double efficiency_max_load = 0.0;
+  Voltage vout_at_max_load{0.0};
+};
+
+struct DesignResult {
+  CandidateResult chosen;
+  SizedConverter converter;
+  std::vector<CandidateResult> all_candidates;
+
+  // Render the design (component values, impedances, efficiency) for the
+  // power_ic_designer example and bench output.
+  [[nodiscard]] Table report(const DesignSpec& spec) const;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(DesignSpec spec);
+
+  // Topologies considered (ratio-diverse library).
+  [[nodiscard]] static std::vector<Topology> topology_library();
+
+  // Evaluate one topology against the spec.
+  [[nodiscard]] CandidateResult evaluate(const Topology& topo) const;
+
+  // Full search; throws DesignError if no topology can meet the spec.
+  [[nodiscard]] DesignResult design() const;
+
+  [[nodiscard]] const DesignSpec& spec() const { return spec_; }
+
+ private:
+  [[nodiscard]] SizedConverter size(const Topology& topo) const;
+
+  DesignSpec spec_;
+};
+
+}  // namespace pico::scopt

@@ -1,0 +1,208 @@
+#include "scopt/topology.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::scopt {
+
+Topology::Topology(std::string name) : name_(std::move(name)) {}
+
+NodeId Topology::add_node() { return next_node_++; }
+
+int Topology::add_cap(const std::string& name, NodeId top, NodeId bot) {
+  PICO_REQUIRE(top != bot, "capacitor plates must be distinct nodes");
+  caps_.push_back(CapElement{name, top, bot});
+  return static_cast<int>(caps_.size()) - 1;
+}
+
+int Topology::add_switch(const std::string& name, Phase phase, NodeId a, NodeId b) {
+  PICO_REQUIRE(a != b, "switch terminals must be distinct nodes");
+  switches_.push_back(SwitchElement{name, phase, a, b});
+  return static_cast<int>(switches_.size()) - 1;
+}
+
+std::vector<const SwitchElement*> Topology::switches_in(Phase p) const {
+  std::vector<const SwitchElement*> out;
+  for (const auto& sw : switches_) {
+    if (sw.phase == p) out.push_back(&sw);
+  }
+  return out;
+}
+
+Topology Topology::doubler() {
+  Topology t("1:2 doubler");
+  const NodeId top = t.add_node();
+  const NodeId bot = t.add_node();
+  t.add_cap("C1", top, bot);
+  // Phase A: C1 across the input.
+  t.add_switch("S1", Phase::kA, top, kVin);
+  t.add_switch("S2", Phase::kA, bot, kGnd);
+  // Phase B: C1 stacked on the input, feeding the output.
+  t.add_switch("S3", Phase::kB, bot, kVin);
+  t.add_switch("S4", Phase::kB, top, kVout);
+  return t;
+}
+
+Topology Topology::step_down_2to1() {
+  Topology t("2:1 step-down");
+  const NodeId top = t.add_node();
+  const NodeId bot = t.add_node();
+  t.add_cap("C1", top, bot);
+  // Phase A: C1 between input and output (series charge path).
+  t.add_switch("S1", Phase::kA, top, kVin);
+  t.add_switch("S2", Phase::kA, bot, kVout);
+  // Phase B: C1 across the output.
+  t.add_switch("S3", Phase::kB, top, kVout);
+  t.add_switch("S4", Phase::kB, bot, kGnd);
+  return t;
+}
+
+Topology Topology::step_down_3to2() {
+  Topology t("3:2 step-down");
+  const NodeId c1t = t.add_node();
+  const NodeId c1b = t.add_node();
+  const NodeId c2t = t.add_node();
+  const NodeId c2b = t.add_node();
+  t.add_cap("C1", c1t, c1b);
+  t.add_cap("C2", c2t, c2b);
+  // Phase A: both caps in parallel between input and output
+  // (each charges to Vin - Vout = Vin/3).
+  t.add_switch("S1", Phase::kA, c1t, kVin);
+  t.add_switch("S2", Phase::kA, c1b, kVout);
+  t.add_switch("S3", Phase::kA, c2t, kVin);
+  t.add_switch("S4", Phase::kA, c2b, kVout);
+  // Phase B: caps in series across the output: Vout = 2 * (Vin/3).
+  t.add_switch("S5", Phase::kB, c1t, kVout);
+  t.add_switch("S6", Phase::kB, c1b, c2t);
+  t.add_switch("S7", Phase::kB, c2b, kGnd);
+  return t;
+}
+
+Topology Topology::step_up_3to2() {
+  Topology t("2:3 step-up");
+  const NodeId c1t = t.add_node();
+  const NodeId c1b = t.add_node();
+  const NodeId c2t = t.add_node();
+  const NodeId c2b = t.add_node();
+  t.add_cap("C1", c1t, c1b);
+  t.add_cap("C2", c2t, c2b);
+  // Phase A: caps in series across the input (each charges to Vin/2).
+  t.add_switch("S1", Phase::kA, c1t, kVin);
+  t.add_switch("S2", Phase::kA, c1b, c2t);
+  t.add_switch("S3", Phase::kA, c2b, kGnd);
+  // Phase B: each cap in parallel between output and input:
+  // Vout = Vin + Vin/2.
+  t.add_switch("S4", Phase::kB, c1t, kVout);
+  t.add_switch("S5", Phase::kB, c1b, kVin);
+  t.add_switch("S6", Phase::kB, c2t, kVout);
+  t.add_switch("S7", Phase::kB, c2b, kVin);
+  return t;
+}
+
+Topology Topology::series_parallel_up(int n) {
+  PICO_REQUIRE(n >= 2, "series-parallel step-up requires n >= 2");
+  Topology t("1:" + std::to_string(n) + " series-parallel");
+  std::vector<NodeId> tops, bots;
+  for (int i = 0; i < n - 1; ++i) {
+    const NodeId top = t.add_node();
+    const NodeId bot = t.add_node();
+    t.add_cap("C" + std::to_string(i + 1), top, bot);
+    tops.push_back(top);
+    bots.push_back(bot);
+    // Phase A: all caps in parallel across the input.
+    t.add_switch("SA" + std::to_string(2 * i + 1), Phase::kA, top, kVin);
+    t.add_switch("SA" + std::to_string(2 * i + 2), Phase::kA, bot, kGnd);
+  }
+  // Phase B: caps stacked in series on top of the input.
+  t.add_switch("SB0", Phase::kB, bots[0], kVin);
+  for (int i = 1; i < n - 1; ++i) {
+    t.add_switch("SB" + std::to_string(i), Phase::kB, tops[static_cast<std::size_t>(i - 1)],
+                 bots[static_cast<std::size_t>(i)]);
+  }
+  t.add_switch("SBout", Phase::kB, tops.back(), kVout);
+  return t;
+}
+
+Topology Topology::series_parallel_down(int n) {
+  PICO_REQUIRE(n >= 2, "series-parallel step-down requires n >= 2");
+  Topology t(std::to_string(n) + ":1 series-parallel");
+  std::vector<NodeId> tops, bots;
+  for (int i = 0; i < n - 1; ++i) {
+    const NodeId top = t.add_node();
+    const NodeId bot = t.add_node();
+    t.add_cap("C" + std::to_string(i + 1), top, bot);
+    tops.push_back(top);
+    bots.push_back(bot);
+    // Phase B: all caps in parallel across the output.
+    t.add_switch("SB" + std::to_string(2 * i + 1), Phase::kB, top, kVout);
+    t.add_switch("SB" + std::to_string(2 * i + 2), Phase::kB, bot, kGnd);
+  }
+  // Phase A: series chain from input to output.
+  t.add_switch("SA0", Phase::kA, tops[0], kVin);
+  for (int i = 1; i < n - 1; ++i) {
+    t.add_switch("SA" + std::to_string(i), Phase::kA, bots[static_cast<std::size_t>(i - 1)],
+                 tops[static_cast<std::size_t>(i)]);
+  }
+  t.add_switch("SAout", Phase::kA, bots.back(), kVout);
+  return t;
+}
+
+Topology Topology::dickson_up(int n) {
+  PICO_REQUIRE(n >= 2, "Dickson step-up requires n >= 2");
+  Topology t("1:" + std::to_string(n) + " Dickson");
+  std::vector<NodeId> tops, bots;
+  for (int i = 0; i < n - 1; ++i) {
+    tops.push_back(t.add_node());
+    bots.push_back(t.add_node());
+    t.add_cap("C" + std::to_string(i + 1), tops.back(), bots.back());
+  }
+  auto charge_phase = [](int stage) { return stage % 2 == 0 ? Phase::kA : Phase::kB; };
+  auto pump_phase = [](int stage) { return stage % 2 == 0 ? Phase::kB : Phase::kA; };
+  for (int i = 0; i < n - 1; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Phase chg = charge_phase(i);
+    const Phase pmp = pump_phase(i);
+    // Bottom plate: gnd while charging, vin while pumping.
+    t.add_switch("SG" + std::to_string(i + 1), chg, bots[idx], kGnd);
+    t.add_switch("SV" + std::to_string(i + 1), pmp, bots[idx], kVin);
+    // Top plate: fed from the previous stage (or vin) while charging.
+    if (i == 0) {
+      t.add_switch("SC1", chg, tops[0], kVin);
+    } else {
+      t.add_switch("SC" + std::to_string(i + 1), chg, tops[static_cast<std::size_t>(i - 1)],
+                   tops[idx]);
+    }
+  }
+  // Output switch conducts while the last stage pumps.
+  t.add_switch("SOut", pump_phase(n - 2), tops.back(), kVout);
+  return t;
+}
+
+Topology Topology::fibonacci_up5() {
+  Topology t("1:5 Fibonacci");
+  const NodeId c1t = t.add_node();
+  const NodeId c1b = t.add_node();
+  const NodeId c2t = t.add_node();
+  const NodeId c2b = t.add_node();
+  const NodeId c3t = t.add_node();
+  const NodeId c3b = t.add_node();
+  t.add_cap("C1", c1t, c1b);  // settles at 1x Vin
+  t.add_cap("C2", c2t, c2b);  // 2x
+  t.add_cap("C3", c3t, c3b);  // 3x
+  // Phase A: C1 across the input; C2 (holding 2x) rides on Vin and charges
+  // C3 to 3x.
+  t.add_switch("SA1", Phase::kA, c1t, kVin);
+  t.add_switch("SA2", Phase::kA, c1b, kGnd);
+  t.add_switch("SA3", Phase::kA, c2b, kVin);
+  t.add_switch("SA4", Phase::kA, c2t, c3t);
+  t.add_switch("SA5", Phase::kA, c3b, kGnd);
+  // Phase B: C1 (1x) rides on Vin and charges C2 to 2x; C3 (3x) rides on
+  // C1's top (2x) to deliver 5x to the output.
+  t.add_switch("SB1", Phase::kB, c1b, kVin);
+  t.add_switch("SB2", Phase::kB, c2t, c1t);
+  t.add_switch("SB3", Phase::kB, c2b, kGnd);
+  t.add_switch("SB4", Phase::kB, c3b, c1t);
+  t.add_switch("SB5", Phase::kB, c3t, kVout);
+  return t;
+}
+
+}  // namespace pico::scopt

@@ -1,0 +1,98 @@
+// topology.hpp — two-phase switched-capacitor converter topologies.
+//
+// Implements the structural half of Seeman & Sanders, "Analysis and
+// Optimization of Switched-Capacitor DC-DC Converters" (paper ref [13]):
+// a converter is a set of flying capacitors and phase-assigned switches
+// between capacitor plates and the rails (gnd / vin / vout). From this
+// description `analysis.hpp` derives the ideal conversion ratio and the
+// charge-multiplier vectors a_c and a_r automatically — no per-topology
+// hand-derived tables.
+//
+// The library ships the topologies the PicoCube power IC uses (1:2
+// doubler and 3:2 step-down, Fig 10a/b) plus the classic families
+// (series-parallel, ladder, Dickson/Fibonacci step-ups) for the optimizer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pico::scopt {
+
+// Phases of a two-phase converter.
+enum class Phase : int { kA = 0, kB = 1 };
+inline constexpr int kNumPhases = 2;
+
+// Node indices: 0 = ground, 1 = vin, 2 = vout, 3.. = internal (cap plates).
+using NodeId = int;
+inline constexpr NodeId kGnd = 0;
+inline constexpr NodeId kVin = 1;
+inline constexpr NodeId kVout = 2;
+
+struct CapElement {
+  std::string name;
+  NodeId top;  // positive plate node
+  NodeId bot;  // negative plate node
+};
+
+struct SwitchElement {
+  std::string name;
+  Phase phase;  // phase in which this switch conducts
+  NodeId a;
+  NodeId b;
+};
+
+class Topology {
+ public:
+  explicit Topology(std::string name);
+
+  // Allocate a fresh internal node.
+  NodeId add_node();
+  // Add a flying capacitor between two (usually fresh) plate nodes.
+  int add_cap(const std::string& name, NodeId top, NodeId bot);
+  // Add a switch closed during `phase`.
+  int add_switch(const std::string& name, Phase phase, NodeId a, NodeId b);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<CapElement>& caps() const { return caps_; }
+  [[nodiscard]] const std::vector<SwitchElement>& switches() const { return switches_; }
+  [[nodiscard]] int num_nodes() const { return next_node_; }
+
+  [[nodiscard]] std::size_t num_caps() const { return caps_.size(); }
+  [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
+  [[nodiscard]] std::vector<const SwitchElement*> switches_in(Phase p) const;
+
+  // --- Canonical topology builders ---------------------------------------
+
+  // 1:2 step-up doubler (Fig 10a): one flying cap, four switches.
+  static Topology doubler();
+  // 3:2 step-down (Fig 10b): Vout = (2/3) Vin, two flying caps.
+  static Topology step_down_3to2();
+  // 2:1 step-down halver.
+  static Topology step_down_2to1();
+  // 2:3 step-up: Vout = (3/2) Vin.
+  static Topology step_up_3to2();
+  // Series-parallel 1:n step-up (n >= 2): n-1 flying caps charged in
+  // parallel, discharged in series with the input.
+  static Topology series_parallel_up(int n);
+  // Series-parallel n:1 step-down (n >= 2).
+  static Topology series_parallel_down(int n);
+  // Dickson (charge pump) 1:n step-up, n >= 2.
+  static Topology dickson_up(int n);
+  // Fibonacci step-up: 3 flying caps reaching ratio 1:5 — the fastest
+  // ratio growth per capacitor of any two-phase family (Seeman-Sanders
+  // Fig. 3 family).
+  static Topology fibonacci_up5();
+  // Ladder converter producing Vout = (num/den) Vin for small ratios via
+  // cascaded 2:1 cells is out of scope; the families above cover the
+  // optimizer's search space.
+
+ private:
+  std::string name_;
+  int next_node_ = 3;  // 0,1,2 reserved for gnd/vin/vout
+  std::vector<CapElement> caps_;
+  std::vector<SwitchElement> switches_;
+};
+
+}  // namespace pico::scopt

@@ -1,0 +1,99 @@
+#include "sim/simulator.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::sim {
+
+EventId Simulator::schedule_at(Duration at, EventFn fn, std::string label) {
+  PICO_REQUIRE(at.value() >= now_.value(), "cannot schedule an event in the past");
+  PICO_REQUIRE(static_cast<bool>(fn), "event function must be callable");
+  const EventId id = next_id_++;
+  pending_.emplace(id, Pending{std::move(fn), std::move(label), false, false, Duration{}});
+  queue_.push(Event{at, next_seq_++, id});
+  return id;
+}
+
+EventId Simulator::schedule_in(Duration delay, EventFn fn, std::string label) {
+  PICO_REQUIRE(delay.value() >= 0.0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn), std::move(label));
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.cancelled) return false;
+  it->second.cancelled = true;  // lazily removed when popped
+  return true;
+}
+
+EventId Simulator::every(Duration period, EventFn fn, std::string label) {
+  PICO_REQUIRE(period.value() > 0.0, "period must be positive");
+  const EventId id = next_id_++;
+  Pending p{std::move(fn), std::move(label), false, true, period};
+  pending_.emplace(id, std::move(p));
+  queue_.push(Event{now_ + period, next_seq_++, id});
+  return id;
+}
+
+void Simulator::dispatch(const Event& ev) {
+  auto it = pending_.find(ev.id);
+  if (it == pending_.end()) return;
+  if (it->second.cancelled) {
+    pending_.erase(it);
+    return;
+  }
+  now_ = ev.at;
+  ++dispatched_;
+  if (it->second.recurring) {
+    // Re-arm before running so the body can cancel its own recurrence.
+    queue_.push(Event{now_ + it->second.period, next_seq_++, ev.id});
+    // Copy: the map may rehash if the body schedules new events.
+    EventFn fn = it->second.fn;
+    fn();
+  } else {
+    EventFn fn = std::move(it->second.fn);
+    pending_.erase(it);
+    fn();
+  }
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = pending_.find(ev.id);
+    if (it == pending_.end() || it->second.cancelled) {
+      if (it != pending_.end()) pending_.erase(it);
+      continue;  // skip tombstones
+    }
+    dispatch(ev);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(Duration until) {
+  PICO_REQUIRE(until.value() >= now_.value(), "run_until target is in the past");
+  stopping_ = false;
+  while (!stopping_ && !queue_.empty() && queue_.top().at.value() <= until.value()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (!stopping_ && now_.value() < until.value()) now_ = until;
+}
+
+void Simulator::run() {
+  stopping_ = false;
+  while (!stopping_ && step()) {
+  }
+}
+
+std::size_t Simulator::events_pending() const {
+  std::size_t n = 0;
+  for (const auto& [id, p] : pending_) {
+    if (!p.cancelled) ++n;
+  }
+  return n;
+}
+
+}  // namespace pico::sim

@@ -1,0 +1,93 @@
+// simulator.hpp — deterministic discrete-event simulation kernel.
+//
+// The PicoCube node is simulated event-driven: device models change state
+// only at scheduled events (timer interrupts, radio startup complete, bit
+// boundaries, harvester pulses). Between events the electrical state is
+// piecewise constant, so the power accountant integrates exactly.
+//
+// Determinism: events at equal timestamps are dispatched in insertion
+// order (a monotonically increasing sequence number breaks ties), so the
+// same program always produces the same trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+
+#include "common/units.hpp"
+
+namespace pico::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulation time.
+  [[nodiscard]] Duration now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `at` (must be >= now).
+  EventId schedule_at(Duration at, EventFn fn, std::string label = {});
+  // Schedule `fn` to run `delay` from now (delay >= 0).
+  EventId schedule_in(Duration delay, EventFn fn, std::string label = {});
+
+  // Cancel a pending event. Returns true if it was still pending.
+  bool cancel(EventId id);
+
+  // Schedule `fn` every `period`, first firing at now + period (or at
+  // `first` if given). Returns the id of the *recurrence*, cancellable.
+  EventId every(Duration period, EventFn fn, std::string label = {});
+
+  // Run until the event queue is empty or `until` is reached; time advances
+  // to `until` even if the queue drains earlier.
+  void run_until(Duration until);
+  // Run until the queue is empty.
+  void run();
+  // Process at most one event; returns false if none pending.
+  bool step();
+  // Request that the current run loop stops after the current event.
+  void stop() { stopping_ = true; }
+
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+  [[nodiscard]] std::size_t events_pending() const;
+
+ private:
+  struct Event {
+    Duration at;
+    std::uint64_t seq;
+    EventId id;
+    // Heap is a max-heap by default; invert for earliest-first, with seq
+    // breaking ties FIFO.
+    bool operator<(const Event& rhs) const {
+      if (at.value() != rhs.at.value()) return at.value() > rhs.at.value();
+      return seq > rhs.seq;
+    }
+  };
+
+  struct Pending {
+    EventFn fn;
+    std::string label;
+    bool cancelled = false;
+    bool recurring = false;
+    Duration period{};
+  };
+
+  void dispatch(const Event& ev);
+
+  Duration now_{0.0};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event> queue_;
+  // Pending bodies keyed by id; erased on dispatch/cancel.
+  std::unordered_map<EventId, Pending> pending_;
+  std::uint64_t dispatched_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace pico::sim

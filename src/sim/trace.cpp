@@ -1,0 +1,168 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace pico::sim {
+
+Trace::Trace(std::string name, Interp interp) : name_(std::move(name)), interp_(interp) {}
+
+void Trace::record(Duration t, double value) {
+  const double tv = t.value();
+  if (!t_.empty()) {
+    PICO_REQUIRE(tv >= t_.back(), "trace samples must be time-ordered");
+    if (tv == t_.back()) {
+      v_.back() = value;  // settle within one event cascade
+      return;
+    }
+  }
+  t_.push_back(tv);
+  v_.push_back(value);
+}
+
+double Trace::value_on_segment(std::size_t left, double t) const {
+  if (interp_ == Interp::kStep) return v_[left];
+  if (left + 1 >= t_.size()) return v_[left];
+  const double t0 = t_[left];
+  const double t1 = t_[left + 1];
+  if (t1 == t0) return v_[left + 1];
+  const double frac = (t - t0) / (t1 - t0);
+  return lerp(v_[left], v_[left + 1], frac);
+}
+
+double Trace::at(Duration t) const {
+  PICO_REQUIRE(!t_.empty(), "Trace::at on empty trace");
+  const double tv = t.value();
+  if (tv <= t_.front()) return v_.front();
+  if (tv >= t_.back()) return v_.back();
+  const auto it = std::upper_bound(t_.begin(), t_.end(), tv);
+  const auto left = static_cast<std::size_t>(it - t_.begin()) - 1;
+  return value_on_segment(left, tv);
+}
+
+double Trace::integral(Duration t0d, Duration t1d) const {
+  if (t_.empty()) return 0.0;
+  double t0 = t0d.value();
+  double t1 = t1d.value();
+  PICO_REQUIRE(t1 >= t0, "integral requires t1 >= t0");
+  if (t0 == t1) return 0.0;
+
+  double sum = 0.0;
+  // Piece before the first sample: hold first value.
+  if (t0 < t_.front()) {
+    const double end = std::min(t1, t_.front());
+    sum += v_.front() * (end - t0);
+    t0 = end;
+    if (t0 >= t1) return sum;
+  }
+  // Piece after the last sample: hold last value.
+  double tail = 0.0;
+  if (t1 > t_.back()) {
+    tail = v_.back() * (t1 - std::max(t0, t_.back()));
+    t1 = t_.back();
+    if (t0 >= t1) return sum + tail;
+  }
+
+  // Now [t0, t1] is within [front, back]. Walk segments.
+  auto it = std::upper_bound(t_.begin(), t_.end(), t0);
+  std::size_t i = static_cast<std::size_t>(it - t_.begin()) - 1;
+  double cursor = t0;
+  while (cursor < t1 && i + 1 < t_.size()) {
+    const double seg_end = std::min(t_[i + 1], t1);
+    const double va = value_on_segment(i, cursor);
+    const double vb = interp_ == Interp::kStep ? v_[i] : value_on_segment(i, seg_end);
+    sum += 0.5 * (va + vb) * (seg_end - cursor);
+    cursor = seg_end;
+    if (cursor >= t_[i + 1]) ++i;
+  }
+  return sum + tail;
+}
+
+double Trace::mean(Duration t0, Duration t1) const {
+  const double span = t1.value() - t0.value();
+  PICO_REQUIRE(span > 0.0, "mean requires a positive window");
+  return integral(t0, t1) / span;
+}
+
+double Trace::max_value() const {
+  PICO_REQUIRE(!v_.empty(), "max_value of empty trace");
+  return *std::max_element(v_.begin(), v_.end());
+}
+
+double Trace::min_value() const {
+  PICO_REQUIRE(!v_.empty(), "min_value of empty trace");
+  return *std::min_element(v_.begin(), v_.end());
+}
+
+Duration Trace::start_time() const {
+  PICO_REQUIRE(!t_.empty(), "start_time of empty trace");
+  return Duration{t_.front()};
+}
+
+Duration Trace::end_time() const {
+  PICO_REQUIRE(!t_.empty(), "end_time of empty trace");
+  return Duration{t_.back()};
+}
+
+std::vector<std::pair<double, double>> Trace::resample(Duration t0, Duration t1,
+                                                       std::size_t n) const {
+  PICO_REQUIRE(n >= 2, "resample requires at least two points");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(n);
+  const double a = t0.value();
+  const double b = t1.value();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = a + (b - a) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.emplace_back(t, at(Duration{t}));
+  }
+  return out;
+}
+
+void Trace::clear() {
+  t_.clear();
+  v_.clear();
+}
+
+Trace& TraceSet::channel(const std::string& name, Interp interp) {
+  auto it = traces_.find(name);
+  if (it == traces_.end()) {
+    it = traces_.emplace(name, Trace{name, interp}).first;
+  }
+  return it->second;
+}
+
+const Trace* TraceSet::find(const std::string& name) const {
+  const auto it = traces_.find(name);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> TraceSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(traces_.size());
+  for (const auto& [name, tr] : traces_) out.push_back(name);
+  return out;
+}
+
+void TraceSet::write_csv(const std::string& path, Duration t0, Duration t1,
+                         std::size_t points) const {
+  CsvWriter csv(path);
+  std::vector<std::string> header{"time_s"};
+  for (const auto& [name, tr] : traces_) header.push_back(name);
+  csv.write_header(header);
+  const double a = t0.value();
+  const double b = t1.value();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = a + (b - a) * static_cast<double>(i) / static_cast<double>(points - 1);
+    std::vector<double> row{t};
+    for (const auto& [name, tr] : traces_) {
+      row.push_back(tr.empty() ? 0.0 : tr.at(Duration{t}));
+    }
+    csv.write_row(row);
+  }
+}
+
+}  // namespace pico::sim

@@ -1,0 +1,147 @@
+#include "storage/nimh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pico::storage {
+
+namespace {
+// Empirical NiMH rest-voltage plateau: flat near 1.25 V across most of the
+// SoC range, knee below ~10 %, rise toward 1.4 V when full (the property
+// the paper calls "stable until just prior to full discharge").
+LookupTable make_ocv_curve() {
+  return LookupTable({{0.00, 1.00},
+                      {0.02, 1.10},
+                      {0.05, 1.16},
+                      {0.10, 1.19},
+                      {0.20, 1.22},
+                      {0.40, 1.24},
+                      {0.60, 1.26},
+                      {0.80, 1.28},
+                      {0.90, 1.31},
+                      {0.97, 1.36},
+                      {1.00, 1.40}});
+}
+}  // namespace
+
+NiMhBattery::NiMhBattery() : NiMhBattery(Params{}) {}
+
+NiMhBattery::NiMhBattery(Params p) : prm_(p), ocv_(make_ocv_curve()), soc_(p.initial_soc) {
+  PICO_REQUIRE(prm_.capacity.value() > 0.0, "battery capacity must be positive");
+  PICO_REQUIRE(prm_.initial_soc >= 0.0 && prm_.initial_soc <= 1.0,
+               "initial SoC must be within [0, 1]");
+  PICO_REQUIRE(prm_.internal_resistance.value() >= 0.0, "internal resistance must be >= 0");
+  PICO_REQUIRE(prm_.mass.value() > 0.0, "cell mass must be positive");
+}
+
+Voltage NiMhBattery::open_circuit_voltage() const { return Voltage{ocv_(soc_)}; }
+
+Voltage NiMhBattery::terminal_voltage(Current discharge) const {
+  const double v = ocv_(soc_) - discharge.value() * prm_.internal_resistance.value();
+  return Voltage{std::max(v, 0.0)};
+}
+
+Current NiMhBattery::trickle_limit() const {
+  // C/10: the current that would charge the full capacity in 10 hours.
+  return Current{prm_.trickle_rate_c * prm_.capacity.value() / 3600.0};
+}
+
+Current NiMhBattery::max_burst_current() const {
+  // Limited by internal resistance: current at which the terminal voltage
+  // sags to the cut-off.
+  if (prm_.internal_resistance.value() <= 0.0) return Current{1e9};
+  const double headroom = ocv_(soc_) - prm_.cutoff.value();
+  return Current{std::max(headroom, 0.0) / prm_.internal_resistance.value()};
+}
+
+TransferResult NiMhBattery::transfer(Current i, Duration dt) {
+  PICO_REQUIRE(dt.value() >= 0.0, "transfer duration must be non-negative");
+  TransferResult res;
+  if (dt.value() == 0.0) return res;
+  double amps = i.value();
+
+  // Sustained charge-rate limit: a simple trickle charger cannot push more
+  // than max_charge_rate_c; the harvester front-end clips the rest.
+  const double max_charge = prm_.max_charge_rate_c * prm_.capacity.value() / 3600.0;
+  if (amps > max_charge) amps = max_charge;
+
+  const double cap = prm_.capacity.value();
+  double dq = amps * dt.value();  // + = into the cell
+  const double q0 = coulombs();
+
+  if (dq > 0.0) {
+    const double room = cap - q0;
+    if (dq >= room) {
+      // Cell is full: further current is accepted only up to the C/10
+      // trickle rate and is converted to heat (gas recombination).
+      const double stored = room;
+      const double excess_q = dq - stored;
+      const double trickle_q = trickle_limit().value() * dt.value();
+      const double absorbed = std::min(excess_q, trickle_q);
+      soc_ = 1.0;
+      res.hit_full = true;
+      res.moved = Charge{stored};
+      res.stored_delta = Energy{stored * ocv_(1.0)};
+      overcharge_heat_ += absorbed * ocv_(1.0);
+      res.dissipated = Energy{absorbed * ocv_(1.0)};
+      throughput_ += stored;
+      return res;
+    }
+    soc_ = (q0 + dq) / cap;
+    res.moved = Charge{dq};
+    res.stored_delta = Energy{dq * ocv_(soc_)};
+    // Charging loss across internal resistance.
+    res.dissipated = Energy{amps * amps * prm_.internal_resistance.value() * dt.value()};
+    throughput_ += dq;
+    return res;
+  }
+
+  // Discharge.
+  double draw = -dq;
+  if (draw >= q0) {
+    draw = q0;
+    res.hit_empty = true;
+  }
+  soc_ = (q0 - draw) / cap;
+  res.moved = Charge{-draw};
+  res.stored_delta = Energy{-draw * ocv_(soc_)};
+  res.dissipated = Energy{amps * amps * prm_.internal_resistance.value() * dt.value()};
+  throughput_ += draw;
+  return res;
+}
+
+Energy NiMhBattery::stored_energy() const {
+  // Integrate OCV over the remaining charge (trapezoid over the curve).
+  const double cap = prm_.capacity.value();
+  const int steps = 64;
+  double sum = 0.0;
+  for (int k = 0; k < steps; ++k) {
+    const double s0 = soc_ * static_cast<double>(k) / steps;
+    const double s1 = soc_ * static_cast<double>(k + 1) / steps;
+    sum += 0.5 * (ocv_(s0) + ocv_(s1)) * (s1 - s0) * cap;
+  }
+  return Energy{sum};
+}
+
+Energy NiMhBattery::capacity_energy() const {
+  // Nominal-voltage convention (what "220 J/g class" datasheets quote).
+  return Energy{prm_.capacity.value() * prm_.nominal.value()};
+}
+
+Energy NiMhBattery::idle(Duration dt) {
+  const double rate = prm_.self_discharge_per_day / 86400.0;
+  const double frac = std::min(rate * dt.value(), soc_);
+  const double lost_q = frac * prm_.capacity.value();
+  const double lost_e = lost_q * ocv_(soc_);
+  soc_ -= frac;
+  return Energy{lost_e};
+}
+
+void NiMhBattery::set_soc(double soc) {
+  PICO_REQUIRE(soc >= 0.0 && soc <= 1.0, "SoC must be within [0, 1]");
+  soc_ = soc;
+}
+
+}  // namespace pico::storage

@@ -1,0 +1,72 @@
+// nimh.hpp — NiMH coin-cell model (paper §4.4).
+//
+// The paper chose NiMH because (1) its discharge plateau sits at a stable
+// ~1.2 V until just before full discharge — near-optimal for generating
+// the Cube's supply voltages — and (2) it tolerates indefinite trickle
+// charging at C/10 without charge-control circuitry. Both properties are
+// first-class in this model: an empirical SoC→OCV plateau curve and a
+// trickle-charge rule that converts overcharge into heat up to C/10 and
+// rejects sustained charging above it.
+#pragma once
+
+#include "common/mathutil.hpp"
+#include "storage/store.hpp"
+
+namespace pico::storage {
+
+class NiMhBattery : public EnergyStore {
+ public:
+  struct Params {
+    Charge capacity{15 * 3.6};          // 15 mAh, the cell used in the Cube
+    Voltage nominal{1.2};
+    Resistance internal_resistance{0.8};  // small button cell
+    double initial_soc = 0.8;
+    // Self-discharge: classic NiMH loses ~1 %/day at room temperature.
+    double self_discharge_per_day = 0.01;
+    // Indefinite trickle-charge limit (C/10 rule from the paper).
+    double trickle_rate_c = 0.1;
+    // Sustained charge above this multiple of C is rejected (we model the
+    // simple Cube charger, which has no fast-charge control).
+    double max_charge_rate_c = 0.5;
+    // Cut-off voltage under load; below this the cell is "empty".
+    Voltage cutoff{0.9};
+    // Cell mass chosen to match the paper's 220 J/g class density.
+    Mass mass{0.295e-3};
+  };
+
+  NiMhBattery();
+  explicit NiMhBattery(Params p);
+
+  [[nodiscard]] std::string name() const override { return "NiMH"; }
+  [[nodiscard]] Voltage open_circuit_voltage() const override;
+  [[nodiscard]] Voltage terminal_voltage(Current discharge) const override;
+  TransferResult transfer(Current i, Duration dt) override;
+  [[nodiscard]] Energy stored_energy() const override;
+  [[nodiscard]] Energy capacity_energy() const override;
+  [[nodiscard]] double soc() const override { return soc_; }
+  [[nodiscard]] Current max_burst_current() const override;
+  [[nodiscard]] Mass mass() const override { return prm_.mass; }
+  Energy idle(Duration dt) override;
+
+  [[nodiscard]] const Params& params() const { return prm_; }
+  [[nodiscard]] Charge capacity() const { return prm_.capacity; }
+  // C/10 trickle current for this cell.
+  [[nodiscard]] Current trickle_limit() const;
+  // Cumulative charge throughput (aging proxy).
+  [[nodiscard]] Charge throughput() const { return Charge{throughput_}; }
+  // Heat dissipated by overcharge during trickle at full.
+  [[nodiscard]] Energy overcharge_heat() const { return Energy{overcharge_heat_}; }
+
+  void set_soc(double soc);
+
+ private:
+  Params prm_;
+  LookupTable ocv_;  // SoC -> open-circuit voltage
+  double soc_;
+  double throughput_ = 0.0;       // coulombs moved (abs)
+  double overcharge_heat_ = 0.0;  // joules
+
+  [[nodiscard]] double coulombs() const { return soc_ * prm_.capacity.value(); }
+};
+
+}  // namespace pico::storage

@@ -1,0 +1,173 @@
+#include "storage/printed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pico::storage {
+
+namespace {
+// Zinc-chemistry discharge curve per cell (normalized to nominal voltage).
+LookupTable make_printed_ocv() {
+  return LookupTable({{0.00, 0.70},
+                      {0.05, 0.84},
+                      {0.15, 0.92},
+                      {0.30, 0.96},
+                      {0.50, 1.00},
+                      {0.70, 1.03},
+                      {0.90, 1.07},
+                      {1.00, 1.10}});
+}
+}  // namespace
+
+PrintedFilmBattery::PrintedFilmBattery() : PrintedFilmBattery(Params{}) {}
+
+PrintedFilmBattery::PrintedFilmBattery(Params p)
+    : prm_(p), ocv_(make_printed_ocv()), soc_(p.initial_soc) {
+  PICO_REQUIRE(prm_.footprint.value() > 0.0, "printed footprint must be positive");
+  PICO_REQUIRE(prm_.film_thickness.value() >= 10e-6 && prm_.film_thickness.value() <= 200e-6,
+               "film thickness outside the printable window");
+  PICO_REQUIRE(prm_.cells_in_series >= 1, "need at least one cell");
+  PICO_REQUIRE(prm_.initial_soc >= 0.0 && prm_.initial_soc <= 1.0,
+               "initial SoC must be within [0, 1]");
+}
+
+Charge PrintedFilmBattery::capacity() const {
+  // Cells in series split the footprint; capacity is set by one cell.
+  const double cell_cm2 =
+      prm_.footprint.value() * 1e4 / static_cast<double>(prm_.cells_in_series);
+  const double thick_um = prm_.film_thickness.value() * 1e6;
+  const double uah = prm_.capacity_uah_per_cm2_per_um * cell_cm2 * thick_um;
+  return Charge{uah * 3.6e-3};
+}
+
+Resistance PrintedFilmBattery::internal_resistance() const {
+  const double cell_cm2 =
+      prm_.footprint.value() * 1e4 / static_cast<double>(prm_.cells_in_series);
+  // Thicker films add proportionally more ionic path.
+  const double per_cell =
+      prm_.ohm_cm2 / cell_cm2 * (prm_.film_thickness.value() / 60e-6);
+  return Resistance{per_cell * prm_.cells_in_series};
+}
+
+Voltage PrintedFilmBattery::open_circuit_voltage() const {
+  return Voltage{ocv_(soc_) * prm_.cell_nominal.value() * prm_.cells_in_series};
+}
+
+Voltage PrintedFilmBattery::terminal_voltage(Current discharge) const {
+  const double v =
+      open_circuit_voltage().value() - discharge.value() * internal_resistance().value();
+  return Voltage{std::max(v, 0.0)};
+}
+
+TransferResult PrintedFilmBattery::transfer(Current i, Duration dt) {
+  PICO_REQUIRE(dt.value() >= 0.0, "transfer duration must be non-negative");
+  TransferResult res;
+  if (dt.value() == 0.0) return res;
+  const double cap = capacity().value();
+  const double q0 = soc_ * cap;
+  double dq = i.value() * dt.value();
+  if (dq > 0.0) {
+    // Primary-leaning chemistry: accept charge but cap at full.
+    const double room = cap - q0;
+    if (dq >= room) {
+      res.hit_full = true;
+      res.dissipated = Energy{(dq - room) * open_circuit_voltage().value()};
+      dq = room;
+    }
+    soc_ = (q0 + dq) / cap;
+    res.moved = Charge{dq};
+    res.stored_delta = Energy{dq * open_circuit_voltage().value()};
+    return res;
+  }
+  double draw = -dq;
+  if (draw >= q0) {
+    draw = q0;
+    res.hit_empty = true;
+  }
+  soc_ = (q0 - draw) / cap;
+  res.moved = Charge{-draw};
+  res.stored_delta = Energy{-draw * open_circuit_voltage().value()};
+  res.dissipated =
+      Energy{i.value() * i.value() * internal_resistance().value() * dt.value()};
+  return res;
+}
+
+Energy PrintedFilmBattery::stored_energy() const {
+  return Energy{soc_ * capacity().value() * prm_.cell_nominal.value() *
+                prm_.cells_in_series};
+}
+
+Energy PrintedFilmBattery::capacity_energy() const {
+  return Energy{capacity().value() * prm_.cell_nominal.value() * prm_.cells_in_series};
+}
+
+Current PrintedFilmBattery::max_burst_current() const {
+  const double headroom = open_circuit_voltage().value() * 0.35;  // sag to ~65 %
+  return Current{headroom / internal_resistance().value()};
+}
+
+Mass PrintedFilmBattery::mass() const {
+  const double volume_cm3 = prm_.footprint.value() * 1e4 *
+                            prm_.film_thickness.value() * 1e2;  // cm^2 * cm
+  return Mass{volume_cm3 * prm_.density_g_per_cm3 * 1e-3};
+}
+
+Energy PrintedFilmBattery::idle(Duration dt) {
+  const double rate = prm_.self_discharge_per_day / 86400.0;
+  const double frac = std::min(rate * dt.value(), soc_);
+  const double lost = frac * capacity().value() * open_circuit_voltage().value();
+  soc_ -= frac;
+  return Energy{lost};
+}
+
+// ---------------------------------------------------------------------------
+// DispenserPrinter
+// ---------------------------------------------------------------------------
+DispenserPrinter::DispenserPrinter() : DispenserPrinter(Constraints{}) {}
+
+DispenserPrinter::DispenserPrinter(Constraints c) : cons_(c) {
+  PICO_REQUIRE(cons_.min_thickness.value() < cons_.max_thickness.value(),
+               "thickness window must be non-empty");
+}
+
+DispenserPrinter::Plan DispenserPrinter::design(Voltage v_target, Charge capacity) const {
+  PICO_REQUIRE(v_target.value() > 0.0 && capacity.value() > 0.0,
+               "spec must be positive");
+  Plan plan;
+  PrintedFilmBattery::Params bp;
+
+  // Series count: ceil to reach the target at nominal cell voltage.
+  plan.cells_in_series =
+      std::max(1, static_cast<int>(std::ceil(v_target.value() / bp.cell_nominal.value())));
+  bp.cells_in_series = plan.cells_in_series;
+
+  // Required cell capacity: uAh.
+  const double uah = capacity.value() / 3.6e-3;
+  // Try max thickness first (fewest passes of area).
+  for (double thick_um = cons_.max_thickness.value() * 1e6;
+       thick_um >= cons_.min_thickness.value() * 1e6 - 1e-9; thick_um -= 10.0) {
+    const double cell_cm2 = uah / (bp.capacity_uah_per_cm2_per_um * thick_um);
+    const double total_cm2 = cell_cm2 * plan.cells_in_series;
+    if (total_cm2 <= cons_.max_patch.value() * 1e4) {
+      plan.feasible = true;
+      plan.thickness = Length{thick_um * 1e-6};
+      plan.cell_area = Area{cell_cm2 * 1e-4};
+      bp.footprint = Area{total_cm2 * 1e-4};
+      bp.film_thickness = plan.thickness;
+      plan.passes = static_cast<int>(
+          std::ceil(plan.thickness.value() / cons_.layer_per_pass.value()));
+      const double minutes =
+          total_cm2 * plan.passes / cons_.cm2_per_minute;
+      plan.print_time = Duration{minutes * 60.0};
+      plan.battery = bp;
+      plan.note = "ok";
+      return plan;
+    }
+  }
+  plan.note = "capacity does not fit the printable patch at any thickness";
+  return plan;
+}
+
+}  // namespace pico::storage

@@ -1,0 +1,95 @@
+// printed.hpp — dispenser-printed thin/thick-film micro-battery
+// (paper §7.2): "a low cost, direct write printing method which integrates
+// the capacitor and battery micropower system directly on a device ...
+// films of 30 to 100 um ... the ability to design storage to fit the
+// consumer, for example, a specific voltage range."
+//
+// The model: a zinc-chemistry film battery whose capacity scales with
+// printed area x film thickness, whose internal resistance scales
+// inversely with area, and whose terminal voltage is set by stacking
+// printed cells in series — plus a `DispenserPrinter` design helper that
+// turns a storage spec into a print plan.
+#pragma once
+
+#include "common/mathutil.hpp"
+#include "storage/store.hpp"
+
+namespace pico::storage {
+
+class PrintedFilmBattery : public EnergyStore {
+ public:
+  struct Params {
+    Area footprint{0.5e-4};       // 0.5 cm^2 printed patch
+    Length film_thickness{60e-6};  // 30-100 um printable window
+    int cells_in_series = 1;
+    // Chemistry constants (zinc-manganese class):
+    double capacity_uah_per_cm2_per_um = 0.45;  // areal capacity density
+    Voltage cell_nominal{1.5};
+    // Area-specific resistance of one cell at reference thickness.
+    double ohm_cm2 = 18.0;
+    double initial_soc = 1.0;
+    double self_discharge_per_day = 0.003;
+    // Printed film density (active material + binder), for J/g accounting.
+    double density_g_per_cm3 = 3.2;
+  };
+
+  PrintedFilmBattery();
+  explicit PrintedFilmBattery(Params p);
+
+  [[nodiscard]] std::string name() const override { return "printed-film"; }
+  [[nodiscard]] Voltage open_circuit_voltage() const override;
+  [[nodiscard]] Voltage terminal_voltage(Current discharge) const override;
+  TransferResult transfer(Current i, Duration dt) override;
+  [[nodiscard]] Energy stored_energy() const override;
+  [[nodiscard]] Energy capacity_energy() const override;
+  [[nodiscard]] double soc() const override { return soc_; }
+  [[nodiscard]] Current max_burst_current() const override;
+  [[nodiscard]] Mass mass() const override;
+  Energy idle(Duration dt) override;
+
+  [[nodiscard]] Charge capacity() const;
+  [[nodiscard]] Resistance internal_resistance() const;
+  [[nodiscard]] const Params& params() const { return prm_; }
+
+ private:
+  Params prm_;
+  LookupTable ocv_;
+  double soc_;
+};
+
+// Print-plan designer: given a storage spec, choose film thickness, cell
+// area, and series count within the printer's constraints.
+class DispenserPrinter {
+ public:
+  struct Constraints {
+    Length min_thickness{30e-6};
+    Length max_thickness{100e-6};
+    Area max_patch{1.0e-4};      // 1 cm^2 on the device face
+    // Printer throughput (three-axis micron stage): area per pass.
+    double cm2_per_minute = 0.2;
+    Length layer_per_pass{20e-6};
+  };
+
+  struct Plan {
+    bool feasible = false;
+    std::string note;
+    int cells_in_series = 1;
+    Area cell_area{};
+    Length thickness{};
+    int passes = 0;
+    Duration print_time{};
+    PrintedFilmBattery::Params battery;  // ready-to-construct parameters
+  };
+
+  DispenserPrinter();
+  explicit DispenserPrinter(Constraints c);
+
+  // Design for a target voltage and capacity.
+  [[nodiscard]] Plan design(Voltage v_target, Charge capacity) const;
+  [[nodiscard]] const Constraints& constraints() const { return cons_; }
+
+ private:
+  Constraints cons_;
+};
+
+}  // namespace pico::storage

@@ -1,0 +1,66 @@
+// store.hpp — common interface for harvested-energy storage buffers.
+//
+// Paper §4.4: the PicoCube buffers harvested energy in a 15 mAh NiMH cell;
+// capacitors and supercapacitors are the alternatives it weighs (energy
+// density 220 J/g NiMH vs 10 J/g supercap vs 2 J/g ceramic, burst-current
+// behaviour inverted). All three are modeled behind this interface so the
+// node simulation and the E3/E12 benches can swap them.
+//
+// Sign convention: `transfer()` takes the *charging* current as positive
+// and discharging as negative.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace pico::storage {
+
+// Result of a transfer step: what the buffer actually accepted/delivered.
+struct TransferResult {
+  Charge moved{};        // charge actually moved (signed, + = into store)
+  Energy stored_delta{}; // change in stored energy
+  Energy dissipated{};   // losses (internal resistance, overcharge heat)
+  bool hit_empty = false;
+  bool hit_full = false;
+};
+
+class EnergyStore {
+ public:
+  virtual ~EnergyStore() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Open-circuit (rest) voltage at the current state of charge.
+  [[nodiscard]] virtual Voltage open_circuit_voltage() const = 0;
+  // Terminal voltage while sourcing `discharge` (positive = discharging).
+  [[nodiscard]] virtual Voltage terminal_voltage(Current discharge) const = 0;
+
+  // Move charge for `dt` at current `i` (positive charges the store).
+  virtual TransferResult transfer(Current i, Duration dt) = 0;
+
+  // Energy currently stored and the full-charge capacity.
+  [[nodiscard]] virtual Energy stored_energy() const = 0;
+  [[nodiscard]] virtual Energy capacity_energy() const = 0;
+  // State of charge in [0, 1].
+  [[nodiscard]] virtual double soc() const = 0;
+
+  // Largest burst (pulse) discharge current the chemistry tolerates while
+  // keeping the terminal voltage above its cut-off.
+  [[nodiscard]] virtual Current max_burst_current() const = 0;
+
+  [[nodiscard]] virtual Mass mass() const = 0;
+  // Gravimetric energy density at full charge [J/kg].
+  [[nodiscard]] SpecificEnergy energy_density() const {
+    return SpecificEnergy{capacity_energy().value() / mass().value()};
+  }
+
+  // Passive losses over `dt` with no external current (self-discharge /
+  // leakage). Returns energy lost.
+  virtual Energy idle(Duration dt) = 0;
+
+  [[nodiscard]] bool empty() const { return soc() <= 0.0; }
+  [[nodiscard]] bool full() const { return soc() >= 1.0; }
+};
+
+}  // namespace pico::storage

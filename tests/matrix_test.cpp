@@ -1,0 +1,119 @@
+// Tests for the dense linear algebra used by the MNA solver.
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "circuits/matrix.hpp"
+#include "common/error.hpp"
+
+namespace pico::circuits {
+namespace {
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(0, 2) = 3;
+  a.at(1, 0) = 4;
+  a.at(1, 1) = 5;
+  a.at(1, 2) = 6;
+  Vector x(3);
+  x[0] = 1;
+  x[1] = 1;
+  x[2] = 1;
+  const Vector y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(LuSolver, SolvesIdentity) {
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+  Vector b(3);
+  b[0] = 1;
+  b[1] = 2;
+  b[2] = 3;
+  const Vector x = LuSolver(a).solve(b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+TEST(LuSolver, SolvesGeneralSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  Vector b(2);
+  b[0] = 5;
+  b[1] = 10;
+  const Vector x = LuSolver(a).solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolver, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  Vector b(2);
+  b[0] = 2;
+  b[1] = 3;
+  const Vector x = LuSolver(a).solve(b);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(LuSolver, DetectsSingular) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_THROW(LuSolver{a}, pico::DesignError);
+}
+
+TEST(LuSolver, ReusableForMultipleRhs) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 4;
+  a.at(1, 1) = 2;
+  LuSolver lu(a);
+  Vector b1(2), b2(2);
+  b1[0] = 4;
+  b2[1] = 2;
+  EXPECT_DOUBLE_EQ(lu.solve(b1)[0], 1.0);
+  EXPECT_DOUBLE_EQ(lu.solve(b2)[1], 1.0);
+}
+
+TEST(LuSolver, LargerRandomishSystemRoundTrip) {
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  // Diagonally dominant deterministic fill.
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      a.at(i, j) = std::sin(static_cast<double>(i * 7 + j * 3)) * 0.5;
+      row += std::abs(a.at(i, j));
+    }
+    a.at(i, i) = row + 1.0;
+  }
+  Vector x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = static_cast<double>(i) - 5.0;
+  const Vector b = a.multiply(x_true);
+  const Vector x = LuSolver(a).solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Vector, NormInf) {
+  Vector v(3);
+  v[0] = -5;
+  v[1] = 2;
+  v[2] = 4;
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 5.0);
+}
+
+}  // namespace
+}  // namespace pico::circuits

@@ -1,0 +1,253 @@
+// Tests for the power-management models: rectifiers, COTS regulators,
+// SC converter stages, power gating, and the integrated power IC.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "harvest/harvester.hpp"
+#include "power/converters.hpp"
+#include "power/gating.hpp"
+#include "power/power_ic.hpp"
+#include "power/rectifier.hpp"
+#include "sim/simulator.hpp"
+
+namespace pico::power {
+namespace {
+
+using namespace pico::literals;
+
+harvest::ElectromagneticShaker highway_shaker() {
+  return harvest::ElectromagneticShaker(harvest::make_highway_cycle());
+}
+
+TEST(Rectifier, IdealDeliversMostCurrent) {
+  const auto shaker = highway_shaker();
+  const Voltage vb = 1.25_V;
+  const auto ideal = IdealRectifier{}.rectify(shaker, vb, 10.0, 12.0);
+  const auto bridge = DiodeBridgeRectifier{}.rectify(shaker, vb, 10.0, 12.0);
+  const auto sync = SynchronousRectifier{}.rectify(shaker, vb, 10.0, 12.0);
+  EXPECT_GT(ideal.avg_current.value(), 0.0);
+  EXPECT_GT(sync.avg_current.value(), bridge.avg_current.value());
+  EXPECT_GE(ideal.avg_current.value(), sync.avg_current.value());
+}
+
+TEST(Rectifier, SynchronousNear96PercentOfIdeal) {
+  // Paper §7.1: "96 % of the efficiency of an ideal rectifier at 450 uW".
+  const auto shaker = highway_shaker();
+  const Voltage vb = 1.25_V;
+  const auto ideal = IdealRectifier{}.rectify(shaker, vb, 10.0, 12.0);
+  const auto sync = SynchronousRectifier{}.rectify(shaker, vb, 10.0, 12.0);
+  const double frac = sync.delivered_power.value() / ideal.delivered_power.value();
+  EXPECT_GT(frac, 0.90);
+  EXPECT_LT(frac, 1.0);
+}
+
+TEST(Rectifier, DiodeBridgeLosesTwoDrops) {
+  // With a 1.25 V sink and 0.7 V of bridge drops, conduction needs ~2 V
+  // peaks; the bridge conducts noticeably less often than the ideal.
+  const auto shaker = highway_shaker();
+  const auto ideal = IdealRectifier{}.rectify(shaker, 1.25_V, 10.0, 12.0);
+  const auto bridge = DiodeBridgeRectifier{}.rectify(shaker, 1.25_V, 10.0, 12.0);
+  EXPECT_LT(bridge.conduction_fraction, ideal.conduction_fraction);
+}
+
+TEST(Rectifier, NoOutputWhenParked) {
+  harvest::ElectromagneticShaker parked(harvest::make_parked(100_s));
+  const auto r = SynchronousRectifier{}.rectify(parked, 1.25_V, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(r.avg_current.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.conduction_fraction, 0.0);
+}
+
+TEST(Rectifier, PowerBalance) {
+  const auto shaker = highway_shaker();
+  const auto r = SynchronousRectifier{}.rectify(shaker, 1.25_V, 10.0, 12.0);
+  // source power = delivered + loss - control adjustments.
+  EXPECT_NEAR(r.source_power.value(),
+              r.delivered_power.value() + r.loss.value() -
+                  SynchronousRectifier{}.control_power().value(),
+              1e-12);
+}
+
+TEST(ChargePump, SnoozeQuiescentDominatesSleep) {
+  ChargePumpTps60313 cp;
+  const double iq = cp.params().iq_snooze.value();
+  // Sleep-mode load of ~1 uA: input current ~ 2*Iout/(1-loss) + Iq_snooze.
+  const auto iin = cp.input_current(1.25_V, 1_uA);
+  EXPECT_NEAR(iin.value(), 2e-6 / 0.95 + iq, 1e-9);
+  EXPECT_NEAR(cp.quiescent_power(1.25_V).value(), 1.25 * iq, 1e-12);
+}
+
+TEST(ChargePump, DoublerCeiling) {
+  ChargePumpTps60313 cp;
+  EXPECT_NEAR(cp.output_voltage(1.25_V, 1_mA).value(), 2.5, 1e-12);
+  EXPECT_NEAR(cp.output_voltage(1.8_V, 1_mA).value(), 3.3, 1e-12);  // regulated
+  EXPECT_DOUBLE_EQ(cp.output_voltage(0.5_V, 1_mA).value(), 0.0);    // under-voltage
+}
+
+TEST(ChargePump, ActiveModeAboveThreshold) {
+  ChargePumpTps60313 cp;
+  const auto i_light = cp.input_current(1.25_V, 1_mA);
+  const auto i_heavy = cp.input_current(1.25_V, 3_mA);
+  // Heavy load wakes the pump: quiescent jumps to the active value.
+  EXPECT_NEAR(i_heavy.value() - 2.0 * 3e-3 / 0.95, cp.params().iq_active.value(), 1e-6);
+  EXPECT_NEAR(i_light.value() - 2.0 * 1e-3 / 0.95, cp.params().iq_snooze.value(), 1e-6);
+}
+
+TEST(ChargePump, EfficiencyReasonableUnderLoad) {
+  ChargePumpTps60313 cp;
+  const double eff = cp.efficiency(1.25_V, 500_uA);
+  EXPECT_GT(eff, 0.7);
+  EXPECT_LT(eff, 1.0);
+}
+
+TEST(Ldo, DropoutBehaviour) {
+  LinearRegulatorLt3020 ldo;
+  EXPECT_NEAR(ldo.output_voltage(0.9_V, 1_mA).value(), 0.65, 1e-12);
+  // Input too low: output follows vin - dropout.
+  EXPECT_NEAR(ldo.output_voltage(0.7_V, 1_mA).value(), 0.55, 1e-12);
+}
+
+TEST(Ldo, GatedOffDrawsOnlyLeakage) {
+  LinearRegulatorLt3020 ldo;
+  ldo.set_enabled(false);
+  EXPECT_DOUBLE_EQ(ldo.output_voltage(0.9_V, 0_uA).value(), 0.0);
+  EXPECT_NEAR(ldo.input_current(0.9_V, 0_uA).value(), 5e-9, 1e-15);
+  ldo.set_enabled(true);
+  EXPECT_NEAR(ldo.input_current(0.9_V, 1_mA).value(), 1e-3 + 20e-6, 1e-12);
+}
+
+TEST(Ldo, EfficiencyIsVoutOverVinMinusIq) {
+  LinearRegulatorLt3020 ldo;
+  const double eff = ldo.efficiency(0.9_V, 2_mA);
+  // Ideal LDO efficiency bound: vout/vin = 0.722.
+  EXPECT_LT(eff, 0.65 / 0.9 + 1e-9);
+  EXPECT_GT(eff, 0.6);
+}
+
+TEST(Shunt, RegulatesUntilOverload) {
+  ShuntRegulatorStage sh;
+  const auto vdd = 2.5_V;  // MCU I/O rail
+  EXPECT_NEAR(sh.output_voltage(vdd, 100_uA).value(), 1.0, 1e-12);
+  const auto imax = sh.max_load(vdd);
+  EXPECT_NEAR(imax.value(), 1.5 / 5600.0, 1e-9);
+  // Overload: sags.
+  EXPECT_LT(sh.output_voltage(vdd, Current{2.0 * imax.value()}).value(), 1.0);
+}
+
+TEST(Shunt, BurnsConstantCurrentWhenEnergized) {
+  ShuntRegulatorStage sh;
+  const auto i0 = sh.input_current(2.5_V, 0_uA);
+  const auto i1 = sh.input_current(2.5_V, 100_uA);
+  EXPECT_NEAR(i0.value(), i1.value(), 1e-9);  // shunt absorbs the slack
+  sh.set_enabled(false);
+  EXPECT_DOUBLE_EQ(sh.input_current(2.5_V, 0_uA).value(), 0.0);
+}
+
+TEST(ScStage, RegulatesMcuRail) {
+  scopt::ConverterAnalysis an(scopt::Topology::doubler());
+  ScConverterStage stage("mcu", scopt::SizedConverter(std::move(an), scopt::Technology{},
+                                                      Area{1.2e-6}, Area{0.3e-6}),
+                         2.1_V, 200_uA);
+  EXPECT_NEAR(stage.output_voltage(1.2_V, 200_uA).value(), 2.1, 2e-2);
+  EXPECT_GT(stage.efficiency(1.2_V, 200_uA), 0.8);
+}
+
+TEST(ScStage, QuiescentIsTiny) {
+  scopt::ConverterAnalysis an(scopt::Topology::doubler());
+  ScConverterStage stage("mcu", scopt::SizedConverter(std::move(an), scopt::Technology{},
+                                                      Area{1.2e-6}, Area{0.3e-6}),
+                         2.1_V, 200_uA);
+  EXPECT_LT(stage.quiescent_power(1.2_V).value(), 1e-6);
+}
+
+TEST(ScStage, DisabledDrawsNothing) {
+  scopt::ConverterAnalysis an(scopt::Topology::step_down_3to2());
+  ScConverterStage stage("radio", scopt::SizedConverter(std::move(an), scopt::Technology{},
+                                                        Area{1.2e-6}, Area{0.3e-6}),
+                         Voltage{0.7}, 2.5_mA);
+  stage.set_enabled(false);
+  EXPECT_DOUBLE_EQ(stage.input_current(1.2_V, 1_mA).value(), 0.0);
+  EXPECT_DOUBLE_EQ(stage.output_voltage(1.2_V, 1_mA).value(), 0.0);
+}
+
+TEST(PowerGate, PassAndLeakage) {
+  PowerGate g;
+  EXPECT_DOUBLE_EQ(g.pass(1_V, 1_mA).value(), 0.0);  // off
+  EXPECT_NEAR(g.draw(1_V, 1_mA).value(), 1e-9, 1e-15);
+  g.set_on(true);
+  EXPECT_NEAR(g.pass(1_V, 1_mA).value(), 1.0 - 2e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(g.draw(1_V, 1_mA).value(), 1e-3);
+}
+
+TEST(RadioSequencer, SequencesInputThenOutput) {
+  sim::Simulator sim;
+  RadioRailSequencer seq(sim);
+  bool ready = false;
+  seq.power_up([&] { ready = true; });
+  EXPECT_TRUE(seq.input_gated_on());
+  EXPECT_FALSE(seq.output_gated_on());
+  sim.run_until(Duration{150e-6});
+  EXPECT_FALSE(seq.output_gated_on());  // still inside the delay
+  sim.run_until(Duration{250e-6});
+  EXPECT_TRUE(seq.output_gated_on());
+  EXPECT_FALSE(ready);  // settling
+  sim.run_until(Duration{400e-6});
+  EXPECT_TRUE(ready);
+  EXPECT_TRUE(seq.rail_good());
+}
+
+TEST(RadioSequencer, PowerDownCancelsPendingSequence) {
+  sim::Simulator sim;
+  RadioRailSequencer seq(sim);
+  bool ready = false;
+  seq.power_up([&] { ready = true; });
+  sim.run_until(Duration{100e-6});
+  seq.power_down();
+  sim.run_until(Duration{1e-3});
+  EXPECT_FALSE(ready);
+  EXPECT_FALSE(seq.rail_good());
+  EXPECT_FALSE(seq.input_gated_on());
+}
+
+TEST(PowerIc, RailsComeUp) {
+  PowerInterfaceIc ic;
+  EXPECT_NEAR(ic.mcu_rail_voltage(1.2_V, 100_uA).value(), 2.1, 0.05);
+  ic.set_radio_chain_enabled(true);
+  EXPECT_NEAR(ic.radio_rail_voltage(1.2_V, 1_mA).value(), 0.65, 0.02);
+}
+
+TEST(PowerIc, IdlePowerDominatedByLeakage) {
+  PowerInterfaceIc ic;
+  // 6.5 uA leakage at 1.2 V ~ 7.8 uW, plus references.
+  const double idle = ic.idle_power(1.2_V).value();
+  EXPECT_GT(idle, 7.5e-6);
+  EXPECT_LT(idle, 9e-6);
+}
+
+TEST(PowerIc, RadioChainGatedOffByDefault) {
+  PowerInterfaceIc ic;
+  const auto i_off = ic.battery_current(1.2_V, 0_uA, 0_uA);
+  ic.set_radio_chain_enabled(true);
+  const auto i_on = ic.battery_current(1.2_V, 0_uA, 2_mA);
+  EXPECT_GT(i_on.value(), i_off.value() + 1e-3);  // radio load reflected
+}
+
+TEST(PowerIc, BatteryCurrentReflectsLoads) {
+  PowerInterfaceIc ic;
+  ic.set_radio_chain_enabled(true);
+  const double base = ic.battery_current(1.2_V, 0_uA, 0_uA).value();
+  const double with_mcu = ic.battery_current(1.2_V, 300_uA, 0_uA).value();
+  // 1:2 doubler reflects ~2x.
+  EXPECT_NEAR(with_mcu - base, 2.0 * 300e-6, 60e-6);
+  const double with_radio = ic.battery_current(1.2_V, 0_uA, 2_mA).value();
+  // 3:2 down reflects ~2/3.
+  EXPECT_NEAR(with_radio - base, 2.0 / 3.0 * 2e-3, 4e-4);
+}
+
+TEST(PowerIc, RejectsBadRails) {
+  PowerInterfaceIc::BuildOptions opt;
+  opt.radio_sc_rail = Voltage{0.6};  // below the 0.65 target
+  EXPECT_THROW(PowerInterfaceIc{opt}, pico::DesignError);
+}
+
+}  // namespace
+}  // namespace pico::power

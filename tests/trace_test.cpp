@@ -1,0 +1,136 @@
+// Tests for waveform traces.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "sim/trace.hpp"
+
+namespace pico::sim {
+namespace {
+
+using namespace pico::literals;
+
+TEST(Trace, StepSemantics) {
+  Trace t("p", Interp::kStep);
+  t.record(0_s, 1.0);
+  t.record(1_s, 5.0);
+  t.record(3_s, 2.0);
+  EXPECT_DOUBLE_EQ(t.at(0.5_s), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(1.0_s), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(2.9_s), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(3.0_s), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(99_s), 2.0);
+}
+
+TEST(Trace, LinearSemantics) {
+  Trace t("v", Interp::kLinear);
+  t.record(0_s, 0.0);
+  t.record(2_s, 10.0);
+  EXPECT_DOUBLE_EQ(t.at(1_s), 5.0);
+}
+
+TEST(Trace, StepIntegralIsExact) {
+  Trace t("p", Interp::kStep);
+  t.record(0_s, 2.0);   // 2.0 over [0,1)
+  t.record(1_s, 4.0);   // 4.0 over [1,3)
+  t.record(3_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.integral(0_s, 3_s), 2.0 + 8.0);
+  EXPECT_DOUBLE_EQ(t.integral(0.5_s, 1.5_s), 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(t.integral(3_s, 5_s), 0.0);
+}
+
+TEST(Trace, IntegralBeyondEndsHoldsValues) {
+  Trace t("p", Interp::kStep);
+  t.record(1_s, 3.0);
+  // Before first sample holds first value; after last holds last.
+  EXPECT_DOUBLE_EQ(t.integral(0_s, 2_s), 3.0 * 2.0);
+}
+
+TEST(Trace, LinearIntegral) {
+  Trace t("v", Interp::kLinear);
+  t.record(0_s, 0.0);
+  t.record(2_s, 2.0);
+  EXPECT_DOUBLE_EQ(t.integral(0_s, 2_s), 2.0);  // triangle
+  EXPECT_DOUBLE_EQ(t.integral(0_s, 1_s), 0.5);
+}
+
+TEST(Trace, MeanOverWindow) {
+  Trace t("p", Interp::kStep);
+  t.record(0_s, 6.0);
+  t.record(1_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.mean(0_s, 2_s), 3.0);
+}
+
+TEST(Trace, SameTimestampOverwrites) {
+  Trace t("p");
+  t.record(1_s, 1.0);
+  t.record(1_s, 2.0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.at(1_s), 2.0);
+}
+
+TEST(Trace, RejectsTimeTravel) {
+  Trace t("p");
+  t.record(2_s, 1.0);
+  EXPECT_THROW(t.record(1_s, 1.0), pico::DesignError);
+}
+
+TEST(Trace, MinMaxStartEnd) {
+  Trace t("p");
+  t.record(1_s, -2.0);
+  t.record(2_s, 7.0);
+  EXPECT_DOUBLE_EQ(t.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(t.max_value(), 7.0);
+  EXPECT_DOUBLE_EQ(t.start_time().value(), 1.0);
+  EXPECT_DOUBLE_EQ(t.end_time().value(), 2.0);
+}
+
+TEST(Trace, Resample) {
+  Trace t("v", Interp::kLinear);
+  t.record(0_s, 0.0);
+  t.record(1_s, 1.0);
+  const auto pts = t.resample(0_s, 1_s, 5);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_DOUBLE_EQ(pts[2].first, 0.5);
+  EXPECT_DOUBLE_EQ(pts[2].second, 0.5);
+}
+
+TEST(TraceSet, ChannelsAndCsv) {
+  TraceSet ts;
+  ts.channel("a").record(0_s, 1.0);
+  ts.channel("b", Interp::kLinear).record(0_s, 2.0);
+  ts.channel("a").record(1_s, 3.0);
+  EXPECT_EQ(ts.names().size(), 2u);
+  EXPECT_NE(ts.find("a"), nullptr);
+  EXPECT_EQ(ts.find("zz"), nullptr);
+
+  const std::string path = "/tmp/pico_traceset_test.csv";
+  ts.write_csv(path, 0_s, 1_s, 3);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time_s,a,b");
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, EnergyAccountingScenario) {
+  // A 14 ms active pulse at 2 mW on top of a 4 uW sleep floor, 6 s period:
+  // average must come out near the paper's ~6 uW ballpark plus active part.
+  Trace p("node_power", Interp::kStep);
+  p.record(0_s, 4e-6);
+  p.record(1_s, 2e-3);
+  p.record(1.014_s, 4e-6);
+  const double energy = p.integral(0_s, 6_s);
+  const double avg = p.mean(0_s, 6_s);
+  EXPECT_NEAR(energy, 4e-6 * 6.0 + (2e-3 - 4e-6) * 0.014, 1e-9);
+  EXPECT_NEAR(avg, energy / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pico::sim

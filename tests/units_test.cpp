@@ -1,0 +1,108 @@
+// Tests for the dimensional-analysis unit system.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace pico {
+namespace {
+
+using namespace pico::literals;
+
+TEST(Units, LiteralScaling) {
+  EXPECT_DOUBLE_EQ((1.2_V).value(), 1.2);
+  EXPECT_DOUBLE_EQ((650_mV).value(), 0.65);
+  EXPECT_DOUBLE_EQ((6_uW).value(), 6e-6);
+  EXPECT_DOUBLE_EQ((18_nA).value(), 18e-9);
+  EXPECT_DOUBLE_EQ((14_ms).value(), 0.014);
+  EXPECT_DOUBLE_EQ((1.863_GHz).value(), 1.863e9);
+  EXPECT_DOUBLE_EQ((15_mAh).value(), 54.0);  // 15 mA * 3600 s
+}
+
+TEST(Units, DimensionalComposition) {
+  const Voltage v = 1.2_V;
+  const Current i = 5_mA;
+  const Power p = v * i;
+  EXPECT_DOUBLE_EQ(p.value(), 6e-3);
+
+  const Duration t = 2_s;
+  const Energy e = p * t;
+  EXPECT_DOUBLE_EQ(e.value(), 12e-3);
+
+  const Resistance r = v / i;
+  EXPECT_DOUBLE_EQ(r.value(), 240.0);
+
+  const Charge q = i * t;
+  EXPECT_DOUBLE_EQ(q.value(), 0.01);
+}
+
+TEST(Units, SameDimensionRatioIsDouble) {
+  const double ratio = 3_V / 1.5_V;
+  EXPECT_DOUBLE_EQ(ratio, 2.0);
+}
+
+TEST(Units, InUnitConversion) {
+  EXPECT_DOUBLE_EQ((2.4_V).in(units::mV), 2400.0);
+  EXPECT_DOUBLE_EQ((6e-6_W).in(units::uW), 6.0);
+  EXPECT_NEAR((54_C).in(units::mAh), 15.0, 1e-12);
+}
+
+TEST(Units, OhmsLawRoundTrip) {
+  const Resistance r = 1_kOhm;
+  const Current i = 1.2_V / r;
+  EXPECT_DOUBLE_EQ(i.value(), 1.2e-3);
+}
+
+TEST(Units, RcTimeConstantIsDuration) {
+  const Duration tau = 1_kOhm * 1_uF;
+  EXPECT_DOUBLE_EQ(tau.value(), 1e-3);
+}
+
+TEST(Units, SqrtOfSquaredResistance) {
+  const auto r2 = 3_Ohm * 3_Ohm + 4_Ohm * 4_Ohm;
+  const Resistance r = sqrt(r2);
+  EXPECT_DOUBLE_EQ(r.value(), 5.0);
+}
+
+TEST(Units, ComparisonAndArithmetic) {
+  EXPECT_LT(1.0_V, 1.2_V);
+  EXPECT_GT(2_mA, 1999_uA / 1.0);
+  Voltage v = 1_V;
+  v += 200_mV;
+  EXPECT_DOUBLE_EQ(v.value(), 1.2);
+  v *= 2.0;
+  EXPECT_DOUBLE_EQ(v.value(), 2.4);
+  EXPECT_DOUBLE_EQ((-v).value(), -2.4);
+}
+
+TEST(Units, AbsHelper) {
+  EXPECT_DOUBLE_EQ(abs(Voltage{-3.0}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(abs(Voltage{3.0}).value(), 3.0);
+}
+
+TEST(Units, DbmConversions) {
+  EXPECT_NEAR(watts_to_dbm(1.2_mW), 0.79, 0.01);  // the paper's 0.8 dBm PA
+  EXPECT_NEAR(dbm_to_watts(0.0).in(units::mW), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(-60.0).value(), 1e-9, 1e-15);
+  EXPECT_NEAR(ratio_to_db(2.0), 3.0103, 1e-3);
+  EXPECT_NEAR(db_to_ratio(-3.0103), 0.5, 1e-4);
+}
+
+TEST(Units, TemperatureHelpers) {
+  EXPECT_DOUBLE_EQ(celsius(25.0).value(), 298.15);
+  EXPECT_DOUBLE_EQ(to_celsius(Temperature{298.15}), 25.0);
+}
+
+TEST(Units, PaperConstants) {
+  // Spot-check unit plumbing against headline paper numbers.
+  const Power avg = 6_uW;
+  const Duration period = 6_s;
+  const Energy per_cycle = avg * period;
+  EXPECT_DOUBLE_EQ(per_cycle.in(units::uJ), 36.0);
+
+  // NiMH energy density: 15 mAh * 1.2 V / 0.295 g ~ 220 J/g.
+  const Energy cell = 15_mAh * 1.2_V;
+  EXPECT_NEAR(cell.value() / 0.295e-3 / 1e3, 220.0, 1.0);  // J/g
+}
+
+}  // namespace
+}  // namespace pico
