@@ -3,10 +3,12 @@
 // drive profiles, the sustainable sample interval, and an hour-scale SoC
 // trajectory mixing parked and driving segments.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/neutrality.hpp"
 #include "core/node.hpp"
+#include "runtime/parallel.hpp"
 
 using namespace pico;
 using namespace pico::literals;
@@ -21,18 +23,25 @@ int main() {
     const char* name;
     harvest::SpeedProfile profile;
   };
-  const Row rows[] = {
+  const std::vector<Row> rows = {
       {"parked", harvest::make_parked(600_s)},
       {"city stop-and-go", harvest::make_city_cycle()},
       {"highway cruise", harvest::make_highway_cycle()},
   };
-  core::NeutralityAnalysis::Result city_result{};
-  for (const auto& row : rows) {
+  // Each balance run is an independent deterministic simulation; map()
+  // returns results in row order, so the table is identical at any
+  // worker count.
+  runtime::ParallelRunner runner;
+  const auto balances = runner.map(rows, [](const Row& row) {
     core::NodeConfig cfg;
     cfg.drive = row.profile;
-    const auto r = core::NeutralityAnalysis::balance(cfg, 120_s);
-    if (std::string(row.name).find("city") != std::string::npos) city_result = r;
-    bal.add_row({row.name, si(r.harvest), si(r.consumption), si(r.net),
+    return core::NeutralityAnalysis::balance(cfg, 120_s);
+  });
+  core::NeutralityAnalysis::Result city_result{};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = balances[i];
+    if (std::string(rows[i].name).find("city") != std::string::npos) city_result = r;
+    bal.add_row({rows[i].name, si(r.harvest), si(r.consumption), si(r.net),
                  r.neutral ? "yes" : "no"});
   }
   bal.print(std::cout);
@@ -80,7 +89,12 @@ int main() {
   Table solar("solar-clad node (0.8 cm^2 of cells, MPP-tracked)");
   solar.set_header({"constant irradiance", "harvest", "vs 6.5 uW load", "neutral?"});
   double solar_threshold = 0.0;
-  for (double w_per_m2 : {1.0, 2.0, 5.0, 10.0, 50.0, 200.0}) {
+  const std::vector<double> irradiances = {1.0, 2.0, 5.0, 10.0, 50.0, 200.0};
+  struct SolarPoint {
+    double harvest_w = 0.0;
+    double average_w = 0.0;
+  };
+  const auto solar_points = runner.map(irradiances, [](double w_per_m2) {
     core::NodeConfig scfg;
     scfg.drive = harvest::make_parked(600_s);
     scfg.attach_harvester = true;
@@ -92,11 +106,16 @@ int main() {
     core::PicoCubeNode snode(scfg);
     snode.run(120_s);
     const auto sr = snode.report();
-    const double harvest_w = sr.harvested_energy_in.value() / sr.duration.value();
-    const bool neutral = harvest_w > sr.average_power.value();
+    return SolarPoint{sr.harvested_energy_in.value() / sr.duration.value(),
+                      sr.average_power.value()};
+  });
+  for (std::size_t i = 0; i < irradiances.size(); ++i) {
+    const double w_per_m2 = irradiances[i];
+    const auto& p = solar_points[i];
+    const bool neutral = p.harvest_w > p.average_w;
     if (!neutral) solar_threshold = w_per_m2;
-    solar.add_row({fixed(w_per_m2, 0) + " W/m^2", si(harvest_w, "W"),
-                   pct(harvest_w / sr.average_power.value(), 0), neutral ? "yes" : "no"});
+    solar.add_row({fixed(w_per_m2, 0) + " W/m^2", si(p.harvest_w, "W"),
+                   pct(p.harvest_w / p.average_w, 0), neutral ? "yes" : "no"});
   }
   solar.add_note("office lighting (~1-10 W/m^2) is marginal; a window side or");
   solar.add_note("outdoor shade (>50 W/m^2) is comfortably neutral — i.e. 'well-lit'");

@@ -4,12 +4,19 @@
 // see part-to-part spread in every quiescent parameter; this bench samples
 // datasheet-class tolerances and asks how robust the average-power figure
 // (and energy-neutrality on the city cycle) actually is.
+//
+// Trials run on runtime::ParallelRunner with per-trial RNG streams
+// (Rng::stream(seed, trial)), so the statistics are identical at any
+// --threads value. --json writes a machine-readable summary.
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/node.hpp"
+#include "runtime/parallel.hpp"
 
 using namespace pico;
 using namespace pico::literals;
@@ -52,16 +59,48 @@ Sample run_variant(Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trials=N --threads=N (0 = hardware concurrency) --json[=file]
+  std::size_t n = 80;
+  unsigned threads = 0;
+  std::string json_path;
+  bool json = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--trials=", 0) == 0) {
+      n = static_cast<std::size_t>(std::stoul(arg.substr(9)));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } else if (arg == "--json") {
+      json = true;
+      json_path = "BENCH_montecarlo.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    }
+  }
+
+  if (n == 0) {
+    std::cerr << "bench_tolerance_montecarlo: --trials must be >= 1\n";
+    return 1;
+  }
+
   bench::heading("E14", "Monte Carlo tolerance study of the 6 uW figure");
 
-  Rng rng(20260706);
+  constexpr std::uint64_t kBaseSeed = 20260706;
+  runtime::ParallelRunner runner(threads);
+  std::vector<Sample> trial(n);
+  runner.run_trials(n, [&](std::size_t i) {
+    // Per-trial stream: trial i's randomness is a pure function of
+    // (kBaseSeed, i), independent of scheduling and worker count.
+    Rng rng = Rng::stream(kBaseSeed, i);
+    trial[i] = run_variant(rng);
+  });
+
   RunningStats avg, floor_stats;
   Histogram hist(4.0, 10.0, 12);
   std::vector<double> samples;
-  const int n = 80;
-  for (int i = 0; i < n; ++i) {
-    const auto s = run_variant(rng);
+  for (const Sample& s : trial) {
     avg.add(s.avg_uw);
     floor_stats.add(s.floor_uw);
     hist.add(s.avg_uw);
@@ -80,6 +119,22 @@ int main() {
   t.print(std::cout);
 
   std::cout << "-- distribution of average power [uW] --\n" << hist.ascii(40);
+
+  if (json) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"tolerance_montecarlo\",\n"
+        << "  \"base_seed\": " << kBaseSeed << ",\n"
+        << "  \"trials\": " << n << ",\n"
+        << "  \"threads\": " << runner.threads() << ",\n"
+        << "  \"avg_power_uw\": {\"mean\": " << avg.mean() << ", \"stddev\": " << avg.stddev()
+        << ", \"min\": " << avg.min() << ", \"max\": " << avg.max()
+        << ", \"p10\": " << percentile(samples, 0.10) << ", \"p50\": " << percentile(samples, 0.50)
+        << ", \"p90\": " << percentile(samples, 0.90) << "},\n"
+        << "  \"sleep_floor_uw_mean\": " << floor_stats.mean() << "\n"
+        << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
 
   bench::PaperCheck check("E14 / tolerance Monte Carlo");
   check.add("fleet-mean average power", 6e-6, avg.mean() * 1e-6, "W", 0.25);

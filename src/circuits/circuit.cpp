@@ -4,44 +4,6 @@
 
 namespace pico::circuits {
 
-Stamper::Stamper(Matrix& a, Vector& b, std::size_t num_nodes)
-    : a_(a), b_(b), num_nodes_(num_nodes) {}
-
-void Stamper::conductance(Node n1, Node n2, double g) {
-  const int r1 = row(n1);
-  const int r2 = row(n2);
-  if (r1 >= 0) a_.at(static_cast<std::size_t>(r1), static_cast<std::size_t>(r1)) += g;
-  if (r2 >= 0) a_.at(static_cast<std::size_t>(r2), static_cast<std::size_t>(r2)) += g;
-  if (r1 >= 0 && r2 >= 0) {
-    a_.at(static_cast<std::size_t>(r1), static_cast<std::size_t>(r2)) -= g;
-    a_.at(static_cast<std::size_t>(r2), static_cast<std::size_t>(r1)) -= g;
-  }
-}
-
-void Stamper::current(Node n_from, Node n_to, double amps) {
-  const int rf = row(n_from);
-  const int rt = row(n_to);
-  if (rf >= 0) b_[static_cast<std::size_t>(rf)] -= amps;
-  if (rt >= 0) b_[static_cast<std::size_t>(rt)] += amps;
-}
-
-std::size_t Stamper::branch_row(std::size_t branch) const { return num_nodes_ + branch; }
-
-void Stamper::voltage_source(std::size_t branch, Node np, Node nn, double volts) {
-  const std::size_t br = branch_row(branch);
-  const int rp = row(np);
-  const int rn = row(nn);
-  if (rp >= 0) {
-    a_.at(static_cast<std::size_t>(rp), br) += 1.0;
-    a_.at(br, static_cast<std::size_t>(rp)) += 1.0;
-  }
-  if (rn >= 0) {
-    a_.at(static_cast<std::size_t>(rn), br) -= 1.0;
-    a_.at(br, static_cast<std::size_t>(rn)) -= 1.0;
-  }
-  b_[br] += volts;
-}
-
 Node Circuit::node(const std::string& name) {
   if (name == "0" || name == "gnd" || name == "GND") return kGround;
   const auto it = node_index_.find(name);
@@ -55,21 +17,42 @@ Node Circuit::node(const std::string& name) {
 void Circuit::finalize() {
   if (finalized_) return;
   num_branches_ = 0;
+  has_nonlinear_ = false;
+  linear_time_invariant_ = !components_.empty();
   for (const auto& c : components_) {
     const std::size_t nb = c->branches();
     if (nb > 0) {
       c->assign_branch(num_branches_);
       num_branches_ += nb;
     }
+    if (c->nonlinear()) has_nonlinear_ = true;
+    if (!c->linear_time_invariant()) linear_time_invariant_ = false;
   }
+  if (has_nonlinear_) linear_time_invariant_ = false;
   finalized_ = true;
 }
 
 bool Circuit::has_nonlinear() const {
+  if (finalized_) return has_nonlinear_;
   for (const auto& c : components_) {
     if (c->nonlinear()) return true;
   }
   return false;
+}
+
+bool Circuit::linear_time_invariant() const {
+  if (finalized_) return linear_time_invariant_;
+  if (components_.empty()) return false;
+  for (const auto& c : components_) {
+    if (c->nonlinear() || !c->linear_time_invariant()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Circuit::matrix_version_sum() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : components_) sum += c->matrix_version();
+  return sum;
 }
 
 const std::string& Circuit::node_name(Node n) const {

@@ -24,7 +24,10 @@ void Resistor::stamp(Stamper& s, const StampContext&) const { s.conductance(p_, 
 
 void Resistor::set_resistance(Resistance r) {
   PICO_REQUIRE(r.value() > 0.0, "resistance must be positive");
-  r_ = r.value();
+  if (r.value() != r_) {
+    r_ = r.value();
+    bump_matrix_version();
+  }
 }
 
 double Resistor::current(const Vector& sol) const {
@@ -39,15 +42,23 @@ Capacitor::Capacitor(Node p, Node n, Capacitance c, Voltage initial)
   PICO_REQUIRE(c.value() > 0.0, "capacitance must be positive");
 }
 
+double Capacitor::companion_geq(const StampContext& ctx) const {
+  if (ctx.dt != geq_dt_ || ctx.method != geq_method_) {
+    geq_dt_ = ctx.dt;
+    geq_method_ = ctx.method;
+    geq_ = ctx.method == Method::kBackwardEuler ? c_ / ctx.dt : 2.0 * c_ / ctx.dt;
+  }
+  return geq_;
+}
+
 void Capacitor::stamp(Stamper& s, const StampContext& ctx) const {
   if (ctx.dc) return;  // open circuit at DC
   PICO_ASSERT(ctx.dt > 0.0);
+  const double geq = companion_geq(ctx);
   if (ctx.method == Method::kBackwardEuler) {
-    const double geq = c_ / ctx.dt;
     s.conductance(p_, n_, geq);
     s.current(n_, p_, geq * v_prev_);  // history current injected into p
   } else {
-    const double geq = 2.0 * c_ / ctx.dt;
     s.conductance(p_, n_, geq);
     s.current(n_, p_, geq * v_prev_ + i_prev_);
   }
@@ -60,10 +71,11 @@ void Capacitor::commit(const Vector& sol, const StampContext& ctx) {
     i_prev_ = 0.0;
     return;
   }
+  const double geq = companion_geq(ctx);
   if (ctx.method == Method::kBackwardEuler) {
-    i_prev_ = c_ / ctx.dt * (v_new - v_prev_);
+    i_prev_ = geq * (v_new - v_prev_);
   } else {
-    i_prev_ = 2.0 * c_ / ctx.dt * (v_new - v_prev_) - i_prev_;
+    i_prev_ = geq * (v_new - v_prev_) - i_prev_;
   }
   v_prev_ = v_new;
 }
@@ -76,18 +88,26 @@ Inductor::Inductor(Node p, Node n, Inductance l, Current initial)
   PICO_REQUIRE(l.value() > 0.0, "inductance must be positive");
 }
 
+double Inductor::companion_geq(const StampContext& ctx) const {
+  if (ctx.dt != geq_dt_ || ctx.method != geq_method_) {
+    geq_dt_ = ctx.dt;
+    geq_method_ = ctx.method;
+    geq_ = ctx.method == Method::kBackwardEuler ? ctx.dt / l_ : ctx.dt / (2.0 * l_);
+  }
+  return geq_;
+}
+
 void Inductor::stamp(Stamper& s, const StampContext& ctx) const {
   if (ctx.dc) {
     s.conductance(p_, n_, kInductorDcConductance);
     return;
   }
   PICO_ASSERT(ctx.dt > 0.0);
+  const double geq = companion_geq(ctx);
   if (ctx.method == Method::kBackwardEuler) {
-    const double geq = ctx.dt / l_;
     s.conductance(p_, n_, geq);
     s.current(p_, n_, i_prev_);
   } else {
-    const double geq = ctx.dt / (2.0 * l_);
     s.conductance(p_, n_, geq);
     s.current(p_, n_, i_prev_ + geq * v_prev_);
   }
@@ -99,10 +119,11 @@ void Inductor::commit(const Vector& sol, const StampContext& ctx) {
     v_prev_ = 0.0;
     return;
   }
+  const double geq = companion_geq(ctx);
   if (ctx.method == Method::kBackwardEuler) {
-    i_prev_ += ctx.dt / l_ * v_new;
+    i_prev_ += geq * v_new;
   } else {
-    i_prev_ += ctx.dt / (2.0 * l_) * (v_new + v_prev_);
+    i_prev_ += geq * (v_new + v_prev_);
   }
   v_prev_ = v_new;
 }
@@ -203,7 +224,8 @@ void Switch::stamp(Stamper& s, const StampContext&) const {
 }
 
 void Switch::pre_step(const Vector& last, double time) {
-  if (controller_) on_ = controller_(last, time);
+  // Route through set_on so a state flip bumps the matrix version.
+  if (controller_) set_on(controller_(last, time));
 }
 
 double Switch::current(const Vector& sol) const {

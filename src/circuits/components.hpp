@@ -19,6 +19,8 @@ class Resistor : public Component {
   Resistor(Node p, Node n, Resistance r);
 
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  [[nodiscard]] bool linear_time_invariant() const override { return true; }
+  [[nodiscard]] bool stamps_rhs() const override { return false; }
   [[nodiscard]] Resistance resistance() const { return Resistance{r_}; }
   void set_resistance(Resistance r);
   // Current p->n given a solution.
@@ -35,14 +37,24 @@ class Capacitor : public Component {
 
   void stamp(Stamper& s, const StampContext& ctx) const override;
   void commit(const Vector& sol, const StampContext& ctx) override;
+  [[nodiscard]] bool linear_time_invariant() const override { return true; }
+  [[nodiscard]] bool has_commit() const override { return true; }
   [[nodiscard]] double voltage() const { return v_prev_; }
   void set_initial(Voltage v) { v_prev_ = v.value(); }
 
  private:
+  // Companion conductance for the current (dt, method), recomputed only
+  // when the step context changes — stamps run every step and the division
+  // is measurable there.
+  double companion_geq(const StampContext& ctx) const;
+
   Node p_, n_;
   double c_;
   double v_prev_;
   double i_prev_ = 0.0;
+  mutable double geq_ = 0.0;
+  mutable double geq_dt_ = -1.0;
+  mutable Method geq_method_ = Method::kBackwardEuler;
 };
 
 class Inductor : public Component {
@@ -51,13 +63,20 @@ class Inductor : public Component {
 
   void stamp(Stamper& s, const StampContext& ctx) const override;
   void commit(const Vector& sol, const StampContext& ctx) override;
+  [[nodiscard]] bool linear_time_invariant() const override { return true; }
+  [[nodiscard]] bool has_commit() const override { return true; }
   [[nodiscard]] double current() const { return i_prev_; }
 
  private:
+  double companion_geq(const StampContext& ctx) const;
+
   Node p_, n_;
   double l_;
   double i_prev_;
   double v_prev_ = 0.0;
+  mutable double geq_ = 0.0;
+  mutable double geq_dt_ = -1.0;
+  mutable Method geq_method_ = Method::kBackwardEuler;
 };
 
 // Independent voltage source; value may be a constant or a function of time.
@@ -69,6 +88,8 @@ class VoltageSource : public Component {
   VoltageSource(Node p, Node n, Waveform waveform);
 
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  // Waveform value lands in the rhs only; the ±1 branch pattern is fixed.
+  [[nodiscard]] bool linear_time_invariant() const override { return true; }
   [[nodiscard]] std::size_t branches() const override { return 1; }
   void assign_branch(std::size_t first) override { branch_ = first; }
   [[nodiscard]] std::size_t branch_index() const { return branch_; }
@@ -89,6 +110,8 @@ class CurrentSource : public Component {
   CurrentSource(Node p, Node n, Waveform waveform);
 
   void stamp(Stamper& s, const StampContext& ctx) const override;
+  // Stamps the rhs only.
+  [[nodiscard]] bool linear_time_invariant() const override { return true; }
   [[nodiscard]] double value_at(double t) const;
   void set_dc(Current i);
 
@@ -130,7 +153,17 @@ class Switch : public Component {
   Switch(Node p, Node n, Resistance r_on, Resistance r_off, bool initially_on = false);
 
   void stamp(Stamper& s, const StampContext& ctx) const override;
-  void set_on(bool on) { on_ = on; }
+  // Toggling changes the stamped conductance, so every state flip bumps
+  // the matrix version and the cached LU is re-factorized on the next step.
+  [[nodiscard]] bool linear_time_invariant() const override { return true; }
+  [[nodiscard]] bool stamps_rhs() const override { return false; }
+  [[nodiscard]] bool has_pre_step() const override { return true; }
+  void set_on(bool on) {
+    if (on != on_) {
+      on_ = on;
+      bump_matrix_version();
+    }
+  }
   [[nodiscard]] bool is_on() const { return on_; }
   // Optional controller evaluated before every step with (last accepted
   // solution, time); returns desired state.

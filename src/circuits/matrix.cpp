@@ -19,19 +19,28 @@ void Matrix::resize(std::size_t rows, std::size_t cols) {
   data_.assign(rows * cols, 0.0);
 }
 
-Vector Matrix::multiply(const Vector& x) const {
+void Matrix::multiply_into(const Vector& x, Vector& y) const {
   PICO_REQUIRE(x.size() == cols_, "matrix-vector dimension mismatch");
-  Vector y(rows_);
+  PICO_REQUIRE(&x != &y, "multiply_into aliasing: x and y must be distinct");
+  if (y.size() != rows_) y.assign(rows_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     double sum = 0.0;
     for (std::size_t c = 0; c < cols_; ++c) sum += at(r, c) * x[c];
     y[r] = sum;
   }
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  Vector y(rows_);
+  multiply_into(x, y);
   return y;
 }
 
-LuSolver::LuSolver(const Matrix& a) : n_(a.rows()), lu_(a), perm_(a.rows()) {
+void LuSolver::factorize(const Matrix& a) {
   PICO_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  n_ = a.rows();
+  lu_ = a;  // reuses capacity when the size is unchanged
+  perm_.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
 
   for (std::size_t k = 0; k < n_; ++k) {
@@ -58,9 +67,10 @@ LuSolver::LuSolver(const Matrix& a) : n_(a.rows()), lu_(a), perm_(a.rows()) {
   }
 }
 
-Vector LuSolver::solve(const Vector& b) const {
+void LuSolver::solve_into(const Vector& b, Vector& x) const {
   PICO_REQUIRE(b.size() == n_, "rhs dimension mismatch");
-  Vector x(n_);
+  PICO_REQUIRE(&b != &x, "solve_into aliasing: b and x must be distinct");
+  if (x.size() != n_) x.assign(n_, 0.0);
   // Forward substitution with permutation.
   for (std::size_t r = 0; r < n_; ++r) {
     double sum = b[perm_[r]];
@@ -73,6 +83,11 @@ Vector LuSolver::solve(const Vector& b) const {
     for (std::size_t c = ri + 1; c < n_; ++c) sum -= lu_.at(ri, c) * x[c];
     x[ri] = sum / lu_.at(ri, ri);
   }
+}
+
+Vector LuSolver::solve(const Vector& b) const {
+  Vector x(n_);
+  solve_into(b, x);
   return x;
 }
 

@@ -2,6 +2,10 @@
 //
 // Circuit matrices in this library are tiny (tens of unknowns), so a dense
 // LU factorization with partial pivoting is both simplest and fastest.
+//
+// Hot loops (Transient stepping, Monte Carlo sweeps) use the `_into`
+// overloads, which write results into caller-owned buffers and never
+// allocate; the by-value variants remain for one-shot callers.
 #pragma once
 
 #include <cstddef>
@@ -44,6 +48,8 @@ class Matrix {
 
   // y = A x
   [[nodiscard]] Vector multiply(const Vector& x) const;
+  // y = A x into an existing vector; y must not alias x.
+  void multiply_into(const Vector& x, Vector& y) const;
 
  private:
   std::size_t rows_ = 0;
@@ -52,17 +58,25 @@ class Matrix {
 };
 
 // LU factorization with partial pivoting. Factorizes a copy of A; reusable
-// for multiple right-hand sides.
+// for multiple right-hand sides. `factorize()` reuses internal storage, so
+// a long-lived solver re-factorized with same-sized matrices does not
+// allocate after the first call.
 class LuSolver {
  public:
+  LuSolver() = default;
   // Throws DesignError if the matrix is singular to working precision.
-  explicit LuSolver(const Matrix& a);
+  explicit LuSolver(const Matrix& a) { factorize(a); }
+
+  // (Re)factorize; invalidates previous factors.
+  void factorize(const Matrix& a);
 
   [[nodiscard]] Vector solve(const Vector& b) const;
+  // Solve into an existing vector; x must not alias b.
+  void solve_into(const Vector& b, Vector& x) const;
   [[nodiscard]] std::size_t dim() const { return n_; }
 
  private:
-  std::size_t n_;
+  std::size_t n_ = 0;
   Matrix lu_;
   std::vector<std::size_t> perm_;
 };

@@ -9,7 +9,21 @@ namespace pico::circuits {
 Transient::Transient(Circuit& circuit, Options options) : circuit_(circuit), opt_(options) {
   PICO_REQUIRE(opt_.dt > 0.0, "transient timestep must be positive");
   circuit_.finalize();
-  x_.assign(circuit_.system_size(), 0.0);
+  const std::size_t dim = circuit_.system_size();
+  x_.assign(dim, 0.0);
+  a_.resize(dim, dim);
+  b_.assign(dim, 0.0);
+  iterate_.assign(dim, 0.0);
+  next_.assign(dim, 0.0);
+  prev_state_.assign(dim, 0.0);
+  fast_path_eligible_ = opt_.cache_linear_lu && circuit_.linear_time_invariant();
+  for (const auto& comp : circuit_.components()) {
+    Component* c = comp.get();
+    all_comps_.push_back(c);
+    if (c->has_pre_step()) pre_step_comps_.push_back(c);
+    if (c->has_commit()) commit_comps_.push_back(c);
+    if (c->stamps_rhs()) rhs_comps_.push_back(c);
+  }
 }
 
 void Transient::set_initial(Node n, Voltage v) {
@@ -17,44 +31,86 @@ void Transient::set_initial(Node n, Voltage v) {
   x_[static_cast<std::size_t>(n - 1)] = v.value();
 }
 
-void Transient::solve_system(StampContext ctx) {
+void Transient::solve_cached(StampContext& ctx) {
+  // Matrix is constant for this (dt, method) until a component mutates its
+  // A stamp (tracked by the O(1) circuit-wide mutation epoch).
+  const std::uint64_t version = circuit_.matrix_epoch();
+  const bool cache_ok = lu_valid_ && lu_dt_ == ctx.dt && lu_method_ == ctx.method &&
+                        lu_version_ == version;
+  ctx.iterate = &x_;  // linear stamps never read it; kept for uniformity
+  if (!cache_ok) {
+    a_.fill(0.0);
+    b_.fill(0.0);
+    Stamper stamper(&a_, &b_, circuit_.num_nodes());
+    for (const Component* comp : all_comps_) comp->stamp(stamper, ctx);
+    lu_.factorize(a_);
+    ++lu_factorizations_;
+    lu_valid_ = true;
+    lu_dt_ = ctx.dt;
+    lu_method_ = ctx.method;
+    lu_version_ = version;
+  } else {
+    // rhs-only pass: pure-conductance components are skipped entirely; only
+    // source values and companion-model history currents land in b_.
+    b_.fill(0.0);
+    Stamper stamper(nullptr, &b_, circuit_.num_nodes());
+    for (const Component* comp : rhs_comps_) comp->stamp(stamper, ctx);
+  }
+  lu_.solve_into(b_, x_);
+  last_newton_ = 1;
+  used_fast_path_ = true;
+
+  for (Component* comp : commit_comps_) comp->commit(x_, ctx);
+}
+
+void Transient::solve_full(StampContext& ctx) {
   const std::size_t dim = circuit_.system_size();
-  Matrix a(dim, dim);
-  Vector b(dim);
-  Vector iterate = x_;
+  iterate_ = x_;
   const bool needs_newton = circuit_.has_nonlinear();
   const int iters = needs_newton ? opt_.max_newton : 1;
 
-  Vector prev_state = x_;  // last accepted solution, for companion history
-  ctx.previous = &prev_state;
+  prev_state_ = x_;  // last accepted solution, for companion history
+  ctx.previous = &prev_state_;
 
   int it = 0;
   for (; it < iters; ++it) {
-    a.fill(0.0);
-    b.fill(0.0);
-    Stamper stamper(a, b, circuit_.num_nodes());
-    ctx.iterate = &iterate;
-    for (const auto& comp : circuit_.components()) comp->stamp(stamper, ctx);
-    Vector next = LuSolver(a).solve(b);
+    a_.fill(0.0);
+    b_.fill(0.0);
+    Stamper stamper(&a_, &b_, circuit_.num_nodes());
+    ctx.iterate = &iterate_;
+    for (const Component* comp : all_comps_) comp->stamp(stamper, ctx);
+    lu_.factorize(a_);
+    ++lu_factorizations_;
+    lu_.solve_into(b_, next_);
 
     // Convergence: infinity-norm of the update.
     double delta = 0.0;
     double scale = 0.0;
     for (std::size_t i = 0; i < dim; ++i) {
-      delta = std::max(delta, std::fabs(next[i] - iterate[i]));
-      scale = std::max(scale, std::fabs(next[i]));
+      delta = std::max(delta, std::fabs(next_[i] - iterate_[i]));
+      scale = std::max(scale, std::fabs(next_[i]));
     }
-    iterate = next;
+    std::swap(iterate_, next_);
     if (!needs_newton || delta <= opt_.tol_abs + opt_.tol_rel * scale) {
       ++it;
       break;
     }
   }
   last_newton_ = it;
-  x_ = iterate;
+  std::swap(x_, iterate_);
+  lu_valid_ = false;  // lu_ now holds this step's factors, not the cache
+  used_fast_path_ = false;
 
   ctx.iterate = &x_;
-  for (const auto& comp : circuit_.components()) comp->commit(x_, ctx);
+  for (Component* comp : commit_comps_) comp->commit(x_, ctx);
+}
+
+void Transient::solve_system(StampContext& ctx) {
+  if (fast_path_eligible_ && !ctx.dc) {
+    solve_cached(ctx);
+  } else {
+    solve_full(ctx);
+  }
 }
 
 void Transient::solve_dc() {
@@ -63,13 +119,13 @@ void Transient::solve_dc() {
   ctx.dt = 0.0;
   ctx.dc = true;
   ctx.method = opt_.method;
-  for (const auto& comp : circuit_.components()) comp->pre_step(x_, time_);
+  for (Component* comp : pre_step_comps_) comp->pre_step(x_, time_);
   solve_system(ctx);
 }
 
 void Transient::step() {
   const double t_next = time_ + opt_.dt;
-  for (const auto& comp : circuit_.components()) comp->pre_step(x_, time_);
+  for (Component* comp : pre_step_comps_) comp->pre_step(x_, time_);
   StampContext ctx;
   ctx.time = t_next;
   ctx.dt = opt_.dt;

@@ -4,8 +4,19 @@
 // available) with Newton–Raphson iteration when the circuit contains
 // nonlinear elements. Observers are invoked after every accepted step to
 // record waveforms into `pico::sim::Trace`s.
+//
+// Linear fast path: when every component is linear and time-invariant in
+// its matrix contribution (see Component::linear_time_invariant), the MNA
+// matrix is constant for a given (dt, method), so it is stamped and
+// LU-factorized once and each step only re-stamps the right-hand side
+// (source values + companion-model history) and does an O(n²) in-place
+// substitution — no allocation, no O(n³) refactorization. The cache is
+// invalidated automatically when a switch toggles or a resistance changes
+// (matrix version tracking), and nonlinear circuits fall back to the full
+// Newton loop. See docs/PERFORMANCE.md.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "circuits/circuit.hpp"
@@ -22,6 +33,10 @@ class Transient {
     int max_newton = 100;    // Newton iterations per step
     double tol_abs = 1e-9;   // absolute convergence tolerance [V / A]
     double tol_rel = 1e-6;   // relative convergence tolerance
+    // Cache the LU factorization across steps for linear circuits
+    // (bit-identical waveforms either way; off forces the full
+    // refactorize-every-step path).
+    bool cache_linear_lu = true;
   };
 
   Transient(Circuit& circuit, Options options);
@@ -46,10 +61,19 @@ class Transient {
     return circuit_.branch_current(x_, src.branch_index());
   }
   [[nodiscard]] int last_newton_iterations() const { return last_newton_; }
+  // True if the last step was solved via the cached-LU fast path.
+  [[nodiscard]] bool used_fast_path() const { return used_fast_path_; }
+  // Number of LU factorizations performed so far (fast path: one per
+  // cache rebuild; full path: one per Newton iteration).
+  [[nodiscard]] std::uint64_t lu_factorizations() const { return lu_factorizations_; }
 
  private:
   // One nonlinear solve at the given context; updates x_.
-  void solve_system(StampContext ctx);
+  void solve_system(StampContext& ctx);
+  // Full per-iteration restamp + refactorize (Newton / DC / fallback).
+  void solve_full(StampContext& ctx);
+  // Cached-LU rhs-only solve for linear time-invariant circuits.
+  void solve_cached(StampContext& ctx);
 
   Circuit& circuit_;
   Options opt_;
@@ -60,6 +84,33 @@ class Transient {
   // need a consistent reactive-current history, which does not exist at
   // t = 0 (standard SPICE startup practice).
   bool first_step_ = true;
+
+  // Reusable workspaces: the step loop performs no heap allocation once
+  // these reach the system size.
+  Matrix a_;
+  Vector b_;
+  Vector iterate_;
+  Vector next_;
+  Vector prev_state_;
+  LuSolver lu_;
+
+  // Flat component schedules (built once in the constructor) so the step
+  // loop does not pay a virtual call for components whose pre_step/commit
+  // is a no-op, and the fast path's rhs pass skips pure-conductance stamps.
+  std::vector<Component*> all_comps_;
+  std::vector<Component*> pre_step_comps_;
+  std::vector<Component*> commit_comps_;
+  std::vector<const Component*> rhs_comps_;
+
+  // Cached-LU key; the cache is rebuilt whenever it mismatches.
+  bool lu_valid_ = false;
+  double lu_dt_ = 0.0;
+  Method lu_method_ = Method::kTrapezoidal;
+  std::uint64_t lu_version_ = 0;
+
+  bool fast_path_eligible_ = false;
+  bool used_fast_path_ = false;
+  std::uint64_t lu_factorizations_ = 0;
 };
 
 }  // namespace pico::circuits

@@ -92,4 +92,17 @@ Rng Rng::split() {
   return child;
 }
 
+Rng Rng::stream(std::uint64_t base_seed, std::uint64_t stream_index) {
+  // Diffuse the base seed, offset by the (diffused) index, then let
+  // reseed() run its own splitmix64 cascade over the result. Purely a
+  // function of (base_seed, stream_index): thread- and order-independent.
+  std::uint64_t b = base_seed;
+  const std::uint64_t base_hash = splitmix64(b);
+  std::uint64_t ix = stream_index ^ 0x5851f42d4c957f2dULL;
+  const std::uint64_t index_hash = splitmix64(ix);
+  Rng child;
+  child.reseed(base_hash ^ index_hash);
+  return child;
+}
+
 }  // namespace pico

@@ -47,6 +47,14 @@ class Rng {
   // stays stable when other components add or remove draws).
   Rng split();
 
+  // Deterministic per-index stream: stream(base, i) yields the same
+  // generator no matter which thread asks or in what order, so Monte Carlo
+  // trial i sees identical randomness at any worker count (see
+  // runtime::ParallelRunner and docs/PERFORMANCE.md). The base seed and
+  // index are both diffused through splitmix64 before seeding, so adjacent
+  // indices produce uncorrelated streams.
+  [[nodiscard]] static Rng stream(std::uint64_t base_seed, std::uint64_t stream_index);
+
  private:
   std::uint64_t s_[4] = {};
   double cached_normal_ = 0.0;

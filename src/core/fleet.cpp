@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "runtime/parallel.hpp"
 
 namespace pico::core {
 
@@ -27,33 +28,53 @@ FleetResult FleetAnalysis::run(const FleetConfig& cfg) {
     double end;
     int node;
   };
-  std::vector<Interval> frames;
   Rng rng(cfg.seed);
 
   FleetResult res;
   res.nodes = cfg.nodes;
-  double airtime_sum = 0.0;
 
+  // Interval draws stay sequential: Box–Muller caches a second deviate, so
+  // the draw order is part of the deterministic contract.
   for (int n = 0; n < cfg.nodes; ++n) {
     // Each wheel's timer runs at its own RC-tolerance period.
-    const double interval =
-        cfg.nominal_interval.value() * (1.0 + rng.normal(0.0, cfg.interval_tolerance));
-    res.intervals_s.push_back(interval);
+    res.intervals_s.push_back(cfg.nominal_interval.value() *
+                              (1.0 + rng.normal(0.0, cfg.interval_tolerance)));
+  }
 
+  // Each node simulation is independent (own seed, own frame buffer), so
+  // they run on the pool; merging per-node results in node order makes the
+  // outcome identical to the sequential loop at any thread count.
+  struct NodeRun {
+    std::vector<Interval> frames;
+  };
+  std::vector<int> node_ids(static_cast<std::size_t>(cfg.nodes));
+  for (int n = 0; n < cfg.nodes; ++n) node_ids[static_cast<std::size_t>(n)] = n;
+  runtime::ParallelRunner runner(cfg.threads);
+  std::vector<NodeRun> runs = runner.map(node_ids, [&](int n) {
     NodeConfig nc;
     nc.node_id = static_cast<std::uint8_t>(n + 1);
     nc.drive = harvest::make_city_cycle();
-    nc.sample_interval = Duration{interval};
+    nc.sample_interval = Duration{res.intervals_s[static_cast<std::size_t>(n)]};
     nc.data_rate = cfg.data_rate;
     nc.seed = cfg.seed + static_cast<std::uint64_t>(n) * 7919;
     PicoCubeNode node(nc);
-    node.set_frame_listener([&frames, &airtime_sum, n](const radio::RfFrame& f) {
+    NodeRun run;
+    node.set_frame_listener([&run, n](const radio::RfFrame& f) {
       const double air = static_cast<double>(f.bytes.size()) * 8.0 / f.data_rate.value();
-      frames.push_back({f.start.value(), f.start.value() + air, n});
-      airtime_sum += air;
+      run.frames.push_back({f.start.value(), f.start.value() + air, n});
     });
     node.run(cfg.sim_time);
+    return run;
+  });
+
+  // Merge in node order and accumulate airtime over the merged list — the
+  // same floating-point order as a sequential per-node loop.
+  std::vector<Interval> frames;
+  for (const NodeRun& run : runs) {
+    frames.insert(frames.end(), run.frames.begin(), run.frames.end());
   }
+  double airtime_sum = 0.0;
+  for (const Interval& f : frames) airtime_sum += f.end - f.start;
 
   res.frames_total = frames.size();
   if (frames.empty()) return res;

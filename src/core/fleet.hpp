@@ -25,6 +25,10 @@ struct FleetConfig {
   double interval_tolerance = 0.004;
   Frequency data_rate{200e3};
   std::uint64_t seed = 99;
+  // Worker concurrency for the per-node simulations (0 = hardware
+  // concurrency). The result is identical at any thread count: interval
+  // draws stay sequential and per-node frames are merged in node order.
+  unsigned threads = 0;
 };
 
 struct FleetResult {

@@ -1,0 +1,195 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace pico::runtime {
+
+namespace {
+// A chunk is a half-open range of trial indices.
+struct Chunk {
+  std::size_t begin;
+  std::size_t end;
+};
+}  // namespace
+
+struct ParallelRunner::Impl {
+  // One deque per worker slot (slot 0 is the caller). Deques are
+  // mutex-protected; chunks are coarse enough that contention is rare.
+  struct Queue {
+    std::mutex m;
+    std::deque<Chunk> q;
+  };
+
+  explicit Impl(unsigned threads) : queues(threads) {
+    workers.reserve(threads - 1);
+    for (unsigned w = 1; w < threads; ++w) {
+      workers.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::unique_lock<std::mutex> lk(job_m);
+      stopping = true;
+    }
+    job_cv.notify_all();
+    for (auto& t : workers) t.join();
+  }
+
+  // Pop from the back of our own deque (LIFO keeps a worker on the chunks
+  // it was dealt), or steal from the front of another's (FIFO takes the
+  // coldest work).
+  bool take(unsigned self, Chunk& out) {
+    {
+      Queue& mine = queues[self];
+      std::unique_lock<std::mutex> lk(mine.m);
+      if (!mine.q.empty()) {
+        out = mine.q.back();
+        mine.q.pop_back();
+        return true;
+      }
+    }
+    const unsigned n = static_cast<unsigned>(queues.size());
+    for (unsigned step = 1; step < n; ++step) {
+      Queue& victim = queues[(self + step) % n];
+      std::unique_lock<std::mutex> lk(victim.m);
+      if (!victim.q.empty()) {
+        out = victim.q.front();
+        victim.q.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void run_chunks(unsigned self) {
+    Chunk c{};
+    while (take(self, c)) {
+      for (std::size_t i = c.begin; i < c.end; ++i) {
+        try {
+          (*job)(i);
+        } catch (...) {
+          std::unique_lock<std::mutex> lk(error_m);
+          if (!error) error = std::current_exception();
+        }
+      }
+      if (chunks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::unique_lock<std::mutex> lk(job_m);
+        job_cv.notify_all();  // wakes the caller waiting for completion
+      }
+    }
+  }
+
+  void worker_loop(unsigned self) {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(job_m);
+        job_cv.wait(lk, [&] { return stopping || generation != seen_generation; });
+        if (stopping) return;
+        seen_generation = generation;
+      }
+      run_chunks(self);
+    }
+  }
+
+  std::vector<Queue> queues;
+  std::vector<std::thread> workers;
+
+  std::mutex job_m;
+  std::condition_variable job_cv;
+  std::uint64_t generation = 0;
+  bool stopping = false;
+
+  const std::function<void(std::size_t)>* job = nullptr;
+  std::atomic<std::size_t> chunks_remaining{0};
+
+  std::mutex error_m;
+  std::exception_ptr error;
+};
+
+ParallelRunner::ParallelRunner(Options opt) : chunk_opt_(opt.chunk) {
+  threads_ = opt.threads;
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+  if (threads_ > 1) impl_ = new Impl(threads_);
+}
+
+ParallelRunner::~ParallelRunner() { delete impl_; }
+
+void ParallelRunner::run_trials(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  PICO_REQUIRE(static_cast<bool>(fn), "trial function must be callable");
+  if (n == 0) return;
+  if (impl_ == nullptr) {
+    // Inline mode: no pool, but the same semantics as the pool — every
+    // trial runs, and the first exception is rethrown after the drain.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  std::size_t chunk = chunk_opt_;
+  if (chunk == 0) {
+    // Aim for ~4 chunks per worker so stealing has something to grab.
+    chunk = n / (static_cast<std::size_t>(threads_) * 4);
+    if (chunk == 0) chunk = 1;
+  }
+  run_on_pool(n, chunk, fn);
+}
+
+void ParallelRunner::run_on_pool(std::size_t n, std::size_t chunk,
+                                 const std::function<void(std::size_t)>& fn) {
+  Impl& im = *impl_;
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  // Publish the job before any chunk becomes stealable: a worker that is
+  // still draining the previous generation may grab a new chunk the moment
+  // it lands in a deque (hence also the preset remaining-count and the
+  // queue mutex around each push).
+  im.error = nullptr;
+  im.job = &fn;
+  im.chunks_remaining.store(num_chunks, std::memory_order_release);
+  std::size_t index = 0;
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, n);
+    Impl::Queue& dest = im.queues[index % threads_];
+    std::unique_lock<std::mutex> lk(dest.m);
+    dest.q.push_back(Chunk{begin, end});
+    ++index;
+  }
+  {
+    std::unique_lock<std::mutex> lk(im.job_m);
+    ++im.generation;
+  }
+  im.job_cv.notify_all();
+
+  im.run_chunks(0);  // the caller participates as worker 0
+
+  // Our deques are dry, but another worker may still be inside a chunk.
+  {
+    std::unique_lock<std::mutex> lk(im.job_m);
+    im.job_cv.wait(lk, [&] {
+      return im.chunks_remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  im.job = nullptr;
+  if (im.error) std::rethrow_exception(im.error);
+}
+
+}  // namespace pico::runtime

@@ -34,15 +34,19 @@ Vector ridge_least_squares(const Matrix& a, const Vector& b) {
   }
   const double lambda = 1e-10 * std::max(diag_max, 1.0);
   for (std::size_t i = 0; i < n; ++i) ata.at(i, i) += lambda;
-  return circuits::LuSolver(ata).solve(atb);
+  circuits::LuSolver lu;
+  lu.factorize(ata);
+  Vector x(n);
+  lu.solve_into(atb, x);
+  return x;
 }
 
 double residual_inf(const Matrix& a, const Vector& x, const Vector& b) {
+  Vector ax(a.rows());
+  a.multiply_into(x, ax);
   double worst = 0.0;
   for (std::size_t r = 0; r < a.rows(); ++r) {
-    double sum = 0.0;
-    for (std::size_t c = 0; c < a.cols(); ++c) sum += a.at(r, c) * x[c];
-    worst = std::max(worst, std::fabs(sum - b[r]));
+    worst = std::max(worst, std::fabs(ax[r] - b[r]));
   }
   return worst;
 }

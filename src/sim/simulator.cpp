@@ -8,8 +8,10 @@ EventId Simulator::schedule_at(Duration at, EventFn fn, std::string label) {
   PICO_REQUIRE(at.value() >= now_.value(), "cannot schedule an event in the past");
   PICO_REQUIRE(static_cast<bool>(fn), "event function must be callable");
   const EventId id = next_id_++;
-  pending_.emplace(id, Pending{std::move(fn), std::move(label), false, false, Duration{}});
+  pending_.emplace(id, Pending{std::move(fn), false, false, Duration{}});
+  if (!label.empty()) labels_.emplace(id, std::move(label));
   queue_.push(Event{at, next_seq_++, id});
+  ++live_events_;
   return id;
 }
 
@@ -22,23 +24,37 @@ bool Simulator::cancel(EventId id) {
   auto it = pending_.find(id);
   if (it == pending_.end() || it->second.cancelled) return false;
   it->second.cancelled = true;  // lazily removed when popped
+  --live_events_;
   return true;
 }
 
 EventId Simulator::every(Duration period, EventFn fn, std::string label) {
   PICO_REQUIRE(period.value() > 0.0, "period must be positive");
   const EventId id = next_id_++;
-  Pending p{std::move(fn), std::move(label), false, true, period};
-  pending_.emplace(id, std::move(p));
+  pending_.emplace(id, Pending{std::move(fn), false, true, period});
+  if (!label.empty()) labels_.emplace(id, std::move(label));
   queue_.push(Event{now_ + period, next_seq_++, id});
+  ++live_events_;
   return id;
+}
+
+std::string Simulator::label_of(EventId id) const {
+  const auto it = labels_.find(id);
+  return it == labels_.end() ? std::string{} : it->second;
+}
+
+void Simulator::remove_pending(std::unordered_map<EventId, Pending>::iterator it) {
+  // Guard keeps the hot path free of a second hash lookup when no event
+  // in this simulation ever carried a label.
+  if (!labels_.empty()) labels_.erase(it->first);
+  pending_.erase(it);
 }
 
 void Simulator::dispatch(const Event& ev) {
   auto it = pending_.find(ev.id);
   if (it == pending_.end()) return;
   if (it->second.cancelled) {
-    pending_.erase(it);
+    remove_pending(it);  // live_events_ already decremented by cancel()
     return;
   }
   now_ = ev.at;
@@ -51,7 +67,8 @@ void Simulator::dispatch(const Event& ev) {
     fn();
   } else {
     EventFn fn = std::move(it->second.fn);
-    pending_.erase(it);
+    remove_pending(it);
+    --live_events_;
     fn();
   }
 }
@@ -62,7 +79,7 @@ bool Simulator::step() {
     queue_.pop();
     auto it = pending_.find(ev.id);
     if (it == pending_.end() || it->second.cancelled) {
-      if (it != pending_.end()) pending_.erase(it);
+      if (it != pending_.end()) remove_pending(it);
       continue;  // skip tombstones
     }
     dispatch(ev);
@@ -86,14 +103,6 @@ void Simulator::run() {
   stopping_ = false;
   while (!stopping_ && step()) {
   }
-}
-
-std::size_t Simulator::events_pending() const {
-  std::size_t n = 0;
-  for (const auto& [id, p] : pending_) {
-    if (!p.cancelled) ++n;
-  }
-  return n;
 }
 
 }  // namespace pico::sim

@@ -25,7 +25,7 @@ using EventId = std::uint64_t;
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() { pending_.reserve(kPendingReserve); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -55,7 +55,11 @@ class Simulator {
   void stop() { stopping_ = true; }
 
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
-  [[nodiscard]] std::size_t events_pending() const;
+  // Live (scheduled, not yet cancelled/fired) events; O(1).
+  [[nodiscard]] std::size_t events_pending() const { return live_events_; }
+  // Label given at scheduling time, or "" (labels live in a side map so
+  // unlabelled events — the common case — never allocate).
+  [[nodiscard]] std::string label_of(EventId id) const;
 
  private:
   struct Event {
@@ -72,13 +76,15 @@ class Simulator {
 
   struct Pending {
     EventFn fn;
-    std::string label;
     bool cancelled = false;
     bool recurring = false;
     Duration period{};
   };
 
+  static constexpr std::size_t kPendingReserve = 64;
+
   void dispatch(const Event& ev);
+  void remove_pending(std::unordered_map<EventId, Pending>::iterator it);
 
   Duration now_{0.0};
   std::uint64_t next_seq_ = 0;
@@ -86,7 +92,10 @@ class Simulator {
   std::priority_queue<Event> queue_;
   // Pending bodies keyed by id; erased on dispatch/cancel.
   std::unordered_map<EventId, Pending> pending_;
+  // Side map for the rare labelled event; empty when no labels are used.
+  std::unordered_map<EventId, std::string> labels_;
   std::uint64_t dispatched_ = 0;
+  std::size_t live_events_ = 0;
   bool stopping_ = false;
 };
 

@@ -139,5 +139,52 @@ TEST(Simulator, StepProcessesOneEvent) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(Simulator, RecurringEventCancelsItselfFromItsOwnCallback) {
+  // The dispatcher re-arms a recurring event *before* running its body,
+  // so the body can cancel its own recurrence; the already-armed firing
+  // must then be swallowed as a tombstone, not dispatched.
+  Simulator sim;
+  int count = 0;
+  EventId id = 0;
+  id = sim.every(1_s, [&] {
+    if (++count == 3) {
+      EXPECT_TRUE(sim.cancel(id));
+    }
+  });
+  sim.run_until(100_s);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+  EXPECT_DOUBLE_EQ(sim.now().value(), 100.0);
+}
+
+TEST(Simulator, EventsPendingIsLive) {
+  Simulator sim;
+  EXPECT_EQ(sim.events_pending(), 0u);
+  const EventId a = sim.schedule_at(1_s, [] {});
+  sim.schedule_at(2_s, [] {});
+  const EventId rec = sim.every(5_s, [] {});
+  EXPECT_EQ(sim.events_pending(), 3u);
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.events_pending(), 2u);
+  EXPECT_FALSE(sim.cancel(a));  // double-cancel is not a second decrement
+  EXPECT_EQ(sim.events_pending(), 2u);
+  sim.run_until(3_s);
+  // The one-shot at 2 s fired; the recurrence is still live.
+  EXPECT_EQ(sim.events_pending(), 1u);
+  EXPECT_TRUE(sim.cancel(rec));
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, LabelsLiveInSideMap) {
+  Simulator sim;
+  const EventId labelled = sim.schedule_at(1_s, [] {}, "timer-tick");
+  const EventId plain = sim.schedule_at(2_s, [] {});
+  EXPECT_EQ(sim.label_of(labelled), "timer-tick");
+  EXPECT_EQ(sim.label_of(plain), "");
+  sim.run();
+  EXPECT_EQ(sim.label_of(labelled), "");  // dropped once the event fired
+}
+
 }  // namespace
 }  // namespace pico::sim
