@@ -13,7 +13,8 @@
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("ablation_quiescent", argc, argv);
   bench::heading("E11", "quiescent-power decomposition and gating ablation");
 
   // --- Decomposition of the sleep floor -----------------------------------
@@ -97,5 +98,5 @@ int main() {
                  awake_floor - baseline_floor > 20e-6);
   check.add_text("even ideal management leaves the sleep loads", "> 0",
                  si(ideal_floor, "W"), ideal_floor > 1e-6);
-  return check.finish();
+  return io.finish(check);
 }

@@ -12,7 +12,8 @@
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("antenna", argc, argv);
   bench::heading("E8", "patch antenna and link budget inside 1 cm^3");
 
   // Efficiency surface over thickness and dielectric constant.
@@ -98,5 +99,5 @@ int main() {
                  si(range_limit, "m"), range_limit >= 0.5 && range_limit <= 8.0);
   check.add_text("resonant patch cannot fit the 8 mm board", "electrically small",
                  si(shipped.resonant_length().value(), "m"), !shipped.fits_board());
-  return check.finish();
+  return io.finish(check);
 }

@@ -14,22 +14,31 @@ using namespace pico::literals;
 
 namespace {
 
-core::NodeReport run_tpms(Duration interval, Duration sim_time) {
+core::NodeReport run_tpms(Duration interval, Duration sim_time,
+                          obs::TelemetrySession* telemetry = nullptr) {
   core::NodeConfig cfg;
   cfg.drive = harvest::make_parked(Duration{sim_time.value() * 2.0});
   cfg.sample_interval = interval;
   core::PicoCubeNode node(cfg);
   node.run(sim_time);
+  if (telemetry) node.publish_metrics(telemetry->metrics());
   return node.report();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("avg_power", argc, argv);
   bench::heading("E2", "average node power for the TPMS application");
 
   // The paper's operating point: 6 s event interval.
-  const auto headline = run_tpms(6_s, 300_s);
+  const auto headline = [&] {
+    auto span = io.span("headline_run");
+    return run_tpms(6_s, 300_s, io.telemetry());
+  }();
+  io.metric("avg_power_w", headline.average_power.value());
+  io.metric("sleep_floor_w", headline.sleep_floor.value());
+  io.metric("cycle_time_s", headline.last_cycle_time.value());
   headline.to_table("TPMS node, 6 s interval, 300 s simulated").print(std::cout);
 
   // Sweep of sample interval.
@@ -54,5 +63,5 @@ int main() {
                  pct(headline.sleep_floor.value() / headline.average_power.value()),
                  headline.sleep_floor.value() > 0.5 * headline.average_power.value());
   check.add("wake cycle duration", 14e-3, headline.last_cycle_time.value(), "s", 0.30);
-  return check.finish();
+  return io.finish(check);
 }

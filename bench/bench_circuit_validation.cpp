@@ -54,7 +54,8 @@ double doubler_rout(double fsw, Capacitance c_fly, Resistance r_on) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("circuit_validation", argc, argv);
   bench::heading("V0", "behavioral models vs circuit-level MNA transients");
   bench::PaperCheck check("V0 / cross-engine validation");
 
@@ -102,5 +103,5 @@ int main() {
   }
   r.print(std::cout);
 
-  return check.finish();
+  return io.finish(check);
 }

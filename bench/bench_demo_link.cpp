@@ -47,7 +47,8 @@ DemoResult run_demo(Length distance, double alignment) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("demo_link", argc, argv);
   bench::heading("E10 (Figs 7/8)", "motion demo over the real link");
 
   // The demo as staged: ~1 m, decent orientation.
@@ -101,5 +102,5 @@ int main() {
                  far_misaligned.frames_decoded < far_misaligned.frames_seen);
   check.add_text("decoded samples carry handling motion", "X/Y/Z plot shows waving",
                  std::to_string(demo.samples.size()) + " samples", demo.samples.size() >= 5);
-  return check.finish();
+  return io.finish(check);
 }

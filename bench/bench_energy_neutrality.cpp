@@ -13,7 +13,8 @@
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("energy_neutrality", argc, argv);
   bench::heading("E12", "harvester-to-storage energy neutrality");
 
   // Balance per profile.
@@ -136,5 +137,5 @@ int main() {
   check.add_text("battery charges over the mixed hour", "SoC rises",
                  pct(rep.soc_start) + " -> " + pct(rep.soc_end),
                  rep.soc_end > rep.soc_start);
-  return check.finish();
+  return io.finish(check);
 }

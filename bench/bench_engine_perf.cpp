@@ -4,6 +4,7 @@
 // seconds of wall clock" property the neutrality analyses depend on.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "circuits/components.hpp"
 #include "circuits/transient.hpp"
 #include "core/node.hpp"
+#include "obs/session.hpp"
 #include "scopt/analysis.hpp"
 #include "sim/simulator.hpp"
 
@@ -18,6 +20,11 @@ using namespace pico;
 using namespace pico::literals;
 
 namespace {
+
+// Non-null when --telemetry was passed: transient counters (steps, Newton
+// iterations, LU cache hits/misses) accumulate across every benchmark
+// iteration and land in the run manifest on shutdown.
+std::unique_ptr<obs::TelemetrySession> g_telemetry;
 
 void BM_EventQueueThroughput(benchmark::State& state) {
   for (auto _ : state) {
@@ -59,6 +66,7 @@ void run_rc_transient(benchmark::State& state, bool cache_linear_lu) {
     opt.dt = 1e-6;
     opt.cache_linear_lu = cache_linear_lu;
     circuits::Transient tr(c, opt);
+    if (g_telemetry) tr.set_telemetry(&g_telemetry->metrics());
     tr.run_until(Duration{static_cast<double>(state.range(0)) * 1e-6});
     benchmark::DoNotOptimize(tr.voltage(out));
   }
@@ -136,8 +144,10 @@ BENCHMARK(BM_NodeWithHarvester)->Arg(120);
 // BENCHMARK_MAIN, plus a `--json[=file]` shorthand that expands to
 // google-benchmark's --benchmark_out=<file> --benchmark_out_format=json
 // (default file BENCH_engine.json) so CI can archive machine-readable
-// results with one stable flag.
+// results with one stable flag, and `--telemetry[=prefix]` for the obs
+// run manifest (both stripped before benchmark::Initialize sees argv).
 int main(int argc, char** argv) {
+  g_telemetry = obs::TelemetrySession::from_args(argc, argv, "bench_engine_perf");
   std::vector<std::string> args;
   std::string json_path;
   for (int i = 0; i < argc; ++i) {
@@ -146,7 +156,9 @@ int main(int argc, char** argv) {
       json_path = "BENCH_engine.json";
     } else if (a.rfind("--json=", 0) == 0) {
       json_path = a.substr(7);
-    } else {
+    } else if (a == "--telemetry") {
+      ++i;  // skip the prefix operand of the two-token form
+    } else if (a.rfind("--telemetry=", 0) != 0) {
       args.push_back(a);
     }
   }
@@ -162,5 +174,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (g_telemetry) g_telemetry->finish();
   return 0;
 }

@@ -76,7 +76,8 @@ void characterize(const scopt::Topology& topo, Voltage vin, Voltage vtarget,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("fig10_sc_converters", argc, argv);
   bench::heading("E5 (Fig 10)", "switched-capacitor converters of the power IC");
   bench::PaperCheck check("E5 / Fig 10 converters");
 
@@ -92,5 +93,5 @@ int main() {
   scopt::ConverterAnalysis s32(scopt::Topology::step_down_3to2());
   check.add("3:2 ratio", 2.0 / 3.0, s32.ratio(), "", 1e-6);
   check.add("3:2 cap voltage (Vin/3)", 1.0 / 3.0, s32.voltages().cap_voltage[0], "", 1e-6);
-  return check.finish();
+  return io.finish(check);
 }

@@ -14,7 +14,8 @@
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("fig6_power_profile", argc, argv);
   bench::heading("E1 (Fig 6)", "power profile during one 'on' cycle");
 
   core::NodeConfig cfg;
@@ -49,6 +50,8 @@ int main() {
 
   const double cycle_ms = node.last_cycle_time().value() * 1e3;
   const double peak_uw = p->max_value() * 1e6;
+  io.metric("cycle_time_ms", cycle_ms);
+  io.metric("peak_power_uw", peak_uw);
 
   bench::PaperCheck check("E1 / Fig 6");
   check.add("cycle duration", 14e-3, node.last_cycle_time().value(), "s", 0.30);
@@ -57,5 +60,5 @@ int main() {
   check.add_text("profile returns to sleep floor", "yes",
                  si(p->at(Duration{6.0 + 25e-3}), "W"),
                  p->at(Duration{6.0 + 25e-3}) < 10e-6);
-  return check.finish();
+  return io.finish(check);
 }

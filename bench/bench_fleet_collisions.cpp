@@ -14,7 +14,8 @@
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("fleet_collisions", argc, argv);
   bench::heading("E15", "multi-node beacon collisions (four-wheel TPMS)");
 
   core::FleetConfig cfg;
@@ -64,5 +65,5 @@ int main() {
   check.add_text("rate grows roughly linearly with fleet size", "32 nodes ~ 8x of 4",
                  pct(measured_at_32, 2),
                  measured_at_32 > 2.0 * four.collision_rate);
-  return check.finish();
+  return io.finish(check);
 }

@@ -11,7 +11,8 @@
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("packaging", argc, argv);
   bench::heading("E9", "1 cm^3 packaging assembly check");
 
   const auto stack = board::make_picocube_stack();
@@ -91,5 +92,5 @@ int main() {
   check.add_text("volume is 1 cm^3-class (but strict 1.000 does not close)",
                  "1.0 cm^3 (nominal)", fixed(rep.enclosed_volume.value() * 1e6, 2) + " cm^3",
                  rep.enclosed_volume.value() < 1.6e-6);
-  return check.finish();
+  return io.finish(check);
 }

@@ -10,7 +10,8 @@
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("power_ic", argc, argv);
   bench::heading("E7", "power-interface IC vs COTS power train");
 
   power::PowerInterfaceIc ic;
@@ -103,5 +104,5 @@ int main() {
   check.add_text("IC idles hotter than COTS (pad-ring leakage)", "v2 floor > v1 floor",
                  si(icv2.quiescent_power(1.2_V)) + " vs " + si(cots.quiescent_power(1.2_V)),
                  icv2.quiescent_power(1.2_V).value() > cots.quiescent_power(1.2_V).value());
-  return check.finish();
+  return io.finish(check);
 }

@@ -32,7 +32,8 @@ double frame_energy_j(const std::vector<std::uint8_t>& frame, Frequency rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("radio", argc, argv);
   bench::heading("E4", "FBAR OOK transmitter characterization");
 
   sim::Simulator sim;
@@ -92,5 +93,5 @@ int main() {
   check.add_text("startup << bit time at 330 kbps", "osc startup ~ us",
                  si(tx.oscillator().startup_time()),
                  tx.oscillator().startup_time().value() < 1.0 / 330e3 * 2.0);
-  return check.finish();
+  return io.finish(check);
 }

@@ -11,7 +11,8 @@
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("storage", argc, argv);
   bench::heading("E3", "harvested-energy storage comparison");
 
   storage::NiMhBattery nimh;
@@ -92,5 +93,5 @@ int main() {
                  supercap.max_burst_current().value() > nimh.max_burst_current().value());
   check.add_text("C/10 trickle is indefinite (no overcharge damage)", "SoC stays 100%",
                  pct(full.soc()), full.soc() >= 0.999);
-  return check.finish();
+  return io.finish(check);
 }

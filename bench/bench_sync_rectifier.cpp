@@ -34,7 +34,8 @@ Point measure(double omega) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("sync_rectifier", argc, argv);
   bench::heading("E6", "synchronous vs diode-bridge rectifier");
 
   Table t("delivered power into the 1.25 V cell vs rotation speed");
@@ -84,5 +85,5 @@ int main() {
                  at450.sync.delivered_power.value() > at450.bridge.delivered_power.value());
   check.add_text("bridge loses two junction drops", "large deficit at low speed",
                  pct(ybridge.front() / 100.0), ybridge.front() < 50.0);
-  return check.finish();
+  return io.finish(check);
 }

@@ -7,8 +7,8 @@
 //
 // Trials run on runtime::ParallelRunner with per-trial RNG streams
 // (Rng::stream(seed, trial)), so the statistics are identical at any
-// --threads value. --json writes a machine-readable summary.
-#include <fstream>
+// --threads value. --json writes a machine-readable summary; --telemetry
+// captures per-trial spans plus node/runner counters into a run manifest.
 #include <iostream>
 #include <string>
 
@@ -29,7 +29,7 @@ struct Sample {
   double cycle_ms;
 };
 
-Sample run_variant(Rng& rng) {
+Sample run_variant(Rng& rng, obs::TelemetrySession* telemetry) {
   core::NodeConfig cfg;
   cfg.drive = harvest::make_parked(600_s);
 
@@ -52,6 +52,7 @@ Sample run_variant(Rng& rng) {
 
   core::PicoCubeNode node(cfg);
   node.run(120_s);
+  if (telemetry) node.publish_metrics(telemetry->metrics());
   const auto r = node.report();
   return {r.average_power.value() * 1e6, r.sleep_floor.value() * 1e6,
           r.last_cycle_time.value() * 1e3};
@@ -61,22 +62,16 @@ Sample run_variant(Rng& rng) {
 
 int main(int argc, char** argv) {
   // --trials=N --threads=N (0 = hardware concurrency) --json[=file]
+  // --telemetry[=prefix]
+  bench::BenchIo io("tolerance_montecarlo", argc, argv);
   std::size_t n = 80;
   unsigned threads = 0;
-  std::string json_path;
-  bool json = false;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg.rfind("--trials=", 0) == 0) {
       n = static_cast<std::size_t>(std::stoul(arg.substr(9)));
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
-    } else if (arg == "--json") {
-      json = true;
-      json_path = "BENCH_montecarlo.json";
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json = true;
-      json_path = arg.substr(7);
     }
   }
 
@@ -88,14 +83,23 @@ int main(int argc, char** argv) {
   bench::heading("E14", "Monte Carlo tolerance study of the 6 uW figure");
 
   constexpr std::uint64_t kBaseSeed = 20260706;
+  if (io.telemetry()) {
+    io.telemetry()->manifest().set_seed(kBaseSeed);
+    io.telemetry()->manifest().set("trials", static_cast<std::uint64_t>(n));
+  }
   runtime::ParallelRunner runner(threads);
   std::vector<Sample> trial(n);
-  runner.run_trials(n, [&](std::size_t i) {
-    // Per-trial stream: trial i's randomness is a pure function of
-    // (kBaseSeed, i), independent of scheduling and worker count.
-    Rng rng = Rng::stream(kBaseSeed, i);
-    trial[i] = run_variant(rng);
-  });
+  {
+    auto run_span = io.span("montecarlo.run_trials");
+    runner.run_trials(n, [&](std::size_t i) {
+      // Per-trial stream: trial i's randomness is a pure function of
+      // (kBaseSeed, i), independent of scheduling and worker count.
+      auto trial_span = io.span("trial." + std::to_string(i));
+      Rng rng = Rng::stream(kBaseSeed, i);
+      trial[i] = run_variant(rng, io.telemetry());
+    });
+  }
+  if (io.telemetry()) runner.publish_metrics(io.telemetry()->metrics());
 
   RunningStats avg, floor_stats;
   Histogram hist(4.0, 10.0, 12);
@@ -120,21 +124,17 @@ int main(int argc, char** argv) {
 
   std::cout << "-- distribution of average power [uW] --\n" << hist.ascii(40);
 
-  if (json) {
-    std::ofstream out(json_path);
-    out << "{\n"
-        << "  \"bench\": \"tolerance_montecarlo\",\n"
-        << "  \"base_seed\": " << kBaseSeed << ",\n"
-        << "  \"trials\": " << n << ",\n"
-        << "  \"threads\": " << runner.threads() << ",\n"
-        << "  \"avg_power_uw\": {\"mean\": " << avg.mean() << ", \"stddev\": " << avg.stddev()
-        << ", \"min\": " << avg.min() << ", \"max\": " << avg.max()
-        << ", \"p10\": " << percentile(samples, 0.10) << ", \"p50\": " << percentile(samples, 0.50)
-        << ", \"p90\": " << percentile(samples, 0.90) << "},\n"
-        << "  \"sleep_floor_uw_mean\": " << floor_stats.mean() << "\n"
-        << "}\n";
-    std::cout << "wrote " << json_path << "\n";
-  }
+  io.metric("base_seed", static_cast<double>(kBaseSeed));
+  io.metric("trials", static_cast<double>(n));
+  io.metric("threads", static_cast<double>(runner.threads()));
+  io.metric("avg_power_uw_mean", avg.mean());
+  io.metric("avg_power_uw_stddev", avg.stddev());
+  io.metric("avg_power_uw_min", avg.min());
+  io.metric("avg_power_uw_max", avg.max());
+  io.metric("avg_power_uw_p10", percentile(samples, 0.10));
+  io.metric("avg_power_uw_p50", percentile(samples, 0.50));
+  io.metric("avg_power_uw_p90", percentile(samples, 0.90));
+  io.metric("sleep_floor_uw_mean", floor_stats.mean());
 
   bench::PaperCheck check("E14 / tolerance Monte Carlo");
   check.add("fleet-mean average power", 6e-6, avg.mean() * 1e-6, "W", 0.25);
@@ -144,5 +144,5 @@ int main(int argc, char** argv) {
   check.add_text("every sampled build is quiescent-dominated", "floor > half of avg",
                  fixed(floor_stats.mean() / avg.mean(), 2),
                  floor_stats.mean() > 0.45 * avg.mean());
-  return check.finish();
+  return io.finish(check);
 }

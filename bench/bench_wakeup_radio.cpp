@@ -10,7 +10,8 @@
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("wakeup_radio", argc, argv);
   bench::heading("E13 (§7.3)", "wake-up radio vs periodic beaconing");
 
   radio::WakeupReceiver rx;
@@ -76,5 +77,5 @@ int main() {
                  ref16.required_listen_power(6_s, 10.0 / 3600.0).value() < 3e-6);
   check.add_text("detector waterfall spans ~6 dB", "steep envelope detector",
                  "see table", rx.wake_probability(-50.0) > 0.95 && rx.wake_probability(-58.0) < 0.5);
-  return check.finish();
+  return io.finish(check);
 }

@@ -9,13 +9,17 @@
 
 #include "common/format.hpp"
 #include "core/node.hpp"
+#include "obs/session.hpp"
 #include "harvest/harvester.hpp"
 #include "power/rectifier.hpp"
 
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional run telemetry: --telemetry[=<prefix>] writes a manifest,
+  // Chrome trace, and span CSV for this run.
+  auto telemetry = obs::TelemetrySession::from_args(argc, argv, "bicycle_demo");
   const auto ride = harvest::make_bicycle_ride();
 
   // The bicycle scavenger: 8 magnet passes per revolution and a high-turn
@@ -62,7 +66,11 @@ int main() {
     battery.transfer(r.avg_current, 2_s);
   });
 
-  node.run(Duration{330.0});  // two loops of the ride
+  {
+    auto run_span = obs::span(telemetry.get(), "node.run");
+    node.run(Duration{330.0});  // two loops of the ride
+  }
+  if (telemetry) node.publish_metrics(telemetry->metrics());
 
   const auto rep = node.report();
   std::cout << "\n-- bicycle ride summary (5.5 min) --\n"
@@ -73,5 +81,6 @@ int main() {
   const bool charged = battery.soc() > rep.soc_start;
   std::cout << (charged ? "the wheel keeps the cube alive indefinitely\n"
                         : "this ride was too gentle; pedal harder\n");
+  if (telemetry) telemetry->finish();
   return 0;
 }

@@ -16,13 +16,17 @@
 #include "common/format.hpp"
 #include "core/lifetime.hpp"
 #include "core/node.hpp"
+#include "obs/session.hpp"
 #include "radio/wakeup.hpp"
 #include "storage/printed.hpp"
 
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional run telemetry: --telemetry[=<prefix>] writes a manifest,
+  // Chrome trace, and span CSV for this run.
+  auto telemetry = obs::TelemetrySession::from_args(argc, argv, "building_sensor");
   std::cout << "designing a building-wall PicoCube (solar, decades of service)\n";
 
   // 1. ---- Energy budget ----------------------------------------------------
@@ -76,7 +80,11 @@ int main() {
 
   // 4. ---- Week-long confirmation ----------------------------------------------
   core::PicoCubeNode node(cfg);
-  node.run(Duration{7 * 86400.0});
+  {
+    auto run_span = obs::span(telemetry.get(), "node.run");
+    node.run(Duration{7 * 86400.0});
+  }
+  if (telemetry) node.publish_metrics(telemetry->metrics());
   const auto rep = node.report();
   rep.to_table("one simulated week on the wall").print(std::cout);
 
@@ -94,5 +102,6 @@ int main() {
             << "cell-limited service life: ~" << fixed(life.years(), 0)
             << " years (calendar fade, not cycling) — the 'decades' goal needs\n"
             << "the printed-electrolyte work of paper §7.2\n";
+  if (telemetry) telemetry->finish();
   return 0;
 }

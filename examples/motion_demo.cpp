@@ -9,6 +9,7 @@
 
 #include "common/format.hpp"
 #include "core/node.hpp"
+#include "obs/session.hpp"
 #include "radio/receiver.hpp"
 
 using namespace pico;
@@ -29,7 +30,10 @@ void plot_axis(const std::string& label, double mps2) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional run telemetry: --telemetry[=<prefix>] writes a manifest,
+  // Chrome trace, and span CSV for this run.
+  auto telemetry = obs::TelemetrySession::from_args(argc, argv, "motion_demo");
   // Script the visit: picked up at t=10 s, waved, set down; handled again
   // at t=40 s.
   core::NodeConfig cfg;
@@ -60,7 +64,11 @@ int main() {
     plot_axis("Z", a->z - 9.81);
   });
 
-  node.run(60_s);
+  {
+    auto run_span = obs::span(telemetry.get(), "node.run");
+    node.run(60_s);
+  }
+  if (telemetry) node.publish_metrics(telemetry->metrics());
 
   const auto rep = node.report();
   std::cout << "\n-- demo summary --\n"
@@ -70,5 +78,6 @@ int main() {
             << "average node power   : " << si(rep.average_power)
             << " (deep sleep between handlings)\n"
             << "sleep floor          : " << si(rep.sleep_floor) << "\n";
+  if (telemetry) telemetry->finish();
   return 0;
 }

@@ -11,9 +11,12 @@
 //   $ ./power_ic_designer 3.0 0.001    # custom: Vout=3.0 V, Iout=1 mA
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "obs/session.hpp"
 #include "scopt/optimizer.hpp"
 
 using namespace pico;
@@ -21,7 +24,9 @@ using namespace pico::literals;
 
 namespace {
 
-void design_rail(const std::string& label, Voltage vout, Current iout) {
+void design_rail(const std::string& label, Voltage vout, Current iout,
+                 obs::TelemetrySession* telemetry = nullptr) {
+  auto rail_span = obs::span(telemetry, "design_rail: " + label);
   std::cout << "\n=== designing management core: " << label << " ===\n";
   scopt::DesignSpec spec;
   spec.vout = vout;
@@ -49,22 +54,37 @@ void design_rail(const std::string& label, Voltage vout, Current iout) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 3) {
-    const double vout = std::atof(argv[1]);
-    const double iout = std::atof(argv[2]);
+  // Optional run telemetry: --telemetry[=<prefix>] (stripped before the
+  // positional vout/iout operands are read).
+  auto telemetry = obs::TelemetrySession::from_args(argc, argv, "power_ic_designer");
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--telemetry") {
+      ++i;  // skip the prefix operand of the two-token form
+    } else if (a.rfind("--telemetry=", 0) != 0) {
+      pos.push_back(a);
+    }
+  }
+  if (pos.size() == 2) {
+    const double vout = std::atof(pos[0].c_str());
+    const double iout = std::atof(pos[1].c_str());
     if (vout <= 0.0 || iout <= 0.0) {
       std::cerr << "usage: power_ic_designer [vout_volts iout_amps]\n";
       return 2;
     }
-    design_rail("custom rail", Voltage{vout}, Current{iout});
+    design_rail("custom rail", Voltage{vout}, Current{iout}, telemetry.get());
+    if (telemetry) telemetry->finish();
     return 0;
   }
 
   std::cout << "PicoCube power-interface IC rails (from a 1.0-1.4 V NiMH cell)\n";
   // The two cores the paper's IC integrates (Fig 9 / Fig 10).
-  design_rail("microcontroller + sensors (2.1 V)", 2.1_V, 200_uA);
-  design_rail("radio, before the 0.65 V post-regulator (0.7 V)", Voltage{0.7}, 2.5_mA);
+  design_rail("microcontroller + sensors (2.1 V)", 2.1_V, 200_uA, telemetry.get());
+  design_rail("radio, before the 0.65 V post-regulator (0.7 V)", Voltage{0.7}, 2.5_mA,
+              telemetry.get());
   // A stretch spec showing topology selection: a 3.3 V EEPROM rail.
-  design_rail("hypothetical 3.3 V peripheral rail", Voltage{3.3}, 50_uA);
+  design_rail("hypothetical 3.3 V peripheral rail", Voltage{3.3}, 50_uA, telemetry.get());
+  if (telemetry) telemetry->finish();
   return 0;
 }

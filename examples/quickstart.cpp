@@ -9,11 +9,15 @@
 
 #include "common/format.hpp"
 #include "core/node.hpp"
+#include "obs/session.hpp"
 
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional run telemetry: --telemetry[=<prefix>] writes a manifest,
+  // Chrome trace, and span CSV for this run.
+  auto telemetry = obs::TelemetrySession::from_args(argc, argv, "quickstart");
   // A tire-pressure node parked in a garage: no harvesting, pure battery.
   core::NodeConfig cfg;
   cfg.sensor = core::NodeConfig::Sensor::kTpms;
@@ -22,7 +26,11 @@ int main() {
   cfg.drive = harvest::make_parked(300_s);
 
   core::PicoCubeNode node(cfg);
-  node.run(120_s);
+  {
+    auto run_span = obs::span(telemetry.get(), "node.run");
+    node.run(120_s);
+  }
+  if (telemetry) node.publish_metrics(telemetry->metrics());
 
   const auto report = node.report();
   report.to_table("PicoCube quickstart — 120 s of TPMS duty cycle").print(std::cout);
@@ -39,5 +47,6 @@ int main() {
                       report.average_power.value() / 86400.0;
   std::cout << "battery-only lifetime at this rate : " << fixed(days, 0) << " days\n"
             << "(the harvester exists so this number stops mattering)\n";
+  if (telemetry) telemetry->finish();
   return 0;
 }

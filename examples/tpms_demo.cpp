@@ -9,12 +9,16 @@
 
 #include "common/format.hpp"
 #include "core/node.hpp"
+#include "obs/session.hpp"
 #include "radio/receiver.hpp"
 
 using namespace pico;
 using namespace pico::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional run telemetry: --telemetry[=<prefix>] writes a manifest,
+  // Chrome trace, and span CSV for this run.
+  auto telemetry = obs::TelemetrySession::from_args(argc, argv, "tpms_demo");
   // The commute wheel-speed profile (rad/s on a 0.31 m tire).
   harvest::SpeedProfile commute({{0.0, 0.0},
                                  {30.0, 40.0},
@@ -57,7 +61,11 @@ int main() {
                  si(s->supply)});
   });
 
-  node.run(Duration{3600.0});
+  {
+    auto run_span = obs::span(telemetry.get(), "node.run");
+    node.run(Duration{3600.0});
+  }
+  if (telemetry) node.publish_metrics(telemetry->metrics());
   log.print(std::cout);
 
   const auto rep = node.report();
@@ -74,5 +82,6 @@ int main() {
             << fixed(to_celsius(env->temperature(0.0)), 1) << " C\n"
             << "  hot pressure   " << fixed(env->pressure(3000.0).value() / 1e3, 1)
             << " kPa at " << fixed(to_celsius(env->temperature(3000.0)), 1) << " C\n";
+  if (telemetry) telemetry->finish();
   return 0;
 }

@@ -37,6 +37,14 @@ void Transient::solve_cached(StampContext& ctx) {
   const std::uint64_t version = circuit_.matrix_epoch();
   const bool cache_ok = lu_valid_ && lu_dt_ == ctx.dt && lu_method_ == ctx.method &&
                         lu_version_ == version;
+  if constexpr (obs::kEnabled) {
+    if (cache_ok) {
+      ++lu_hits_;
+    } else {
+      if (lu_valid_) ++lu_invalidations_;  // a live cache was evicted
+      ++lu_misses_;
+    }
+  }
   ctx.iterate = &x_;  // linear stamps never read it; kept for uniformity
   if (!cache_ok) {
     a_.fill(0.0);
@@ -134,14 +142,58 @@ void Transient::step() {
   first_step_ = false;
   solve_system(ctx);
   time_ = t_next;
+  if constexpr (obs::kEnabled) {
+    ++steps_;
+    newton_total_ += static_cast<std::uint64_t>(last_newton_);
+  }
 }
 
 void Transient::run_until(Duration t_end, const Observer& observer) {
   PICO_REQUIRE(t_end.value() >= time_, "run_until target is in the past");
+  // Inert unless a tracer is attached (tracer_ stays null when
+  // observability is compiled out) — nothing here runs per step.
+  obs::Span span(tracer_, "transient.run_until");
   // Half-step tolerance avoids a missed final step from accumulation error.
   while (time_ + 0.5 * opt_.dt < t_end.value()) {
     step();
     if (observer) observer(time_, x_);
+  }
+  publish_metrics();
+}
+
+void Transient::set_telemetry(obs::MetricsRegistry* metrics, obs::Tracer* tracer) {
+  if constexpr (obs::kEnabled) {
+    metrics_ = metrics;
+    tracer_ = tracer;
+    if (metrics_ != nullptr) {
+      id_steps_ = metrics_->counter("transient.steps");
+      id_newton_ = metrics_->counter("transient.newton_iterations");
+      id_hits_ = metrics_->counter("transient.lu_cache.hits");
+      id_misses_ = metrics_->counter("transient.lu_cache.misses");
+      id_invalidations_ = metrics_->counter("transient.lu_cache.invalidations");
+      id_factorizations_ = metrics_->counter("transient.lu_factorizations");
+    }
+  } else {
+    (void)metrics;
+    (void)tracer;
+  }
+}
+
+void Transient::publish_metrics() {
+  if constexpr (obs::kEnabled) {
+    if (metrics_ == nullptr) return;
+    const auto flush = [this](obs::MetricId id, std::uint64_t current, std::uint64_t& prev) {
+      if (current != prev) {
+        metrics_->add(id, static_cast<double>(current - prev));
+        prev = current;
+      }
+    };
+    flush(id_steps_, steps_, published_.steps);
+    flush(id_newton_, newton_total_, published_.newton);
+    flush(id_hits_, lu_hits_, published_.hits);
+    flush(id_misses_, lu_misses_, published_.misses);
+    flush(id_invalidations_, lu_invalidations_, published_.invalidations);
+    flush(id_factorizations_, lu_factorizations_, published_.factorizations);
   }
 }
 

@@ -21,6 +21,8 @@
 
 #include "circuits/circuit.hpp"
 #include "circuits/components.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/trace.hpp"
 
 namespace pico::circuits {
@@ -67,6 +69,29 @@ class Transient {
   // cache rebuild; full path: one per Newton iteration).
   [[nodiscard]] std::uint64_t lu_factorizations() const { return lu_factorizations_; }
 
+  // --- Observability ---------------------------------------------------------
+  // Attach a metrics registry (and optionally a tracer). Counters flush to
+  // the registry on publish_metrics(), which run_until() calls when it
+  // returns. All of this — including the per-step accounting below — is
+  // compiled away when PICO_OBSERVABILITY=OFF (the getters then read 0).
+  void set_telemetry(obs::MetricsRegistry* metrics, obs::Tracer* tracer = nullptr);
+  // Flush counter deltas since the last publish into the registry
+  // ("transient.steps", "transient.newton_iterations",
+  // "transient.lu_cache.{hits,misses,invalidations}",
+  // "transient.lu_factorizations"). Safe to call repeatedly.
+  void publish_metrics();
+
+  // Accepted transient steps (fast or full path).
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  [[nodiscard]] std::uint64_t newton_iterations_total() const { return newton_total_; }
+  // Fast-path steps served by the cached factorization / forced to rebuild.
+  // For a linear time-invariant run, hits + misses == steps.
+  [[nodiscard]] std::uint64_t lu_cache_hits() const { return lu_hits_; }
+  [[nodiscard]] std::uint64_t lu_cache_misses() const { return lu_misses_; }
+  // Misses that evicted a previously-valid cache (switch toggled, dt or
+  // method changed), as opposed to the initial cold build.
+  [[nodiscard]] std::uint64_t lu_cache_invalidations() const { return lu_invalidations_; }
+
  private:
   // One nonlinear solve at the given context; updates x_.
   void solve_system(StampContext& ctx);
@@ -111,6 +136,26 @@ class Transient {
   bool fast_path_eligible_ = false;
   bool used_fast_path_ = false;
   std::uint64_t lu_factorizations_ = 0;
+
+  // Observability accounting (all increments sit behind
+  // `if constexpr (obs::kEnabled)` so an OFF build carries no code).
+  std::uint64_t steps_ = 0;
+  std::uint64_t newton_total_ = 0;
+  std::uint64_t lu_hits_ = 0;
+  std::uint64_t lu_misses_ = 0;
+  std::uint64_t lu_invalidations_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  struct PublishedCounters {
+    std::uint64_t steps = 0, newton = 0, hits = 0, misses = 0, invalidations = 0,
+                  factorizations = 0;
+  } published_;
+  obs::MetricId id_steps_ = obs::kInvalidMetric;
+  obs::MetricId id_newton_ = obs::kInvalidMetric;
+  obs::MetricId id_hits_ = obs::kInvalidMetric;
+  obs::MetricId id_misses_ = obs::kInvalidMetric;
+  obs::MetricId id_invalidations_ = obs::kInvalidMetric;
+  obs::MetricId id_factorizations_ = obs::kInvalidMetric;
 };
 
 }  // namespace pico::circuits

@@ -1,0 +1,133 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace pico {
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  const std::size_t depth = stack_.size();
+  for (std::size_t i = 0; i < depth * static_cast<std::size_t>(indent_); ++i) os_ << ' ';
+}
+
+void JsonWriter::separate(bool is_key) {
+  if (after_key_) {
+    PICO_ASSERT(!is_key);  // key after key: missing value
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // root value
+  Level& top = stack_.back();
+  PICO_ASSERT(is_key ? !top.array : top.array);  // keys only in objects
+  if (!top.first) os_ << ',';
+  top.first = false;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate(false);
+  os_ << '{';
+  stack_.push_back(Level{false, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PICO_ASSERT(!stack_.empty() && !stack_.back().array);
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate(false);
+  os_ << '[';
+  stack_.push_back(Level{true, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PICO_ASSERT(!stack_.empty() && stack_.back().array);
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  separate(true);
+  os_ << '"' << escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separate(false);
+  os_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  separate(false);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate(false);
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate(false);
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate(false);
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate(false);
+  os_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pico

@@ -1,0 +1,78 @@
+// json.hpp — minimal streaming JSON writer for machine-readable outputs
+// (bench --json reports, telemetry manifests, Chrome trace events).
+//
+// The writer tracks nesting and inserts commas/indentation itself, so call
+// sites read like the document they produce:
+//
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.kv("bench", "storage");
+//   w.key("metrics").begin_object();
+//   w.kv("avg_uw", 6.03);
+//   w.end_object();
+//   w.end_object();
+//
+// Non-finite doubles are emitted as `null` (JSON has no inf/nan). No
+// parsing lives here; consumers are python/jq/chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pico {
+
+class JsonWriter {
+ public:
+  // indent = 0 writes compact single-line JSON (used for trace events,
+  // where files can hold many thousands of records).
+  explicit JsonWriter(std::ostream& os, int indent = 2) : os_(os), indent_(indent) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key inside an object; must be followed by a value or begin_*.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  // JSON string escaping (quotes not included).
+  static std::string escape(const std::string& s);
+
+ private:
+  struct Level {
+    bool array = false;
+    bool first = true;
+  };
+
+  // Called before emitting any value or key: comma + newline + indent.
+  void separate(bool is_key);
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Level> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace pico

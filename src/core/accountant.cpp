@@ -1,6 +1,7 @@
 #include "core/accountant.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pico::core {
 
@@ -41,8 +42,10 @@ void PowerAccountant::integrate_to_now() {
   const Current net{harvest_.value() - draw.value()};
   const auto moved = battery_.transfer(net, Duration{dt});
   battery_.idle(Duration{dt});  // self-discharge in parallel
+  if constexpr (obs::kEnabled) ++intervals_;
   if (moved.hit_empty && !empty_signaled_) {
     empty_signaled_ = true;
+    if constexpr (obs::kEnabled) ++brownouts_;
     if (on_empty_) on_empty_();  // brown-out: the node drops its supplies
   }
   energy_out_ += vb.value() * draw.value() * dt;
@@ -109,6 +112,18 @@ Energy PowerAccountant::management_overhead() const {
   double devices_total = 0.0;
   for (const auto& d : devices_) devices_total += d.energy_j;
   return Energy{energy_out_ - devices_total};
+}
+
+void PowerAccountant::publish_metrics(obs::MetricsRegistry& m, const std::string& prefix) const {
+  if constexpr (obs::kEnabled) {
+    m.add(m.counter(prefix + ".integration_intervals"), static_cast<double>(intervals_));
+    m.add(m.counter(prefix + ".brownout_events"), static_cast<double>(brownouts_));
+    m.add(m.counter(prefix + ".energy_out_j"), energy_out_);
+    m.add(m.counter(prefix + ".energy_in_j"), energy_in_);
+  } else {
+    (void)m;
+    (void)prefix;
+  }
 }
 
 }  // namespace pico::core

@@ -8,6 +8,7 @@
 // and conversion losses dominate the ledger, exactly as in the paper.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -17,6 +18,10 @@
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "storage/nimh.hpp"
+
+namespace pico::obs {
+class MetricsRegistry;
+}
 
 namespace pico::core {
 
@@ -65,6 +70,17 @@ class PowerAccountant {
   [[nodiscard]] Energy management_overhead() const;
   [[nodiscard]] const RailLoads& loads() const { return loads_; }
 
+  // --- Observability ---------------------------------------------------------
+  // Number of non-empty piecewise-constant intervals integrated so far.
+  [[nodiscard]] std::uint64_t integration_intervals() const { return intervals_; }
+  // 0 or 1 (the empty callback latches; a node browns out at most once).
+  [[nodiscard]] std::uint64_t brownout_events() const { return brownouts_; }
+  // Publish counters into `m` under "<prefix>.": integration_intervals,
+  // brownout_events, energy_out_j, energy_in_j. Call once at end of run;
+  // counters accumulate across accountants sharing a registry. No-op when
+  // observability is compiled out.
+  void publish_metrics(obs::MetricsRegistry& m, const std::string& prefix = "power") const;
+
  private:
   void integrate_to_now();
   void record();
@@ -81,6 +97,8 @@ class PowerAccountant {
   double energy_in_ = 0.0;
   std::function<void()> on_empty_;
   bool empty_signaled_ = false;
+  std::uint64_t intervals_ = 0;
+  std::uint64_t brownouts_ = 0;
 };
 
 }  // namespace pico::core

@@ -1,6 +1,7 @@
 #include "core/node.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pico::core {
 
@@ -246,6 +247,18 @@ NodeReport PicoCubeNode::report() const {
   r.management_overhead = accountant_.management_overhead();
   r.power_train = train_->name();
   return r;
+}
+
+void PicoCubeNode::publish_metrics(obs::MetricsRegistry& m) const {
+  if constexpr (obs::kEnabled) {
+    sim_.publish_metrics(m);
+    accountant_.publish_metrics(m);
+    m.add(m.counter("node.wake_cycles"), static_cast<double>(wake_cycles_));
+    m.add(m.counter("node.frames_ok"), static_cast<double>(frames_ok_));
+    m.add(m.counter("node.frames_failed"), static_cast<double>(frames_failed_));
+  } else {
+    (void)m;
+  }
 }
 
 }  // namespace pico::core

@@ -106,6 +106,13 @@ class PicoCubeNode {
     return tire_env_ ? tire_env_.get() : nullptr;
   }
 
+  // Publish this node's telemetry into a registry: simulator counters
+  // ("sim.*"), power-accountant counters ("power.*"), and firmware-level
+  // counters ("node.wake_cycles", "node.frames_ok", "node.frames_failed").
+  // Call once after run(); counters accumulate across nodes sharing a
+  // registry (e.g. Monte Carlo trials). No-op when PICO_OBSERVABILITY=OFF.
+  void publish_metrics(obs::MetricsRegistry& m) const;
+
  private:
   void boot();
   void on_interrupt(mcu::Irq irq);

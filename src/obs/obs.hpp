@@ -1,0 +1,23 @@
+// obs.hpp — observability build switch.
+//
+// The CMake option PICO_OBSERVABILITY (default ON) defines
+// PICO_OBSERVABILITY_ENABLED for the whole build. Instrumentation points in
+// the hot layers (circuits::Transient, sim::Simulator,
+// runtime::ParallelRunner, core::PowerAccountant) are wrapped in
+// `if constexpr (obs::kEnabled)` so an OFF build compiles them away
+// entirely — the PR 1 step-rate numbers are preserved bit-for-bit.
+//
+// The obs *library* itself (MetricsRegistry, Tracer, RunManifest) stays
+// functional in both configurations so tooling and tests always link; only
+// the hooks inside the engines vanish.
+#pragma once
+
+#ifndef PICO_OBSERVABILITY_ENABLED
+#define PICO_OBSERVABILITY_ENABLED 1
+#endif
+
+namespace pico::obs {
+
+inline constexpr bool kEnabled = PICO_OBSERVABILITY_ENABLED != 0;
+
+}  // namespace pico::obs

@@ -1,0 +1,46 @@
+#include "obs/session.hpp"
+
+#include <iostream>
+
+namespace pico::obs {
+
+TelemetrySession::TelemetrySession(std::string tool, std::string out_prefix)
+    : prefix_(std::move(out_prefix)), manifest_(std::move(tool)) {}
+
+TelemetrySession::~TelemetrySession() {
+  try {
+    finish(false);
+  } catch (...) {
+    // Destructor must not throw; a failed write at teardown is dropped.
+  }
+}
+
+std::unique_ptr<TelemetrySession> TelemetrySession::from_args(int argc, char** argv,
+                                                              const std::string& tool) {
+  std::string prefix;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--telemetry=", 0) == 0) {
+      prefix = a.substr(12);
+    } else if (a == "--telemetry" && i + 1 < argc) {
+      prefix = argv[i + 1];
+    }
+  }
+  if (prefix.empty()) return nullptr;
+  return std::make_unique<TelemetrySession>(tool, prefix);
+}
+
+void TelemetrySession::finish(bool announce) {
+  if (finished_) return;
+  finished_ = true;
+  manifest_.set_metrics(metrics_.snapshot());
+  manifest_.write(prefix_ + ".manifest.json");
+  tracer_.write_chrome_trace(prefix_ + ".trace.json");
+  tracer_.write_csv(prefix_ + ".spans.csv");
+  if (announce) {
+    std::cout << "telemetry: " << prefix_ << ".manifest.json, " << prefix_ << ".trace.json, "
+              << prefix_ << ".spans.csv\n";
+  }
+}
+
+}  // namespace pico::obs

@@ -1,0 +1,60 @@
+// session.hpp — one-stop telemetry bundle for a tool run.
+//
+// A TelemetrySession owns the MetricsRegistry + Tracer + RunManifest for
+// one process invocation and writes the three artifacts on finish():
+//
+//   <prefix>.manifest.json   run manifest (config, seeds, build, metrics)
+//   <prefix>.trace.json      Chrome trace-event JSON (chrome://tracing)
+//   <prefix>.spans.csv       the same span records as a flat table
+//
+// Benches and examples construct it from the `--telemetry <path>` /
+// `--telemetry=<path>` CLI flag via `from_args`; a null session means the
+// flag was absent and every hook degrades to a no-op (Span accepts a null
+// tracer, publish_metrics is simply not called).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace pico::obs {
+
+class TelemetrySession {
+ public:
+  TelemetrySession(std::string tool, std::string out_prefix);
+  ~TelemetrySession();
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  // Scan argv for `--telemetry=<prefix>` or `--telemetry <prefix>`;
+  // returns null when the flag is absent.
+  static std::unique_ptr<TelemetrySession> from_args(int argc, char** argv,
+                                                     const std::string& tool);
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] RunManifest& manifest() { return manifest_; }
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+
+  // Snapshot metrics into the manifest and write all artifacts. Called by
+  // the destructor if not called explicitly; the explicit call reports the
+  // output paths on stdout.
+  void finish(bool announce = true);
+
+ private:
+  std::string prefix_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  RunManifest manifest_;
+  bool finished_ = false;
+};
+
+// Convenience: open a span against an optional session.
+inline Span span(TelemetrySession* session, std::string name) {
+  return Span(session ? &session->tracer() : nullptr, std::move(name));
+}
+
+}  // namespace pico::obs

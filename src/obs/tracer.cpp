@@ -1,0 +1,153 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace pico::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_tracer_uid{1};
+}  // namespace
+
+Tracer::Tracer()
+    : uid_(g_tracer_uid.fetch_add(1, std::memory_order_relaxed)),
+      origin_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+double Tracer::now_us() const {
+  const auto dt = std::chrono::steady_clock::now() - origin_;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  thread_local std::unordered_map<std::uint64_t, Buffer*> cache;
+  auto it = cache.find(uid_);
+  if (it != cache.end()) return *it->second;
+  auto buffer = std::make_unique<Buffer>();
+  Buffer* p = buffer.get();
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    p->tid = static_cast<unsigned>(buffers_.size());
+    buffers_.push_back(std::move(buffer));
+  }
+  cache.emplace(uid_, p);
+  return *p;
+}
+
+void Tracer::instant(std::string name) {
+  Buffer& buf = local_buffer();
+  Event ev;
+  ev.name = std::move(name);
+  ev.ts_us = now_us();
+  ev.tid = buf.tid;
+  ev.depth = buf.depth;
+  ev.instant = true;
+  std::lock_guard<std::mutex> lk(buf.m);
+  buf.events.push_back(std::move(ev));
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> bl(buf->m);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+  return out;
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream os(path);
+  PICO_REQUIRE(os.good(), "cannot open trace output: " + path);
+  // Events are compact (one line each); the wrapper object is indented.
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const Event& ev : events()) {
+    w.begin_object();
+    w.kv("name", ev.name).kv("cat", "pico");
+    w.kv("ph", ev.instant ? "i" : "X");
+    w.kv("ts", ev.ts_us);
+    if (!ev.instant) w.kv("dur", ev.dur_us);
+    if (ev.instant) w.kv("s", "t");  // thread-scoped instant
+    w.kv("pid", 1).kv("tid", ev.tid);
+    w.key("args").begin_object().kv("depth", ev.depth).end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  os << '\n';
+}
+
+void Tracer::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  csv.write_header({"name", "tid", "depth", "ts_us", "dur_us", "instant"});
+  for (const Event& ev : events()) {
+    csv.write_row({ev.name, std::to_string(ev.tid), std::to_string(ev.depth),
+                   std::to_string(ev.ts_us), std::to_string(ev.dur_us),
+                   ev.instant ? "1" : "0"});
+  }
+}
+
+Span::Span(Tracer* tracer, std::string name) : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  buf_ = &tracer_->local_buffer();
+  name_ = std::move(name);
+  depth_ = buf_->depth++;
+  start_us_ = tracer_->now_us();
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_),
+      buf_(other.buf_),
+      name_(std::move(other.name_)),
+      start_us_(other.start_us_),
+      depth_(other.depth_) {
+  other.tracer_ = nullptr;
+  other.buf_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    buf_ = other.buf_;
+    name_ = std::move(other.name_);
+    start_us_ = other.start_us_;
+    depth_ = other.depth_;
+    other.tracer_ = nullptr;
+    other.buf_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::end() {
+  if (tracer_ == nullptr || buf_ == nullptr) return;
+  Tracer::Event ev;
+  ev.name = std::move(name_);
+  ev.ts_us = start_us_;
+  ev.dur_us = tracer_->now_us() - start_us_;
+  ev.tid = buf_->tid;
+  ev.depth = depth_;
+  --buf_->depth;
+  {
+    std::lock_guard<std::mutex> lk(buf_->m);
+    buf_->events.push_back(std::move(ev));
+  }
+  tracer_ = nullptr;
+  buf_ = nullptr;
+}
+
+}  // namespace pico::obs

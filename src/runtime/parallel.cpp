@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -9,6 +10,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pico::runtime {
 
@@ -28,7 +30,17 @@ struct ParallelRunner::Impl {
     std::deque<Chunk> q;
   };
 
-  explicit Impl(unsigned threads) : queues(threads) {
+  // Relaxed atomics: each slot is written by its own worker; readers
+  // (worker_stats) run between jobs, synchronized by the job drain.
+  // Cacheline-aligned so neighbouring workers don't false-share.
+  struct alignas(64) Counters {
+    std::atomic<std::uint64_t> trials{0};
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+  };
+
+  explicit Impl(unsigned threads) : queues(threads), counters(threads) {
     workers.reserve(threads - 1);
     for (unsigned w = 1; w < threads; ++w) {
       workers.emplace_back([this, w] { worker_loop(w); });
@@ -64,6 +76,9 @@ struct ParallelRunner::Impl {
       if (!victim.q.empty()) {
         out = victim.q.front();
         victim.q.pop_front();
+        if constexpr (obs::kEnabled) {
+          counters[self].steals.fetch_add(1, std::memory_order_relaxed);
+        }
         return true;
       }
     }
@@ -81,10 +96,30 @@ struct ParallelRunner::Impl {
           if (!error) error = std::current_exception();
         }
       }
+      if constexpr (obs::kEnabled) {
+        counters[self].trials.fetch_add(c.end - c.begin, std::memory_order_relaxed);
+        counters[self].chunks.fetch_add(1, std::memory_order_relaxed);
+      }
       if (chunks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::unique_lock<std::mutex> lk(job_m);
         job_cv.notify_all();  // wakes the caller waiting for completion
       }
+    }
+  }
+
+  // Wait on `cv` until pred holds, charging the wait to `self`'s idle time.
+  template <typename Pred>
+  void idle_wait(unsigned self, std::unique_lock<std::mutex>& lk, Pred&& pred) {
+    if constexpr (obs::kEnabled) {
+      const auto t0 = std::chrono::steady_clock::now();
+      job_cv.wait(lk, std::forward<Pred>(pred));
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      counters[self].idle_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()),
+          std::memory_order_relaxed);
+    } else {
+      job_cv.wait(lk, std::forward<Pred>(pred));
     }
   }
 
@@ -93,7 +128,7 @@ struct ParallelRunner::Impl {
     for (;;) {
       {
         std::unique_lock<std::mutex> lk(job_m);
-        job_cv.wait(lk, [&] { return stopping || generation != seen_generation; });
+        idle_wait(self, lk, [&] { return stopping || generation != seen_generation; });
         if (stopping) return;
         seen_generation = generation;
       }
@@ -102,6 +137,7 @@ struct ParallelRunner::Impl {
   }
 
   std::vector<Queue> queues;
+  std::vector<Counters> counters;
   std::vector<std::thread> workers;
 
   std::mutex job_m;
@@ -143,6 +179,10 @@ void ParallelRunner::run_trials(std::size_t n,
       }
     }
     if (error) std::rethrow_exception(error);
+    if constexpr (obs::kEnabled) {
+      inline_trials_ += n;
+      ++inline_chunks_;
+    }
     return;
   }
   std::size_t chunk = chunk_opt_;
@@ -184,12 +224,56 @@ void ParallelRunner::run_on_pool(std::size_t n, std::size_t chunk,
   // Our deques are dry, but another worker may still be inside a chunk.
   {
     std::unique_lock<std::mutex> lk(im.job_m);
-    im.job_cv.wait(lk, [&] {
+    im.idle_wait(0, lk, [&] {
       return im.chunks_remaining.load(std::memory_order_acquire) == 0;
     });
   }
   im.job = nullptr;
   if (im.error) std::rethrow_exception(im.error);
+}
+
+std::vector<WorkerStats> ParallelRunner::worker_stats() const {
+  std::vector<WorkerStats> out(threads_);
+  if (impl_ == nullptr) {
+    out[0].trials = inline_trials_;
+    out[0].chunks = inline_chunks_;
+    return out;
+  }
+  for (unsigned w = 0; w < threads_; ++w) {
+    const Impl::Counters& c = impl_->counters[w];
+    out[w].trials = c.trials.load(std::memory_order_relaxed);
+    out[w].chunks = c.chunks.load(std::memory_order_relaxed);
+    out[w].steals = c.steals.load(std::memory_order_relaxed);
+    out[w].idle_s = static_cast<double>(c.idle_ns.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  return out;
+}
+
+void ParallelRunner::publish_metrics(obs::MetricsRegistry& m, const std::string& prefix) const {
+  if constexpr (obs::kEnabled) {
+    const std::vector<WorkerStats> stats = worker_stats();
+    WorkerStats total;
+    for (const WorkerStats& s : stats) {
+      total.trials += s.trials;
+      total.chunks += s.chunks;
+      total.steals += s.steals;
+      total.idle_s += s.idle_s;
+    }
+    m.add(m.counter(prefix + ".trials"), static_cast<double>(total.trials));
+    m.add(m.counter(prefix + ".chunks"), static_cast<double>(total.chunks));
+    m.add(m.counter(prefix + ".steals"), static_cast<double>(total.steals));
+    m.add(m.counter(prefix + ".idle_seconds"), total.idle_s);
+    m.set(m.gauge(prefix + ".threads", obs::GaugeAgg::kMax), static_cast<double>(threads_));
+    for (std::size_t w = 0; w < stats.size(); ++w) {
+      const std::string base = prefix + ".worker." + std::to_string(w);
+      m.add(m.counter(base + ".trials"), static_cast<double>(stats[w].trials));
+      m.add(m.counter(base + ".steals"), static_cast<double>(stats[w].steals));
+      m.add(m.counter(base + ".idle_seconds"), stats[w].idle_s);
+    }
+  } else {
+    (void)m;
+    (void)prefix;
+  }
 }
 
 }  // namespace pico::runtime

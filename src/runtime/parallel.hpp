@@ -18,11 +18,25 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <string>
 #include <vector>
 
+namespace pico::obs {
+class MetricsRegistry;
+}
+
 namespace pico::runtime {
+
+// Per-worker execution statistics (observability builds; zeros otherwise).
+struct WorkerStats {
+  std::uint64_t trials = 0;  // fn(i) invocations executed by this worker
+  std::uint64_t chunks = 0;  // chunks taken (own deque or stolen)
+  std::uint64_t steals = 0;  // chunks taken from another worker's deque
+  double idle_s = 0.0;       // time spent parked waiting for work
+};
 
 class ParallelRunner {
  public:
@@ -61,6 +75,17 @@ class ParallelRunner {
     return out;
   }
 
+  // --- Observability ---------------------------------------------------------
+  // Stats accumulated over the runner's lifetime, one entry per worker
+  // slot (slot 0 is the caller). Call between run_trials invocations, not
+  // concurrently with one. All zeros when PICO_OBSERVABILITY=OFF.
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+  // Publish totals ("<prefix>.trials/.chunks/.steals/.idle_seconds",
+  // "<prefix>.threads" gauge) and per-worker counters
+  // ("<prefix>.worker.<i>.trials" etc.). Call once when done; counters
+  // accumulate across runners sharing a registry. No-op when compiled out.
+  void publish_metrics(obs::MetricsRegistry& m, const std::string& prefix = "runner") const;
+
  private:
   struct Impl;
 
@@ -70,6 +95,9 @@ class ParallelRunner {
   unsigned threads_ = 1;
   std::size_t chunk_opt_ = 0;
   Impl* impl_ = nullptr;  // null when threads_ == 1 (inline mode)
+  // Inline-mode stats (the pool keeps per-worker atomics in Impl).
+  std::uint64_t inline_trials_ = 0;
+  std::uint64_t inline_chunks_ = 0;
 };
 
 }  // namespace pico::runtime

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pico::sim {
 
@@ -12,6 +13,7 @@ EventId Simulator::schedule_at(Duration at, EventFn fn, std::string label) {
   if (!label.empty()) labels_.emplace(id, std::move(label));
   queue_.push(Event{at, next_seq_++, id});
   ++live_events_;
+  if (live_events_ > peak_live_) peak_live_ = live_events_;
   return id;
 }
 
@@ -35,6 +37,7 @@ EventId Simulator::every(Duration period, EventFn fn, std::string label) {
   if (!label.empty()) labels_.emplace(id, std::move(label));
   queue_.push(Event{now_ + period, next_seq_++, id});
   ++live_events_;
+  if (live_events_ > peak_live_) peak_live_ = live_events_;
   return id;
 }
 
@@ -59,6 +62,14 @@ void Simulator::dispatch(const Event& ev) {
   }
   now_ = ev.at;
   ++dispatched_;
+  if constexpr (obs::kEnabled) {
+    // Same guard as remove_pending: no second hash lookup unless some
+    // event in this simulation actually carries a label.
+    if (!labels_.empty()) {
+      const auto lit = labels_.find(ev.id);
+      if (lit != labels_.end()) ++label_counts_[lit->second];
+    }
+  }
   if (it->second.recurring) {
     // Re-arm before running so the body can cancel its own recurrence.
     queue_.push(Event{now_ + it->second.period, next_seq_++, ev.id});
@@ -102,6 +113,19 @@ void Simulator::run_until(Duration until) {
 void Simulator::run() {
   stopping_ = false;
   while (!stopping_ && step()) {
+  }
+}
+
+void Simulator::publish_metrics(obs::MetricsRegistry& m, const std::string& prefix) const {
+  if constexpr (obs::kEnabled) {
+    m.add(m.counter(prefix + ".events_dispatched"), static_cast<double>(dispatched_));
+    m.set(m.gauge(prefix + ".queue_peak", obs::GaugeAgg::kMax), static_cast<double>(peak_live_));
+    for (const auto& [label, count] : label_counts_) {
+      m.add(m.counter(prefix + ".label." + label), static_cast<double>(count));
+    }
+  } else {
+    (void)m;
+    (void)prefix;
   }
 }
 

@@ -17,6 +17,11 @@
 #include <unordered_map>
 
 #include "common/units.hpp"
+#include "obs/obs.hpp"
+
+namespace pico::obs {
+class MetricsRegistry;
+}
 
 namespace pico::sim {
 
@@ -61,6 +66,22 @@ class Simulator {
   // unlabelled events — the common case — never allocate).
   [[nodiscard]] std::string label_of(EventId id) const;
 
+  // --- Observability ---------------------------------------------------------
+  // Highest number of concurrently-live events seen so far (queue
+  // high-water mark).
+  [[nodiscard]] std::size_t queue_peak() const { return peak_live_; }
+  // Dispatch counts keyed by event label, via the label side-map. Only
+  // populated when PICO_OBSERVABILITY is on (empty map otherwise).
+  [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>& label_counts() const {
+    return label_counts_;
+  }
+  // Publish totals into `m` under "<prefix>.": events_dispatched and
+  // per-label counters (counter), queue_peak (max-aggregated gauge). Call
+  // once when the run is over — counters accumulate across simulators
+  // sharing a registry (e.g. one per Monte Carlo trial). No-op when
+  // observability is compiled out.
+  void publish_metrics(obs::MetricsRegistry& m, const std::string& prefix = "sim") const;
+
  private:
   struct Event {
     Duration at;
@@ -96,6 +117,9 @@ class Simulator {
   std::unordered_map<EventId, std::string> labels_;
   std::uint64_t dispatched_ = 0;
   std::size_t live_events_ = 0;
+  std::size_t peak_live_ = 0;
+  // Per-label dispatch counts (observability builds only).
+  std::unordered_map<std::string, std::uint64_t> label_counts_;
   bool stopping_ = false;
 };
 

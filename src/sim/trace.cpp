@@ -84,7 +84,12 @@ double Trace::integral(Duration t0d, Duration t1d) const {
 
 double Trace::mean(Duration t0, Duration t1) const {
   const double span = t1.value() - t0.value();
-  PICO_REQUIRE(span > 0.0, "mean requires a positive window");
+  PICO_REQUIRE(span >= 0.0, "mean requires a non-negative window");
+  if (t_.empty()) return 0.0;
+  // A zero-width window degenerates to the instantaneous value: it is the
+  // limit of integral/span as span -> 0 and keeps callers that clamp their
+  // window to the trace extent out of the 0/0 trap.
+  if (span == 0.0) return at(t0);
   return integral(t0, t1) / span;
 }
 
@@ -110,11 +115,15 @@ Duration Trace::end_time() const {
 
 std::vector<std::pair<double, double>> Trace::resample(Duration t0, Duration t1,
                                                        std::size_t n) const {
-  PICO_REQUIRE(n >= 2, "resample requires at least two points");
   std::vector<std::pair<double, double>> out;
+  if (n == 0 || t_.empty()) return out;
   out.reserve(n);
   const double a = t0.value();
   const double b = t1.value();
+  if (n == 1) {
+    out.emplace_back(a, at(t0));
+    return out;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const double t = a + (b - a) * static_cast<double>(i) / static_cast<double>(n - 1);
     out.emplace_back(t, at(Duration{t}));

@@ -41,7 +41,8 @@ class Trace {
 
   // Integral of the trace over [t0, t1] respecting interpolation semantics.
   [[nodiscard]] double integral(Duration t0, Duration t1) const;
-  // Time-weighted mean over [t0, t1].
+  // Time-weighted mean over [t0, t1]. Requires t1 >= t0. A zero-width
+  // window returns the instantaneous value at(t0); an empty trace is 0.
   [[nodiscard]] double mean(Duration t0, Duration t1) const;
 
   [[nodiscard]] double max_value() const;
@@ -50,6 +51,8 @@ class Trace {
   [[nodiscard]] Duration end_time() const;
 
   // Uniformly resample into n points over [t0, t1] (for plotting).
+  // An empty trace or n == 0 yields an empty vector; n == 1 yields the
+  // single point (t0, at(t0)).
   [[nodiscard]] std::vector<std::pair<double, double>> resample(Duration t0, Duration t1,
                                                                 std::size_t n) const;
 

@@ -1,0 +1,543 @@
+// Tests for the observability subsystem: metric semantics, per-thread
+// shard aggregation under the work-stealing runner, span nesting, JSON
+// round-trips of the trace/manifest artifacts, and the engine-counter
+// reconciliation invariants the run manifest is supposed to satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/circuit.hpp"
+#include "circuits/components.hpp"
+#include "circuits/transient.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/tracer.hpp"
+#include "runtime/parallel.hpp"
+#include "sim/simulator.hpp"
+
+namespace pico::obs {
+namespace {
+
+using namespace pico::literals;
+
+// --- minimal JSON parser (validation only) -----------------------------------
+// Just enough of RFC 8259 to round-trip what JsonWriter emits; any
+// malformed input throws, which fails the test.
+
+struct JVal {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JVal> arr;
+  std::map<std::string, JVal> obj;
+
+  [[nodiscard]] const JVal& at(const std::string& key) const {
+    const auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return obj.count(key) != 0; }
+};
+
+class JParser {
+ public:
+  explicit JParser(std::string text) : s_(std::move(text)) {}
+
+  JVal parse() {
+    JVal v = value();
+    skip();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing junk");
+    return v;
+  }
+
+ private:
+  void skip() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) throw std::runtime_error(std::string("expected ") + c);
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) throw std::runtime_error("bad literal");
+    pos_ += word.size();
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            pos_ += 4;           // decoded code point not needed for
+            out.push_back('?');  // validation purposes
+            break;
+          default: throw std::runtime_error("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  JVal value() {
+    JVal v;
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      v.kind = JVal::kObj;
+      if (!consume('}')) {
+        do {
+          std::string key = string_body();
+          expect(':');
+          v.obj.emplace(std::move(key), value());
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      ++pos_;
+      v.kind = JVal::kArr;
+      if (!consume(']')) {
+        do {
+          v.arr.push_back(value());
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == '"') {
+      v.kind = JVal::kStr;
+      v.str = string_body();
+    } else if (c == 't') {
+      literal("true");
+      v.kind = JVal::kBool;
+      v.b = true;
+    } else if (c == 'f') {
+      literal("false");
+      v.kind = JVal::kBool;
+    } else if (c == 'n') {
+      literal("null");
+    } else {
+      std::size_t used = 0;
+      v.num = std::stod(s_.substr(pos_), &used);
+      if (used == 0) throw std::runtime_error("bad number");
+      pos_ += used;
+      v.kind = JVal::kNum;
+    }
+    return v;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+JVal parse_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return JParser(ss.str()).parse();
+}
+
+// --- metric semantics --------------------------------------------------------
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry m;
+  const MetricId id = m.counter("t.count");
+  m.add(id);
+  m.add(id, 4.0);
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_TRUE(snap.has("t.count"));
+  EXPECT_DOUBLE_EQ(snap.value("t.count"), 5.0);
+}
+
+TEST(Metrics, SameNameReturnsSameId) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.counter("x"), m.counter("x"));
+  EXPECT_EQ(m.gauge("g"), m.gauge("g"));
+  EXPECT_EQ(m.histogram("h", 0.0, 1.0, 4), m.histogram("h", 0.0, 1.0, 4));
+  // Separate names get separate ids.
+  EXPECT_NE(m.counter("x"), m.counter("y"));
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  MetricsRegistry m;
+  const MetricId g = m.gauge("t.gauge");
+  m.set(g, 3.0);
+  m.set(g, 7.0);
+  m.set(g, 2.0);
+  EXPECT_DOUBLE_EQ(m.snapshot().value("t.gauge"), 2.0);
+}
+
+TEST(Metrics, GaugeMaxKeepsHighWaterMark) {
+  MetricsRegistry m;
+  const MetricId g = m.gauge("t.peak", GaugeAgg::kMax);
+  m.set(g, 3.0);
+  m.set(g, 9.0);
+  m.set(g, 5.0);
+  EXPECT_DOUBLE_EQ(m.snapshot().value("t.peak"), 9.0);
+}
+
+TEST(Metrics, HistogramBucketsAndMoments) {
+  MetricsRegistry m;
+  const MetricId h = m.histogram("t.hist", 0.0, 10.0, 5);  // width-2 buckets
+  m.observe(h, 0.0);    // bucket 0
+  m.observe(h, 1.9);    // bucket 0
+  m.observe(h, 9.0);    // bucket 4
+  m.observe(h, -1.0);   // underflow
+  m.observe(h, 10.0);   // hi is exclusive: overflow
+  const MetricsSnapshot snap = m.snapshot();
+  const HistogramSnapshot* hs = snap.histogram("t.hist");
+  ASSERT_NE(hs, nullptr);
+  ASSERT_EQ(hs->buckets.size(), 5u);
+  EXPECT_EQ(hs->buckets[0], 2u);
+  EXPECT_EQ(hs->buckets[4], 1u);
+  EXPECT_EQ(hs->underflow, 1u);
+  EXPECT_EQ(hs->overflow, 1u);
+  EXPECT_EQ(hs->count, 5u);
+  EXPECT_DOUBLE_EQ(hs->sum, 19.9);
+  EXPECT_DOUBLE_EQ(hs->min, -1.0);
+  EXPECT_DOUBLE_EQ(hs->max, 10.0);
+  EXPECT_DOUBLE_EQ(hs->mean(), 19.9 / 5.0);
+}
+
+TEST(Metrics, SnapshotMissingNameFallsBack) {
+  MetricsRegistry m;
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_FALSE(snap.has("nope"));
+  EXPECT_DOUBLE_EQ(snap.value("nope", 42.0), 42.0);
+  EXPECT_EQ(snap.histogram("nope"), nullptr);
+}
+
+// --- thread-shard aggregation under the work-stealing runner -----------------
+
+TEST(Metrics, ShardsAggregateAcrossRunnerWorkers) {
+  MetricsRegistry m;
+  const MetricId count = m.counter("mc.trials");
+  const MetricId weight = m.counter("mc.weight");
+  const MetricId peak = m.gauge("mc.peak_index", GaugeAgg::kMax);
+  const MetricId h = m.histogram("mc.value", 0.0, 1.0, 8);
+
+  constexpr std::size_t kTrials = 4096;
+  runtime::ParallelRunner runner(4);
+  runner.run_trials(kTrials, [&](std::size_t i) {
+    m.add(count);
+    m.add(weight, 0.5);
+    m.set(peak, static_cast<double>(i));
+    m.observe(h, static_cast<double>(i) / static_cast<double>(kTrials));
+  });
+
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("mc.trials"), static_cast<double>(kTrials));
+  EXPECT_DOUBLE_EQ(snap.value("mc.weight"), 0.5 * static_cast<double>(kTrials));
+  EXPECT_DOUBLE_EQ(snap.value("mc.peak_index"), static_cast<double>(kTrials - 1));
+  const HistogramSnapshot* hs = snap.histogram("mc.value");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, kTrials);
+  std::uint64_t in_buckets = hs->underflow + hs->overflow;
+  for (const std::uint64_t b : hs->buckets) in_buckets += b;
+  EXPECT_EQ(in_buckets, kTrials);
+}
+
+TEST(Runner, PublishedTrialsMatchRequested) {
+  constexpr std::size_t kTrials = 1000;
+  runtime::ParallelRunner runner(3);
+  runner.run_trials(kTrials, [](std::size_t) {});
+
+  std::uint64_t from_stats = 0;
+  for (const runtime::WorkerStats& w : runner.worker_stats()) from_stats += w.trials;
+
+  MetricsRegistry m;
+  runner.publish_metrics(m);
+  const MetricsSnapshot snap = m.snapshot();
+  if (!kEnabled) {
+    EXPECT_FALSE(snap.has("runner.trials"));
+    return;
+  }
+  EXPECT_EQ(from_stats, kTrials);
+  EXPECT_DOUBLE_EQ(snap.value("runner.trials"), static_cast<double>(kTrials));
+  EXPECT_DOUBLE_EQ(snap.value("runner.threads"), 3.0);
+  // Per-worker counters sum to the total.
+  double per_worker = 0.0;
+  for (unsigned w = 0; w < 3; ++w) {
+    per_worker += snap.value("runner.worker." + std::to_string(w) + ".trials");
+  }
+  EXPECT_DOUBLE_EQ(per_worker, static_cast<double>(kTrials));
+}
+
+// --- spans -------------------------------------------------------------------
+
+TEST(Tracer, SpansNestAndTime) {
+  Tracer tr;
+  {
+    Span outer(tr, "outer");
+    {
+      Span inner(tr, "inner");
+    }
+    tr.instant("mark");
+  }
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 3u);
+  // events() sorts by start time: outer opened first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+  // The inner span closes before the outer one does.
+  EXPECT_LE(events[1].ts_us + events[1].dur_us, events[0].ts_us + events[0].dur_us);
+  EXPECT_EQ(events[2].name, "mark");
+  EXPECT_TRUE(events[2].instant);
+}
+
+TEST(Tracer, NullTracerSpanIsInert) {
+  Span a(nullptr, "nothing");
+  Span b;  // default-constructed
+  b.end();
+  a.end();
+  a.end();  // idempotent
+}
+
+TEST(Tracer, MovedFromSpanDoesNotDoubleReport) {
+  Tracer tr;
+  {
+    Span a(tr, "moved");
+    Span b(std::move(a));
+    a.end();  // moved-from: no-op
+  }
+  EXPECT_EQ(tr.events().size(), 1u);
+}
+
+TEST(Tracer, ChromeTraceJsonRoundTrip) {
+  Tracer tr;
+  {
+    Span s(tr, "alpha \"quoted\"");
+    Span n(tr, "beta");
+  }
+  const std::string path = "/tmp/pico_obs_trace_test.json";
+  tr.write_chrome_trace(path);
+  const JVal doc = parse_file(path);
+  ASSERT_EQ(doc.kind, JVal::kObj);
+  const JVal& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, JVal::kArr);
+  ASSERT_EQ(events.arr.size(), 2u);
+  const JVal& first = events.arr[0];
+  EXPECT_EQ(first.at("name").str, "alpha \"quoted\"");
+  EXPECT_EQ(first.at("ph").str, "X");
+  EXPECT_EQ(first.at("cat").str, "pico");
+  EXPECT_GE(first.at("ts").num, 0.0);
+  EXPECT_GE(first.at("dur").num, 0.0);
+  EXPECT_EQ(first.at("args").at("depth").num, 0.0);
+  EXPECT_EQ(events.arr[1].at("args").at("depth").num, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, CsvExportHasHeaderAndRows) {
+  Tracer tr;
+  { Span s(tr, "row"); }
+  const std::string path = "/tmp/pico_obs_spans_test.csv";
+  tr.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find("name"), std::string::npos);
+  EXPECT_NE(header.find("ts_us"), std::string::npos);
+  std::string row;
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_NE(row.find("row"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- manifest ----------------------------------------------------------------
+
+TEST(Manifest, JsonRoundTrip) {
+  RunManifest man("obs_test");
+  man.set_seed(20260706u);
+  man.set("trials", 80);
+  man.set("label", "tolerance \"study\"");
+  man.set("ratio", 0.125);
+  man.set("enabled", true);
+
+  MetricsRegistry m;
+  m.add(m.counter("a.count"), 3.0);
+  m.histogram("a.hist", 0.0, 1.0, 2);
+  m.observe(m.histogram("a.hist", 0.0, 1.0, 2), 0.25);
+  man.set_metrics(m.snapshot());
+
+  const JVal doc = JParser(man.to_json()).parse();
+  EXPECT_EQ(doc.at("tool").str, "obs_test");
+  EXPECT_EQ(doc.at("base_seed").num, 20260706.0);
+  EXPECT_EQ(doc.at("config").at("trials").num, 80.0);
+  EXPECT_EQ(doc.at("config").at("label").str, "tolerance \"study\"");
+  EXPECT_EQ(doc.at("config").at("ratio").num, 0.125);
+  EXPECT_TRUE(doc.at("config").at("enabled").b);
+  EXPECT_FALSE(doc.at("created_utc").str.empty());
+  // Build block carries the compile-time observability switch.
+  EXPECT_EQ(doc.at("build").at("observability").b, kEnabled);
+  // Metrics snapshot landed as numbers / histogram objects.
+  EXPECT_EQ(doc.at("metrics").at("a.count").num, 3.0);
+  EXPECT_EQ(doc.at("metrics").at("a.hist").at("count").num, 1.0);
+}
+
+// --- session -----------------------------------------------------------------
+
+TEST(Session, FromArgsParsesBothForms) {
+  {
+    const char* argv[] = {"tool", "--telemetry=/tmp/pico_obs_pfx"};
+    auto s = TelemetrySession::from_args(2, const_cast<char**>(argv), "tool");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->prefix(), "/tmp/pico_obs_pfx");
+    s->finish(false);
+  }
+  {
+    const char* argv[] = {"tool", "--telemetry", "/tmp/pico_obs_pfx2"};
+    auto s = TelemetrySession::from_args(3, const_cast<char**>(argv), "tool");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->prefix(), "/tmp/pico_obs_pfx2");
+    s->finish(false);
+  }
+  {
+    const char* argv[] = {"tool", "--json"};
+    auto s = TelemetrySession::from_args(2, const_cast<char**>(argv), "tool");
+    EXPECT_EQ(s, nullptr);
+  }
+  for (const char* p : {"/tmp/pico_obs_pfx", "/tmp/pico_obs_pfx2"}) {
+    for (const char* ext : {".manifest.json", ".trace.json", ".spans.csv"}) {
+      std::remove((std::string(p) + ext).c_str());
+    }
+  }
+}
+
+TEST(Session, FinishWritesAllThreeArtifacts) {
+  const std::string prefix = "/tmp/pico_obs_session_test";
+  {
+    TelemetrySession s("obs_test", prefix);
+    auto sp = span(&s, "work");
+    s.metrics().add(s.metrics().counter("done"), 1.0);
+    sp.end();
+    s.finish(false);
+  }
+  const JVal man = parse_file(prefix + ".manifest.json");
+  EXPECT_EQ(man.at("tool").str, "obs_test");
+  EXPECT_EQ(man.at("metrics").at("done").num, 1.0);
+  const JVal trace = parse_file(prefix + ".trace.json");
+  EXPECT_EQ(trace.at("traceEvents").arr.size(), 1u);
+  std::ifstream csv(prefix + ".spans.csv");
+  EXPECT_TRUE(csv.is_open());
+  for (const char* ext : {".manifest.json", ".trace.json", ".spans.csv"}) {
+    std::remove((prefix + ext).c_str());
+  }
+}
+
+// --- engine-counter reconciliation -------------------------------------------
+
+TEST(SimulatorObs, LabelCountsAndQueuePeakPublish) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  sim::Simulator sim;
+  int fired = 0;
+  sim.every(Duration{1.0}, [&] { ++fired; }, "tick");
+  sim.schedule_at(Duration{2.5}, [] {}, "once");
+  sim.schedule_at(Duration{2.6}, [] {});  // unlabelled
+  sim.run_until(Duration{5.0});
+
+  EXPECT_EQ(sim.label_counts().at("tick"), 5u);  // t = 0,1,2,3,4
+  EXPECT_EQ(sim.label_counts().at("once"), 1u);
+  EXPECT_GT(sim.queue_peak(), 0u);
+
+  MetricsRegistry m;
+  sim.publish_metrics(m);
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("sim.label.tick"), 5.0);
+  EXPECT_DOUBLE_EQ(snap.value("sim.label.once"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.value("sim.events_dispatched"),
+                   static_cast<double>(sim.events_dispatched()));
+  EXPECT_DOUBLE_EQ(snap.value("sim.queue_peak"), static_cast<double>(sim.queue_peak()));
+}
+
+TEST(TransientObs, StepAndLuCountersReconcile) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  circuits::Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add<circuits::VoltageSource>("V", in, circuits::kGround,
+                                 [](double t) { return std::sin(6283.0 * t); });
+  c.add<circuits::Resistor>("R", in, out, 1_kOhm);
+  c.add<circuits::Capacitor>("C", out, circuits::kGround, 1_uF);
+  circuits::Transient::Options opt;
+  opt.dt = 1e-6;
+  opt.cache_linear_lu = true;
+  circuits::Transient tr(c, opt);
+
+  MetricsRegistry m;
+  Tracer tracer;
+  tr.set_telemetry(&m, &tracer);
+  tr.run_until(Duration{5e-3});
+
+  // The linear fast path calls solve_cached exactly once per step, so the
+  // manifest invariant holds: steps == lu hits + misses.
+  EXPECT_GT(tr.steps(), 0u);
+  EXPECT_EQ(tr.steps(), tr.lu_cache_hits() + tr.lu_cache_misses());
+  // One factorization up front plus at most one for the clamped final
+  // partial step (its dt differs); everything else hits the cache.
+  EXPECT_LE(tr.lu_cache_misses(), 2u);
+  EXPECT_GT(tr.lu_cache_hits(), tr.lu_cache_misses());
+
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("transient.steps"), static_cast<double>(tr.steps()));
+  EXPECT_DOUBLE_EQ(snap.value("transient.lu_cache.hits") +
+                       snap.value("transient.lu_cache.misses"),
+                   snap.value("transient.steps"));
+  EXPECT_DOUBLE_EQ(snap.value("transient.newton_iterations"),
+                   static_cast<double>(tr.newton_iterations_total()));
+
+  // run_until traced one span.
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "transient.run_until");
+
+  // publish_metrics is delta-based: a second run publishes only the new
+  // steps, keeping the registry consistent with the live getters.
+  tr.run_until(Duration{6e-3});
+  EXPECT_DOUBLE_EQ(m.snapshot().value("transient.steps"),
+                   static_cast<double>(tr.steps()));
+}
+
+}  // namespace
+}  // namespace pico::obs

@@ -119,6 +119,52 @@ TEST(TraceSet, ChannelsAndCsv) {
   std::remove(path.c_str());
 }
 
+TEST(Trace, ResampleEmptyTraceYieldsNoPoints) {
+  Trace t("v");
+  EXPECT_TRUE(t.resample(0_s, 1_s, 5).empty());
+  EXPECT_TRUE(t.resample(0_s, 1_s, 0).empty());
+}
+
+TEST(Trace, ResampleSinglePointRequest) {
+  Trace t("v", Interp::kLinear);
+  t.record(0_s, 0.0);
+  t.record(2_s, 4.0);
+  const auto pts = t.resample(1_s, 2_s, 1);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(pts[0].second, 2.0);
+}
+
+TEST(Trace, ResampleSingleSampleTraceHoldsEverywhere) {
+  Trace t("v");
+  t.record(1_s, 3.5);
+  const auto pts = t.resample(0_s, 2_s, 3);
+  ASSERT_EQ(pts.size(), 3u);
+  for (const auto& [time, value] : pts) EXPECT_DOUBLE_EQ(value, 3.5);
+}
+
+TEST(Trace, MeanEmptyTraceIsZero) {
+  Trace t("p");
+  EXPECT_DOUBLE_EQ(t.mean(0_s, 1_s), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean(0_s, 0_s), 0.0);
+}
+
+TEST(Trace, MeanZeroWidthWindowIsInstantaneousValue) {
+  Trace t("p", Interp::kLinear);
+  t.record(0_s, 0.0);
+  t.record(2_s, 4.0);
+  EXPECT_DOUBLE_EQ(t.mean(1_s, 1_s), 2.0);
+  // Still rejects a backwards window.
+  EXPECT_THROW(static_cast<void>(t.mean(1_s, 0.5_s)), pico::DesignError);
+}
+
+TEST(Trace, MeanSingleSampleTrace) {
+  Trace t("p");
+  t.record(0_s, 7.0);
+  EXPECT_DOUBLE_EQ(t.mean(0_s, 3_s), 7.0);
+  EXPECT_DOUBLE_EQ(t.mean(1_s, 1_s), 7.0);
+}
+
 TEST(Trace, EnergyAccountingScenario) {
   // A 14 ms active pulse at 2 mW on top of a 4 uW sleep floor, 6 s period:
   // average must come out near the paper's ~6 uW ballpark plus active part.

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Diff a bench's --json output against the checked-in BENCH_BASELINE.json.
+
+Two JSON shapes are understood:
+
+* google-benchmark output (bench_engine_perf): the ``benchmarks`` array;
+  every entry with an ``items_per_second`` field becomes a tracked value.
+* the shared bench_util.hpp BenchIo format: ``metrics`` entries plus the
+  numeric ``checks`` rows (keyed ``check:<claim>``).
+
+The baseline file maps entry names to::
+
+    {
+      "engine_perf": {
+        "tolerance": 0.50,
+        "values": {"BM_MnaTransientRc/10000": 1.23e7, ...}
+      },
+      ...
+    }
+
+A value diverges when ``|current - baseline| / |baseline|`` exceeds the
+tolerance (per-entry, overridable with --tolerance). Perf numbers are
+machine-relative, so baselines only make sense against a baseline recorded
+on the same class of machine — keep tolerances generous.
+
+Usage:
+    check_bench.py --bench ./bench_engine_perf --baseline BENCH_BASELINE.json \
+        --name engine_perf [--tolerance 0.5] [--update]
+    check_bench.py --current BENCH_storage.json --baseline ... --name storage
+
+--update rewrites the named entry from the current run instead of checking.
+Exit code: 0 on success, 1 on divergence or missing values, 2 on usage error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+DEFAULT_TOLERANCE = 0.50
+
+
+def extract_values(doc):
+    """Flatten either recognized JSON shape into {key: float}."""
+    values = {}
+    if "benchmarks" in doc:  # google-benchmark
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            if "items_per_second" in b:
+                values[b["name"]] = float(b["items_per_second"])
+    elif "metrics" in doc or "checks" in doc:  # bench_util BenchIo
+        for key, val in doc.get("metrics", {}).items():
+            values[key] = float(val)
+        for row in doc.get("checks", []):
+            if "measured" in row:
+                values["check:" + row["claim"]] = float(row["measured"])
+    else:
+        raise ValueError("unrecognized bench JSON shape (no benchmarks/metrics/checks)")
+    return values
+
+
+def run_bench(binary):
+    """Run the bench with --json=<tmp> and parse the report it writes."""
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_")
+    os.close(fd)
+    try:
+        proc = subprocess.run([binary, f"--json={path}"], stdout=subprocess.DEVNULL)
+        # Bench exit codes report paper-claim divergence, which is not this
+        # tool's concern; only a missing report is fatal.
+        if proc.returncode != 0:
+            print(f"note: {os.path.basename(binary)} exited {proc.returncode}")
+        with open(path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(path)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument("--bench", help="bench binary to run with --json")
+    src.add_argument("--current", help="already-written bench JSON report")
+    ap.add_argument("--baseline", required=True, help="BENCH_BASELINE.json path")
+    ap.add_argument("--name", required=True, help="baseline entry name")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="relative tolerance override (default: entry's, else %.2f)"
+                         % DEFAULT_TOLERANCE)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline entry from this run")
+    args = ap.parse_args()
+
+    if args.bench:
+        doc = run_bench(args.bench)
+    else:
+        with open(args.current) as f:
+            doc = json.load(f)
+    try:
+        current = extract_values(doc)
+    except ValueError as e:
+        print(f"error: {e}")
+        return 2
+    if not current:
+        print("error: no numeric values found in bench output")
+        return 2
+
+    baseline = {}
+    if os.path.exists(args.baseline):
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+
+    if args.update:
+        entry = baseline.setdefault(args.name, {})
+        entry.setdefault("tolerance", args.tolerance or DEFAULT_TOLERANCE)
+        entry["values"] = current
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"updated '{args.name}' in {args.baseline} ({len(current)} values)")
+        return 0
+
+    if args.name not in baseline:
+        print(f"error: no baseline entry '{args.name}' in {args.baseline} "
+              f"(run with --update to record one)")
+        return 1
+    entry = baseline[args.name]
+    tolerance = args.tolerance if args.tolerance is not None \
+        else entry.get("tolerance", DEFAULT_TOLERANCE)
+
+    failures = 0
+    for key, base_val in sorted(entry["values"].items()):
+        if key not in current:
+            print(f"MISSING   {key} (baseline {base_val:g})")
+            failures += 1
+            continue
+        cur = current[key]
+        if base_val == 0.0:
+            rel = abs(cur)
+            ok = cur == 0.0
+        else:
+            rel = abs(cur - base_val) / abs(base_val)
+            ok = rel <= tolerance
+        status = "ok      " if ok else "DIVERGES"
+        print(f"{status}  {key}: baseline {base_val:g}, current {cur:g} "
+              f"(rel {rel:.1%}, tol {tolerance:.0%})")
+        if not ok:
+            failures += 1
+
+    if failures:
+        print(f"\n{failures} value(s) outside tolerance for '{args.name}'")
+        return 1
+    print(f"\nall {len(entry['values'])} value(s) within tolerance for '{args.name}'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
