@@ -1,0 +1,213 @@
+// E15 (engine) — adaptive time-stepping accuracy & speedup harness.
+//
+// Cross-checks the LTE-controlled adaptive transient engine against the
+// fixed-dt reference on the two workloads that matter for the PicoCube
+// reproduction:
+//
+//   A. a duty-cycled RC burst (the wake/sleep waveform shape): dense-output
+//      samples must match the 1 us fixed-dt waveform within lte_tol while
+//      taking a small fraction of the steps;
+//   B. the shaker-fed synchronous-rectifier netlist (the node's
+//      circuit-level harvest path): the average battery charging current
+//      must stay within 1 % of fixed-dt while wall clock improves >= 5x.
+//
+// Exit code is the number of diverging acceptance rows, so the `perf`
+// ctest entry (PICO_PERF_TESTS=ON) fails when the adaptive engine loses
+// accuracy or its speedup regresses below the acceptance floor.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/circuit.hpp"
+#include "circuits/components.hpp"
+#include "circuits/transient.hpp"
+#include "harvest/harvester.hpp"
+#include "power/rectifier_circuits.hpp"
+
+using namespace pico;
+
+namespace {
+
+constexpr double kBurstOmega = 2.0 * M_PI * 1e3;
+
+// Duty-cycled source: a 1 kHz burst in [1 ms, 1.2 ms) of every 10 ms
+// period, zero otherwise (2 % duty cycle).
+double burst_waveform(double t) {
+  const double phase = t - 1e-2 * std::floor(t / 1e-2);
+  if (phase < 1e-3 || phase >= 1.2e-3) return 0.0;
+  return std::sin(kBurstOmega * (phase - 1e-3));
+}
+
+void build_rc_burst(circuits::Circuit& c, double t_end) {
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  auto* src = c.add<circuits::VoltageSource>("vin", in, circuits::kGround,
+                                             circuits::VoltageSource::Waveform{burst_waveform});
+  for (double period = 0.0; period < t_end; period += 1e-2) {
+    src->declare_breakpoint(period + 1e-3);
+    src->declare_breakpoint(period + 1.2e-3);
+  }
+  c.add<circuits::Resistor>("r", in, out, Resistance{1e3});
+  c.add<circuits::Capacitor>("c", out, circuits::kGround, Capacitance{1e-6});
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct BurstResult {
+  std::vector<double> v;   // node voltage on the 10 us grid
+  std::uint64_t steps = 0;
+  double wall_s = 0.0;
+};
+
+// `fixed_dt` == 0 selects the adaptive engine. The fine-dt reference must
+// be finer than the accuracy target: a fixed trapezoidal step ACROSS the
+// burst-end discontinuity carries a one-step artifact (~dv/2 * dt/tau)
+// that the adaptive engine avoids by landing exactly on the breakpoint.
+BurstResult run_burst(double fixed_dt, double t_end, double target_tol) {
+  circuits::Circuit c;
+  build_rc_burst(c, t_end);
+  circuits::Transient::Options opt;
+  const double grid_dt = 1e-5;
+  const bool adaptive = fixed_dt == 0.0;
+  if (adaptive) {
+    opt.adaptive = true;
+    opt.dt = 1e-6;
+    opt.dt_min = 1e-8;
+    opt.dt_max = 1e-3;
+    // Controller tolerance sits a safety margin below the waveform target
+    // (per-step LTE accumulates over a burst).
+    opt.lte_tol = target_tol / 8.0;
+    opt.observe_dt = grid_dt;
+  } else {
+    opt.dt = fixed_dt;
+  }
+  circuits::Transient tr(c, opt);
+  BurstResult res;
+  const auto grid_every = adaptive ? 1 : static_cast<std::uint64_t>(grid_dt / fixed_dt + 0.5);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t raw = 0;
+  tr.run_until(Duration{t_end}, [&](double, const circuits::Vector& x) {
+    ++raw;
+    if (raw % grid_every == 0) res.v.push_back(circuits::Circuit::voltage_of(x, 2));
+  });
+  res.wall_s = seconds_since(t0);
+  res.steps = adaptive ? tr.steps() : raw;
+  if (adaptive && res.steps == 0) res.steps = raw;  // obs-off fallback
+  return res;
+}
+
+struct RectifierResult {
+  double avg_current = 0.0;
+  std::uint64_t steps = 0;
+  double wall_s = 0.0;
+};
+
+RectifierResult run_rectifier(const harvest::Harvester& h, bool adaptive, double t_end) {
+  auto rc = power::build_sync_rectifier_circuit(h, Voltage{1.25}, Resistance{2.0});
+  circuits::Transient::Options opt;
+  if (adaptive) {
+    opt.adaptive = true;
+    opt.dt = 2e-5;
+    opt.dt_min = 1e-7;
+    opt.dt_max = 1e-3;
+    opt.lte_tol = 5e-4;
+  } else {
+    opt.dt = 1e-6;
+  }
+  circuits::Transient tr(*rc.circuit, opt);
+  RectifierResult res;
+  double charge = 0.0;
+  double prev_t = 0.0;
+  double prev_i = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  tr.run_until(Duration{t_end}, [&](double t, const circuits::Vector& x) {
+    ++res.steps;
+    const double i = rc.circuit->branch_current(x, rc.battery->branch_index());
+    charge += 0.5 * (prev_i + i) * (t - prev_t);
+    prev_t = t;
+    prev_i = i;
+  });
+  res.wall_s = seconds_since(t0);
+  res.avg_current = charge / t_end;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchIo io("adaptive_accuracy", argc, argv);
+  bench::heading("E15", "adaptive time-stepping: accuracy & speedup vs fixed dt");
+
+  // --- A: duty-cycled RC burst, waveform accuracy ---------------------------
+  const double lte_tol = 1e-4;
+  const double burst_t_end = 0.1;
+  const BurstResult ref_burst = run_burst(1e-7, burst_t_end, lte_tol);  // accuracy reference
+  const BurstResult fixed_burst = run_burst(1e-6, burst_t_end, lte_tol);
+  const BurstResult adp_burst = run_burst(0.0, burst_t_end, lte_tol);
+  double max_dev = 0.0;
+  double fixed_dev = 0.0;
+  const std::size_t n = std::min(ref_burst.v.size(), adp_burst.v.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    max_dev = std::max(max_dev, std::fabs(adp_burst.v[i] - ref_burst.v[i]));
+    fixed_dev = std::max(fixed_dev, std::fabs(fixed_burst.v[i] - ref_burst.v[i]));
+  }
+  const double step_ratio_burst =
+      static_cast<double>(fixed_burst.steps) / static_cast<double>(adp_burst.steps);
+
+  Table ta("A: duty-cycled RC burst, " + fixed(burst_t_end * 1e3, 0) + " ms span");
+  ta.set_header({"engine", "steps", "wall [ms]", "max dev vs 0.1 us ref"});
+  ta.add_row({"fixed 0.1 us", std::to_string(ref_burst.steps),
+              fixed(ref_burst.wall_s * 1e3, 1), "(reference)"});
+  ta.add_row({"fixed 1 us", std::to_string(fixed_burst.steps),
+              fixed(fixed_burst.wall_s * 1e3, 1), si(fixed_dev, "V")});
+  ta.add_row({"adaptive", std::to_string(adp_burst.steps), fixed(adp_burst.wall_s * 1e3, 1),
+              si(max_dev, "V") + ", " + fixed(step_ratio_burst, 1) + "x fewer steps"});
+  ta.print(std::cout);
+
+  // --- B: shaker + synchronous rectifier (node harvest path) ----------------
+  harvest::SpeedProfile profile(std::vector<harvest::SpeedProfile::Point>{
+      {0.0, 60.0}, {1.0, 60.0}});
+  harvest::ElectromagneticShaker shaker(profile);
+  const double rect_t_end = 0.5;
+  const RectifierResult fixed_rect = run_rectifier(shaker, false, rect_t_end);
+  const RectifierResult adp_rect = run_rectifier(shaker, true, rect_t_end);
+  const double current_rel_dev =
+      std::fabs(adp_rect.avg_current - fixed_rect.avg_current) /
+      std::fabs(fixed_rect.avg_current);
+  const double speedup = fixed_rect.wall_s / adp_rect.wall_s;
+  const double step_ratio_rect =
+      static_cast<double>(fixed_rect.steps) / static_cast<double>(adp_rect.steps);
+
+  Table tb("B: shaker -> sync rectifier -> 1.25 V sink, " + fixed(rect_t_end, 1) + " s span");
+  tb.set_header({"engine", "steps", "wall [ms]", "avg charge current"});
+  tb.add_row({"fixed 1 us", std::to_string(fixed_rect.steps),
+              fixed(fixed_rect.wall_s * 1e3, 1), si(fixed_rect.avg_current, "A")});
+  tb.add_row({"adaptive", std::to_string(adp_rect.steps), fixed(adp_rect.wall_s * 1e3, 1),
+              si(adp_rect.avg_current, "A") + " (" + pct(current_rel_dev) + " off)"});
+  tb.print(std::cout);
+  std::cout << "adaptive speedup: " << fixed(speedup, 1) << "x wall clock, "
+            << fixed(step_ratio_rect, 1) << "x fewer steps\n";
+
+  io.metric("burst_fixed_steps", static_cast<double>(fixed_burst.steps));
+  io.metric("burst_adaptive_steps", static_cast<double>(adp_burst.steps));
+  io.metric("burst_max_dev_v", max_dev);
+  io.metric("rect_fixed_steps", static_cast<double>(fixed_rect.steps));
+  io.metric("rect_adaptive_steps", static_cast<double>(adp_rect.steps));
+  io.metric("rect_current_rel_dev", current_rel_dev);
+  io.metric("rect_step_ratio", step_ratio_rect);
+
+  bench::PaperCheck check("E15 / adaptive time-stepping");
+  check.add_text("duty-cycled waveform within lte_tol of fixed dt",
+                 "max dev <= " + si(lte_tol, "V"), si(max_dev, "V"), max_dev <= lte_tol);
+  check.add_text("avg charging current matches fixed dt", "rel dev <= 1 %",
+                 pct(current_rel_dev), current_rel_dev <= 0.01);
+  check.add_text("adaptive >= 5x wall clock on duty-cycled node workload",
+                 ">= 5.0x", fixed(speedup, 1) + "x", speedup >= 5.0);
+  check.add_text("adaptive uses >= 5x fewer steps", ">= 5.0x",
+                 fixed(step_ratio_rect, 1) + "x", step_ratio_rect >= 5.0);
+  return io.finish(check);
+}

@@ -82,6 +82,34 @@ BENCHMARK(BM_MnaTransientRc)->Arg(10000);
 void BM_MnaTransientRcNoCache(benchmark::State& state) { run_rc_transient(state, false); }
 BENCHMARK(BM_MnaTransientRcNoCache)->Arg(10000);
 
+// Same RC circuit and simulated span, adaptive LTE-controlled stepping.
+// Items are simulated microseconds (the fixed-dt benches take one 1 µs step
+// per microsecond), so items/s is directly comparable to BM_MnaTransientRc.
+void BM_MnaTransientRcAdaptive(benchmark::State& state) {
+  for (auto _ : state) {
+    circuits::Circuit c;
+    const auto in = c.node("in");
+    const auto out = c.node("out");
+    c.add<circuits::VoltageSource>("V", in, circuits::kGround,
+                                   [](double t) { return std::sin(6283.0 * t); });
+    c.add<circuits::Resistor>("R", in, out, 1_kOhm);
+    c.add<circuits::Capacitor>("C", out, circuits::kGround, 1_uF);
+    circuits::Transient::Options opt;
+    opt.adaptive = true;
+    opt.dt = 1e-6;
+    opt.dt_min = 1e-8;
+    opt.dt_max = 1e-4;
+    opt.lte_tol = 1e-4;
+    circuits::Transient tr(c, opt);
+    if (g_telemetry) tr.set_telemetry(&g_telemetry->metrics());
+    tr.run_until(Duration{static_cast<double>(state.range(0)) * 1e-6});
+    benchmark::DoNotOptimize(tr.voltage(out));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("simulated microseconds");
+}
+BENCHMARK(BM_MnaTransientRcAdaptive)->Arg(10000);
+
 void BM_MnaNonlinearBridge(benchmark::State& state) {
   for (auto _ : state) {
     circuits::Circuit c;
@@ -125,11 +153,18 @@ void BM_NodeSimulationRate(benchmark::State& state) {
 }
 BENCHMARK(BM_NodeSimulationRate)->Arg(600);
 
-void BM_NodeWithHarvester(benchmark::State& state) {
+void run_node_with_harvester(benchmark::State& state,
+                             core::NodeConfig::HarvestFidelity fidelity) {
   for (auto _ : state) {
     core::NodeConfig cfg;
     cfg.drive = harvest::make_city_cycle();
     cfg.attach_harvester = true;
+    cfg.harvest_fidelity = fidelity;
+    // The circuit fidelities model the IC train's synchronous rectifier —
+    // a linear comparator-switch netlist the dt-ladder LU cache serves.
+    if (fidelity != core::NodeConfig::HarvestFidelity::kBehavioral) {
+      cfg.power = core::NodeConfig::PowerVersion::kIc;
+    }
     core::PicoCubeNode node(cfg);
     node.run(Duration{static_cast<double>(state.range(0))});
     benchmark::DoNotOptimize(node.report().harvested_energy_in.value());
@@ -137,7 +172,27 @@ void BM_NodeWithHarvester(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
   state.SetLabel("simulated seconds");
 }
+
+void BM_NodeWithHarvester(benchmark::State& state) {
+  run_node_with_harvester(state, core::NodeConfig::HarvestFidelity::kBehavioral);
+}
 BENCHMARK(BM_NodeWithHarvester)->Arg(120);
+
+// Rectifier netlist solved by the transient engine at a fixed 1 µs step —
+// the fidelity the adaptive controller is measured against. Short span:
+// this is the ~10^6-steps-per-simulated-second strawman.
+void BM_NodeWithHarvesterCircuit(benchmark::State& state) {
+  run_node_with_harvester(state, core::NodeConfig::HarvestFidelity::kCircuitFixed);
+}
+BENCHMARK(BM_NodeWithHarvesterCircuit)->Arg(20);
+
+// Same netlist under the adaptive LTE controller: dt stretches through the
+// quiescent stretches between shaker pulses and shrinks at conduction
+// edges. Compare items/s against BM_NodeWithHarvesterCircuit.
+void BM_NodeWithHarvesterAdaptive(benchmark::State& state) {
+  run_node_with_harvester(state, core::NodeConfig::HarvestFidelity::kCircuitAdaptive);
+}
+BENCHMARK(BM_NodeWithHarvesterAdaptive)->Arg(120);
 
 }  // namespace
 

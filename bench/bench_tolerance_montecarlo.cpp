@@ -29,9 +29,22 @@ struct Sample {
   double cycle_ms;
 };
 
-Sample run_variant(Rng& rng, obs::TelemetrySession* telemetry) {
+// Optional harvest path for the sampled builds (off by default so the
+// baseline statistics stay untouched): --harvest=behavioral|circuit|adaptive
+// attaches the shaker+rectifier chain at the chosen fidelity.
+enum class HarvestMode { kNone, kBehavioral, kCircuitFixed, kCircuitAdaptive };
+
+Sample run_variant(Rng& rng, HarvestMode harvest, obs::TelemetrySession* telemetry) {
   core::NodeConfig cfg;
   cfg.drive = harvest::make_parked(600_s);
+  if (harvest != HarvestMode::kNone) {
+    cfg.attach_harvester = true;
+    if (harvest == HarvestMode::kCircuitFixed) {
+      cfg.harvest_fidelity = core::NodeConfig::HarvestFidelity::kCircuitFixed;
+    } else if (harvest == HarvestMode::kCircuitAdaptive) {
+      cfg.harvest_fidelity = core::NodeConfig::HarvestFidelity::kCircuitAdaptive;
+    }
+  }
 
   // Datasheet-class part spreads (1-sigma):
   mcu::Msp430::Params mp;
@@ -66,12 +79,19 @@ int main(int argc, char** argv) {
   bench::BenchIo io("tolerance_montecarlo", argc, argv);
   std::size_t n = 80;
   unsigned threads = 0;
+  HarvestMode harvest = HarvestMode::kNone;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg.rfind("--trials=", 0) == 0) {
       n = static_cast<std::size_t>(std::stoul(arg.substr(9)));
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } else if (arg == "--harvest=behavioral") {
+      harvest = HarvestMode::kBehavioral;
+    } else if (arg == "--harvest=circuit") {
+      harvest = HarvestMode::kCircuitFixed;
+    } else if (arg == "--harvest=adaptive") {
+      harvest = HarvestMode::kCircuitAdaptive;
     }
   }
 
@@ -96,7 +116,7 @@ int main(int argc, char** argv) {
       // (kBaseSeed, i), independent of scheduling and worker count.
       auto trial_span = io.span("trial." + std::to_string(i));
       Rng rng = Rng::stream(kBaseSeed, i);
-      trial[i] = run_variant(rng, io.telemetry());
+      trial[i] = run_variant(rng, harvest, io.telemetry());
     });
   }
   if (io.telemetry()) runner.publish_metrics(io.telemetry()->metrics());

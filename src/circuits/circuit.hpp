@@ -141,6 +141,18 @@ class Component {
   // discrete state based on the last accepted solution.
   virtual void pre_step(const Vector& last, double time) { (void)last, (void)time; }
 
+  // Known discontinuity times (absolute, seconds): source edges, scheduled
+  // switch toggles. The adaptive transient engine collects these at
+  // run_until() and lands a step exactly on each edge instead of
+  // overshooting the discontinuity and paying LTE rejections. Ignored by
+  // fixed-step mode. Waveforms are opaque std::functions, so edges must be
+  // declared explicitly by whoever builds the netlist.
+  void declare_breakpoint(double t) { breakpoints_.push_back(t); }
+  void declare_breakpoints(const std::vector<double>& ts) {
+    breakpoints_.insert(breakpoints_.end(), ts.begin(), ts.end());
+  }
+  [[nodiscard]] const std::vector<double>& declared_breakpoints() const { return breakpoints_; }
+
   [[nodiscard]] const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
@@ -154,6 +166,7 @@ class Component {
   std::string name_;
   std::uint64_t matrix_version_ = 0;
   std::uint64_t* version_sink_ = nullptr;
+  std::vector<double> breakpoints_;
 };
 
 class Circuit {

@@ -1,5 +1,6 @@
 #include "circuits/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -24,6 +25,21 @@ Transient::Transient(Circuit& circuit, Options options) : circuit_(circuit), opt
     if (c->has_commit()) commit_comps_.push_back(c);
     if (c->stamps_rhs()) rhs_comps_.push_back(c);
   }
+  if (opt_.adaptive) {
+    PICO_REQUIRE(opt_.dt_min > 0.0, "adaptive dt_min must be positive");
+    PICO_REQUIRE(effective_dt_max() >= opt_.dt_min, "adaptive dt_max must be >= dt_min");
+    PICO_REQUIRE(opt_.lte_tol > 0.0, "adaptive lte_tol must be positive");
+    PICO_REQUIRE(opt_.growth_cap > 1.0, "adaptive growth_cap must exceed 1");
+    PICO_REQUIRE(opt_.lu_cache_capacity >= 1, "adaptive LU cache needs at least one slot");
+    PICO_REQUIRE(opt_.observe_dt >= 0.0, "observe_dt must be non-negative");
+    // Slots are found by pointer; pre-reserving keeps them stable.
+    lu_lru_.reserve(opt_.lu_cache_capacity);
+    x_hist1_.assign(dim, 0.0);
+    x_hist2_.assign(dim, 0.0);
+    x_accept_.assign(dim, 0.0);
+    obs_buf_.assign(dim, 0.0);
+  }
+  epoch_seen_ = circuit_.matrix_epoch();
 }
 
 void Transient::set_initial(Node n, Voltage v) {
@@ -66,9 +82,63 @@ void Transient::solve_cached(StampContext& ctx) {
   }
   lu_.solve_into(b_, x_);
   last_newton_ = 1;
+  newton_converged_ = true;
   used_fast_path_ = true;
+}
 
-  for (Component* comp : commit_comps_) comp->commit(x_, ctx);
+void Transient::solve_lru(StampContext& ctx) {
+  // Adaptive counterpart of solve_cached: the controller walks a geometric
+  // dt-ladder, so a handful of (dt, method, epoch) factorizations covers a
+  // whole duty cycle. Capacity is small; a linear scan beats any map.
+  const std::uint64_t version = circuit_.matrix_epoch();
+  LadderLu* entry = nullptr;
+  for (auto& e : lu_lru_) {
+    if (e.dt == ctx.dt && e.method == ctx.method && e.version == version) {
+      entry = &e;
+      break;
+    }
+  }
+  ctx.iterate = &x_;
+  if (entry == nullptr) {
+    if constexpr (obs::kEnabled) ++lu_misses_;
+    if (lu_lru_.size() < opt_.lu_cache_capacity) {
+      lu_lru_.emplace_back();
+      entry = &lu_lru_.back();
+    } else {
+      // Evict the least recent stale entry (old epoch) if any, else the
+      // least recent overall.
+      for (auto& e : lu_lru_) {
+        if (e.version != version && (entry == nullptr || e.tick < entry->tick)) entry = &e;
+      }
+      if (entry != nullptr) {
+        if constexpr (obs::kEnabled) ++lu_invalidations_;
+      } else {
+        for (auto& e : lu_lru_) {
+          if (entry == nullptr || e.tick < entry->tick) entry = &e;
+        }
+        ++lu_evictions_;  // a still-current factorization lost its slot
+      }
+    }
+    a_.fill(0.0);
+    b_.fill(0.0);
+    Stamper stamper(&a_, &b_, circuit_.num_nodes());
+    for (const Component* comp : all_comps_) comp->stamp(stamper, ctx);
+    entry->lu.factorize(a_);
+    ++lu_factorizations_;
+    entry->dt = ctx.dt;
+    entry->method = ctx.method;
+    entry->version = version;
+  } else {
+    if constexpr (obs::kEnabled) ++lu_hits_;
+    b_.fill(0.0);
+    Stamper stamper(nullptr, &b_, circuit_.num_nodes());
+    for (const Component* comp : rhs_comps_) comp->stamp(stamper, ctx);
+  }
+  entry->tick = ++lu_tick_;
+  entry->lu.solve_into(b_, x_);
+  last_newton_ = 1;
+  newton_converged_ = true;
+  used_fast_path_ = true;
 }
 
 void Transient::solve_full(StampContext& ctx) {
@@ -80,6 +150,7 @@ void Transient::solve_full(StampContext& ctx) {
   prev_state_ = x_;  // last accepted solution, for companion history
   ctx.previous = &prev_state_;
 
+  bool converged = false;
   int it = 0;
   for (; it < iters; ++it) {
     a_.fill(0.0);
@@ -100,17 +171,20 @@ void Transient::solve_full(StampContext& ctx) {
     }
     std::swap(iterate_, next_);
     if (!needs_newton || delta <= opt_.tol_abs + opt_.tol_rel * scale) {
+      converged = true;
       ++it;
       break;
     }
   }
   last_newton_ = it;
+  // Fixed-step mode keeps the historical "accept anyway" behavior on Newton
+  // exhaustion; the adaptive controller instead treats it as a rejection
+  // and retries with a smaller step.
+  newton_converged_ = converged;
   std::swap(x_, iterate_);
   lu_valid_ = false;  // lu_ now holds this step's factors, not the cache
   used_fast_path_ = false;
-
   ctx.iterate = &x_;
-  for (Component* comp : commit_comps_) comp->commit(x_, ctx);
 }
 
 void Transient::solve_system(StampContext& ctx) {
@@ -121,6 +195,11 @@ void Transient::solve_system(StampContext& ctx) {
   }
 }
 
+void Transient::commit_step(StampContext& ctx) {
+  ctx.iterate = &x_;
+  for (Component* comp : commit_comps_) comp->commit(x_, ctx);
+}
+
 void Transient::solve_dc() {
   StampContext ctx;
   ctx.time = time_;
@@ -129,18 +208,20 @@ void Transient::solve_dc() {
   ctx.method = opt_.method;
   for (Component* comp : pre_step_comps_) comp->pre_step(x_, time_);
   solve_system(ctx);
+  commit_step(ctx);
 }
 
-void Transient::step() {
-  const double t_next = time_ + opt_.dt;
+void Transient::advance(double dt) {
+  const double t_next = time_ + dt;
   for (Component* comp : pre_step_comps_) comp->pre_step(x_, time_);
   StampContext ctx;
   ctx.time = t_next;
-  ctx.dt = opt_.dt;
+  ctx.dt = dt;
   ctx.dc = false;
   ctx.method = first_step_ ? Method::kBackwardEuler : opt_.method;
   first_step_ = false;
   solve_system(ctx);
+  commit_step(ctx);
   time_ = t_next;
   if constexpr (obs::kEnabled) {
     ++steps_;
@@ -148,16 +229,233 @@ void Transient::step() {
   }
 }
 
+void Transient::step() { advance(opt_.dt); }
+
+double Transient::effective_dt_max() const {
+  return opt_.dt_max > 0.0 ? opt_.dt_max : 1000.0 * opt_.dt;
+}
+
+double Transient::snap_to_ladder(double dt) const {
+  const double r = opt_.dt_ladder_ratio;
+  if (r <= 1.0 || dt <= opt_.dt_min) return std::max(dt, opt_.dt_min);
+  // Snap down to dt_min * r^k; the slop keeps exact rungs on their rung.
+  const double k = std::floor(std::log(dt / opt_.dt_min) / std::log(r) + 1e-9);
+  return opt_.dt_min * std::pow(r, k);
+}
+
+void Transient::reset_predictor() {
+  history_count_ = 0;
+  last_err_ = 0.0;
+  dt_next_ = std::clamp(opt_.dt, opt_.dt_min, effective_dt_max());
+}
+
+double Transient::lte_error_ratio(double t_new) const {
+  if (history_count_ < 1) return 0.0;
+  // Embedded predictor: extrapolate the accepted-solution history to t_new
+  // and compare against the implicit corrector in x_. Linear extrapolation
+  // checks the backward-Euler O(h²) term; with two history points the
+  // quadratic (Milne-style) difference tracks the trapezoidal O(h³) term.
+  // Only node voltages participate: voltage-source branch currents are
+  // algebraic outputs whose jumps at source edges are not integration error.
+  const std::size_t nv = circuit_.num_nodes();
+  const double t1 = t_hist1_;
+  const double h = t_new - time_;
+  const double d01 = time_ - t1;
+  const bool quad = history_count_ >= 2;
+  const double inv_d01 = 1.0 / d01;
+  const double inv_d02 = quad ? 1.0 / (time_ - t_hist2_) : 0.0;
+  const double inv_d12 = quad ? 1.0 / (t1 - t_hist2_) : 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < nv; ++i) {
+    const double x0 = x_accept_[i];
+    const double f01 = (x0 - x_hist1_[i]) * inv_d01;
+    double pred = x0 + f01 * h;
+    if (quad) {
+      const double f12 = (x_hist1_[i] - x_hist2_[i]) * inv_d12;
+      pred += (f01 - f12) * inv_d02 * h * (t_new - t1);
+    }
+    const double diff = std::fabs(x_[i] - pred);
+    const double scale = opt_.lte_tol * (1.0 + std::fabs(x_[i]));
+    worst = std::max(worst, diff / scale);
+  }
+  return worst;
+}
+
+double Transient::step_adaptive(double t_end) {
+  // Switch controllers may toggle discrete state here; an epoch change is a
+  // discontinuity, so the extrapolation history is no longer meaningful.
+  for (Component* comp : pre_step_comps_) comp->pre_step(x_, time_);
+  if (circuit_.matrix_epoch() != epoch_seen_) {
+    epoch_seen_ = circuit_.matrix_epoch();
+    reset_predictor();
+  }
+
+  // Nearest pending breakpoint strictly ahead of the current time.
+  const double t_eps = 1e-12 * std::max(1.0, std::fabs(time_));
+  while (bp_cursor_ < run_breakpoints_.size() &&
+         run_breakpoints_[bp_cursor_] <= time_ + t_eps) {
+    ++bp_cursor_;
+  }
+  double limit = t_end;
+  bool limit_is_bp = false;
+  if (bp_cursor_ < run_breakpoints_.size() && run_breakpoints_[bp_cursor_] < t_end) {
+    limit = run_breakpoints_[bp_cursor_];
+    limit_is_bp = true;
+  }
+
+  const double dt_hi = effective_dt_max();
+  const double dt_prop = snap_to_ladder(std::clamp(dt_next_, opt_.dt_min, dt_hi));
+  double dt = dt_prop;
+  const double remaining = limit - time_;
+  bool clamped = false;
+  // Land exactly on the limit, and absorb a would-be sub-dt_min sliver into
+  // this step rather than leaving an unsteppable remainder.
+  if (dt >= remaining * (1.0 - 1e-12) || remaining - dt < opt_.dt_min) {
+    dt = remaining;
+    clamped = true;
+  }
+
+  x_accept_ = x_;  // restore point for rejected attempts
+  const bool trap = opt_.method == Method::kTrapezoidal;
+  StampContext ctx;
+  double err = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    ctx = StampContext{};
+    ctx.dt = dt;
+    ctx.dc = false;
+    // No consistent reactive history right after a discontinuity: fall back
+    // to backward Euler for one step (same rule as the fixed-path start).
+    ctx.method = (history_count_ == 0 || !trap) ? Method::kBackwardEuler
+                                                : Method::kTrapezoidal;
+    ctx.time = clamped ? limit : time_ + dt;
+    if (fast_path_eligible_) {
+      solve_lru(ctx);
+    } else {
+      solve_full(ctx);
+    }
+    err = newton_converged_ ? lte_error_ratio(ctx.time) : 0.0;
+    const bool accept = newton_converged_ && err <= 1.0;
+    if (accept || dt <= opt_.dt_min * (1.0 + 1e-9) || attempt >= 30) break;
+
+    // Reject: restore the last accepted state and retry smaller.
+    ++rejections_;
+    x_ = x_accept_;
+    double shrink = 0.25;  // Newton failed: no usable error estimate
+    if (newton_converged_) {
+      const double p_inv =
+          (ctx.method == Method::kTrapezoidal && history_count_ >= 2) ? 1.0 / 3.0 : 0.5;
+      shrink = std::clamp(0.9 * std::pow(err, -p_inv), 0.1, 0.5);
+    }
+    dt = std::max(opt_.dt_min, snap_to_ladder(dt * shrink));
+    clamped = false;
+  }
+
+  first_step_ = false;
+  commit_step(ctx);
+
+  // PI controller (Gustafsson-style): integral term on this step's error,
+  // proportional term on the trend against the previous accepted step.
+  const double p_inv =
+      (ctx.method == Method::kTrapezoidal && history_count_ >= 2) ? 1.0 / 3.0 : 0.5;
+  double grow = opt_.growth_cap;
+  if (err > 1e-10) {
+    grow = 0.9 * std::pow(err, -0.7 * p_inv);
+    if (last_err_ > 1e-10) grow *= std::pow(last_err_ / err, 0.4 * p_inv);
+  }
+  grow = std::clamp(grow, 0.1, opt_.growth_cap);
+  // A step clamped onto a window boundary says nothing about the LTE-stable
+  // size; do not let it drag the proposal below the unclamped one.
+  const double basis = clamped ? std::max(dt, dt_prop) : dt;
+  dt_next_ = std::clamp(basis * grow, opt_.dt_min, dt_hi);
+  last_err_ = err;
+
+  // Shift the predictor history: the outgoing state becomes point 1.
+  std::swap(x_hist2_, x_hist1_);
+  t_hist2_ = t_hist1_;
+  std::swap(x_hist1_, x_accept_);
+  t_hist1_ = time_;
+  if (history_count_ < 2) ++history_count_;
+  time_ = ctx.time;
+
+  if (clamped && limit_is_bp) {
+    // Landed exactly on a declared discontinuity: restart the history and
+    // the controller on its far side.
+    ++bp_hits_;
+    ++bp_cursor_;
+    reset_predictor();
+  }
+
+  if constexpr (obs::kEnabled) {
+    ++steps_;
+    newton_total_ += static_cast<std::uint64_t>(last_newton_);
+    if (metrics_ != nullptr && id_dt_hist_ != obs::kInvalidMetric) {
+      metrics_->observe(id_dt_hist_, std::log10(dt));
+    }
+  }
+  return dt;
+}
+
+void Transient::run_adaptive(double t_end, const Observer& observer) {
+  // Merge engine-level and component-declared breakpoints for this run.
+  run_breakpoints_.clear();
+  run_breakpoints_.insert(run_breakpoints_.end(), breakpoints_.begin(), breakpoints_.end());
+  for (const Component* comp : all_comps_) {
+    const auto& bps = comp->declared_breakpoints();
+    run_breakpoints_.insert(run_breakpoints_.end(), bps.begin(), bps.end());
+  }
+  std::sort(run_breakpoints_.begin(), run_breakpoints_.end());
+  bp_cursor_ = 0;
+
+  if (dt_next_ <= 0.0) reset_predictor();
+  double next_obs = time_ + opt_.observe_dt;
+  const double end_eps = 1e-12 * std::max(1.0, std::fabs(t_end));
+  while (t_end - time_ > end_eps) {
+    const double t_prev = time_;
+    step_adaptive(t_end);
+    if (observer) {
+      if (opt_.observe_dt > 0.0) {
+        // Dense output: interpolate onto the uniform grid between the
+        // previous accepted point (t_prev == t_hist1_, x_hist1_) and now.
+        while (next_obs <= time_ + end_eps) {
+          const double span = time_ - t_prev;
+          const double w = span > 0.0 ? (next_obs - t_prev) / span : 1.0;
+          for (std::size_t i = 0; i < x_.size(); ++i) {
+            obs_buf_[i] = x_hist1_[i] + (x_[i] - x_hist1_[i]) * w;
+          }
+          observer(next_obs, obs_buf_);
+          next_obs += opt_.observe_dt;
+        }
+      } else {
+        observer(time_, x_);
+      }
+    }
+  }
+  if (std::fabs(time_ - t_end) <= end_eps) time_ = t_end;
+}
+
 void Transient::run_until(Duration t_end, const Observer& observer) {
   PICO_REQUIRE(t_end.value() >= time_, "run_until target is in the past");
   // Inert unless a tracer is attached (tracer_ stays null when
   // observability is compiled out) — nothing here runs per step.
   obs::Span span(tracer_, "transient.run_until");
-  // Half-step tolerance avoids a missed final step from accumulation error.
-  while (time_ + 0.5 * opt_.dt < t_end.value()) {
-    step();
+  if (opt_.adaptive) {
+    run_adaptive(t_end.value(), observer);
+    publish_metrics();
+    return;
+  }
+  const double te = t_end.value();
+  const double eps = 1e-6 * opt_.dt;
+  while (te - time_ > eps) {
+    const double remaining = te - time_;
+    // Clamp the final step to land exactly on t_end instead of integrating
+    // past it. Remainders within 1e-6 dt of a full step are a full step
+    // (floating-point accumulation, absorbed by the snap below), so runs
+    // whose t_end is an exact multiple of dt keep their historical step
+    // sizes — and bit-identical waveforms.
+    advance(remaining < opt_.dt * (1.0 - 1e-6) ? remaining : opt_.dt);
     if (observer) observer(time_, x_);
   }
+  if (std::fabs(time_ - te) <= eps) time_ = te;
   publish_metrics();
 }
 
@@ -172,6 +470,11 @@ void Transient::set_telemetry(obs::MetricsRegistry* metrics, obs::Tracer* tracer
       id_misses_ = metrics_->counter("transient.lu_cache.misses");
       id_invalidations_ = metrics_->counter("transient.lu_cache.invalidations");
       id_factorizations_ = metrics_->counter("transient.lu_factorizations");
+      id_rejections_ = metrics_->counter("transient.dt_rejections");
+      id_bp_hits_ = metrics_->counter("transient.dt_breakpoint_hits");
+      id_evictions_ = metrics_->counter("transient.lu_cache.evictions");
+      // Accepted step sizes, log10 seconds: 1 ns .. 1 s in ¼-decade buckets.
+      id_dt_hist_ = metrics_->histogram("transient.dt_log10", -9.0, 0.0, 36);
     }
   } else {
     (void)metrics;
@@ -194,6 +497,9 @@ void Transient::publish_metrics() {
     flush(id_misses_, lu_misses_, published_.misses);
     flush(id_invalidations_, lu_invalidations_, published_.invalidations);
     flush(id_factorizations_, lu_factorizations_, published_.factorizations);
+    flush(id_rejections_, rejections_, published_.rejections);
+    flush(id_bp_hits_, bp_hits_, published_.bp_hits);
+    flush(id_evictions_, lu_evictions_, published_.evictions);
   }
 }
 

@@ -14,10 +14,20 @@
 // invalidated automatically when a switch toggles or a resistance changes
 // (matrix version tracking), and nonlinear circuits fall back to the full
 // Newton loop. See docs/PERFORMANCE.md.
+//
+// Adaptive time-stepping (opt-in, `Options::adaptive`): a predictor-based
+// local-truncation-error estimate drives a PI step controller so duty-cycled
+// waveforms stretch dt through quiescent stretches and shrink it only at
+// edges. Accepted step sizes snap to a geometric dt-ladder feeding a small
+// LRU of LU factorizations; components may declare breakpoints so steps
+// land exactly on known discontinuities; `Options::observe_dt` turns the
+// run_until observer into dense output on a uniform grid. Fixed-step mode
+// remains the default and is bit-identical to the pre-adaptive engine.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "circuits/circuit.hpp"
 #include "circuits/components.hpp"
@@ -31,7 +41,7 @@ class Transient {
  public:
   struct Options {
     Method method = Method::kTrapezoidal;
-    double dt = 1e-6;        // timestep [s]
+    double dt = 1e-6;        // timestep [s]; adaptive: initial/restart size
     int max_newton = 100;    // Newton iterations per step
     double tol_abs = 1e-9;   // absolute convergence tolerance [V / A]
     double tol_rel = 1e-6;   // relative convergence tolerance
@@ -39,6 +49,30 @@ class Transient {
     // (bit-identical waveforms either way; off forces the full
     // refactorize-every-step path).
     bool cache_linear_lu = true;
+
+    // --- Adaptive time-stepping (docs/PERFORMANCE.md §2) ------------------
+    // Off by default: every existing caller keeps the fixed-step engine and
+    // its bit-identical-waveform guarantee.
+    bool adaptive = false;
+    double dt_min = 1e-9;    // rejection/retry floor; steps never shrink below
+    double dt_max = 0.0;     // growth ceiling; 0 = 1000 * dt
+    // Per-step LTE target: a candidate step is accepted when the worst
+    // node-voltage deviation from the polynomial predictor is below
+    // lte_tol * (1 + |v|). Branch currents of voltage sources are algebraic
+    // outputs and are excluded from the estimate.
+    double lte_tol = 1e-4;
+    double growth_cap = 4.0;       // max dt growth per accepted step
+    // Accepted step sizes snap down to dt_min * ratio^k so a duty-cycled
+    // run settles onto 2-3 reusable LU factorizations instead of thrashing
+    // the cache with a continuum of dt values. <= 1 disables snapping.
+    double dt_ladder_ratio = 2.0;
+    std::size_t lu_cache_capacity = 4;  // dt-ladder LRU slots (adaptive only)
+    // Dense output: > 0 makes the adaptive run_until observer fire on the
+    // uniform grid t0 + k*observe_dt (solution linearly interpolated between
+    // accepted steps) instead of at the irregular accepted times, so
+    // sim::Trace / PowerAccountant consumers see the same uniform waveforms
+    // as a fixed-dt run.
+    double observe_dt = 0.0;
   };
 
   Transient(Circuit& circuit, Options options);
@@ -50,11 +84,19 @@ class Transient {
   // make it the current state.
   void solve_dc();
 
-  // Advance one timestep.
+  // Advance one timestep of Options::dt (fixed-step; valid in either mode).
   void step();
   // Advance until `t_end`, invoking `observer` (if set) after each step.
+  // The final step is clamped so time() lands exactly on t_end. In adaptive
+  // mode the step size is chosen by the LTE controller and the observer
+  // follows Options::observe_dt.
   using Observer = std::function<void(double /*time*/, const Vector& /*solution*/)>;
   void run_until(Duration t_end, const Observer& observer = {});
+
+  // Register a known discontinuity time for the adaptive controller to land
+  // on exactly (merged with every component's declared_breakpoints() at
+  // run_until). Ignored in fixed-step mode; past times are skipped.
+  void add_breakpoint(double t) { breakpoints_.push_back(t); }
 
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] const Vector& solution() const { return x_; }
@@ -69,6 +111,18 @@ class Transient {
   // cache rebuild; full path: one per Newton iteration).
   [[nodiscard]] std::uint64_t lu_factorizations() const { return lu_factorizations_; }
 
+  // --- Adaptive-run introspection (functional, never compiled out) ----------
+  // Rejected step attempts (LTE over tolerance or Newton non-convergence).
+  [[nodiscard]] std::uint64_t lte_rejections() const { return rejections_; }
+  // Steps clamped to land exactly on a registered breakpoint.
+  [[nodiscard]] std::uint64_t breakpoint_hits() const { return bp_hits_; }
+  // Live entries in the dt-ladder LRU (bounded by Options::lu_cache_capacity).
+  [[nodiscard]] std::size_t lu_cache_entries() const { return lu_lru_.size(); }
+  // Evictions of a still-current factorization (capacity pressure).
+  [[nodiscard]] std::uint64_t lu_cache_evictions() const { return lu_evictions_; }
+  // The controller's current proposal for the next step size.
+  [[nodiscard]] double proposed_dt() const { return dt_next_; }
+
   // --- Observability ---------------------------------------------------------
   // Attach a metrics registry (and optionally a tracer). Counters flush to
   // the registry on publish_metrics(), which run_until() calls when it
@@ -77,8 +131,10 @@ class Transient {
   void set_telemetry(obs::MetricsRegistry* metrics, obs::Tracer* tracer = nullptr);
   // Flush counter deltas since the last publish into the registry
   // ("transient.steps", "transient.newton_iterations",
-  // "transient.lu_cache.{hits,misses,invalidations}",
-  // "transient.lu_factorizations"). Safe to call repeatedly.
+  // "transient.lu_cache.{hits,misses,invalidations,evictions}",
+  // "transient.lu_factorizations", "transient.dt_rejections",
+  // "transient.dt_breakpoint_hits"; accepted step sizes feed the
+  // "transient.dt_log10" histogram). Safe to call repeatedly.
   void publish_metrics();
 
   // Accepted transient steps (fast or full path).
@@ -93,18 +149,42 @@ class Transient {
   [[nodiscard]] std::uint64_t lu_cache_invalidations() const { return lu_invalidations_; }
 
  private:
-  // One nonlinear solve at the given context; updates x_.
+  // One nonlinear solve at the given context; updates x_. Does NOT commit —
+  // the caller commits after the step is accepted, so a rejected adaptive
+  // attempt leaves component history untouched.
   void solve_system(StampContext& ctx);
   // Full per-iteration restamp + refactorize (Newton / DC / fallback).
   void solve_full(StampContext& ctx);
-  // Cached-LU rhs-only solve for linear time-invariant circuits.
+  // Cached-LU rhs-only solve for linear time-invariant circuits (fixed-step
+  // single-slot cache; exact op order of the reference path).
   void solve_cached(StampContext& ctx);
+  // Adaptive counterpart: dt-ladder LRU of factorizations.
+  void solve_lru(StampContext& ctx);
+  // Commit companion-model history after an accepted step.
+  void commit_step(StampContext& ctx);
+  // One fixed step of the given size (extracted from step() so run_until
+  // can clamp the final step onto t_end).
+  void advance(double dt);
+
+  // --- Adaptive internals ---
+  void run_adaptive(double t_end, const Observer& observer);
+  // One adaptive step, never beyond `t_end`; returns the accepted dt.
+  double step_adaptive(double t_end);
+  // Worst predictor-vs-corrector deviation over node voltages, as a
+  // multiple of the tolerance (<= 1 accepts). 0 when no history exists.
+  // `t_new` is the attempted end-of-step time (candidate solution in x_,
+  // last accepted in x_accept_).
+  [[nodiscard]] double lte_error_ratio(double t_new) const;
+  [[nodiscard]] double snap_to_ladder(double dt) const;
+  [[nodiscard]] double effective_dt_max() const;
+  void reset_predictor();  // discontinuity: drop history, restart at opt_.dt
 
   Circuit& circuit_;
   Options opt_;
   Vector x_;
   double time_ = 0.0;
   int last_newton_ = 0;
+  bool newton_converged_ = true;
   // First transient step uses backward Euler: trapezoidal companion models
   // need a consistent reactive-current history, which does not exist at
   // t = 0 (standard SPICE startup practice).
@@ -137,6 +217,34 @@ class Transient {
   bool used_fast_path_ = false;
   std::uint64_t lu_factorizations_ = 0;
 
+  // --- Adaptive state ---
+  double dt_next_ = 0.0;        // controller proposal (0 until first run)
+  double last_err_ = 0.0;       // previous accepted error ratio (PI term)
+  int history_count_ = 0;       // valid predictor points besides x_
+  double t_hist1_ = 0.0, t_hist2_ = 0.0;
+  Vector x_hist1_, x_hist2_;    // accepted solutions before (time_, x_)
+  Vector x_accept_;             // restore point while an attempt is in flight
+  Vector obs_buf_;              // dense-output interpolation buffer
+  std::uint64_t epoch_seen_ = 0;
+  std::vector<double> breakpoints_;      // engine-level, user-registered
+  std::vector<double> run_breakpoints_;  // merged + sorted per run_until
+  std::size_t bp_cursor_ = 0;
+  std::uint64_t rejections_ = 0;
+  std::uint64_t bp_hits_ = 0;
+  std::uint64_t lu_evictions_ = 0;
+
+  // dt-ladder LRU of factorizations (adaptive runs only; the fixed-step
+  // single-slot cache above is untouched to preserve bit-identity).
+  struct LadderLu {
+    double dt = 0.0;
+    Method method = Method::kTrapezoidal;
+    std::uint64_t version = 0;
+    std::uint64_t tick = 0;  // LRU stamp
+    LuSolver lu;
+  };
+  std::vector<LadderLu> lu_lru_;
+  std::uint64_t lu_tick_ = 0;
+
   // Observability accounting (all increments sit behind
   // `if constexpr (obs::kEnabled)` so an OFF build carries no code).
   std::uint64_t steps_ = 0;
@@ -148,7 +256,7 @@ class Transient {
   obs::Tracer* tracer_ = nullptr;
   struct PublishedCounters {
     std::uint64_t steps = 0, newton = 0, hits = 0, misses = 0, invalidations = 0,
-                  factorizations = 0;
+                  factorizations = 0, rejections = 0, bp_hits = 0, evictions = 0;
   } published_;
   obs::MetricId id_steps_ = obs::kInvalidMetric;
   obs::MetricId id_newton_ = obs::kInvalidMetric;
@@ -156,6 +264,10 @@ class Transient {
   obs::MetricId id_misses_ = obs::kInvalidMetric;
   obs::MetricId id_invalidations_ = obs::kInvalidMetric;
   obs::MetricId id_factorizations_ = obs::kInvalidMetric;
+  obs::MetricId id_rejections_ = obs::kInvalidMetric;
+  obs::MetricId id_bp_hits_ = obs::kInvalidMetric;
+  obs::MetricId id_evictions_ = obs::kInvalidMetric;
+  obs::MetricId id_dt_hist_ = obs::kInvalidMetric;
 };
 
 }  // namespace pico::circuits

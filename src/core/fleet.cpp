@@ -57,6 +57,8 @@ FleetResult FleetAnalysis::run(const FleetConfig& cfg) {
     nc.sample_interval = Duration{res.intervals_s[static_cast<std::size_t>(n)]};
     nc.data_rate = cfg.data_rate;
     nc.seed = cfg.seed + static_cast<std::uint64_t>(n) * 7919;
+    nc.attach_harvester = cfg.attach_harvester;
+    nc.harvest_fidelity = cfg.harvest_fidelity;
     PicoCubeNode node(nc);
     NodeRun run;
     node.set_frame_listener([&run, n](const radio::RfFrame& f) {

@@ -25,6 +25,12 @@ struct FleetConfig {
   double interval_tolerance = 0.004;
   Frequency data_rate{200e3};
   std::uint64_t seed = 99;
+  // Optionally give every node a shaker harvest path, at the chosen
+  // fidelity (behavioral sampling model, or the MNA rectifier netlist at
+  // fixed/adaptive dt — see NodeConfig::HarvestFidelity). Off by default:
+  // the collision analysis does not need the power chain.
+  bool attach_harvester = false;
+  NodeConfig::HarvestFidelity harvest_fidelity = NodeConfig::HarvestFidelity::kBehavioral;
   // Worker concurrency for the per-node simulations (0 = hardware
   // concurrency). The result is identical at any thread count: interval
   // draws stay sequential and per-node frames are merged in node order.

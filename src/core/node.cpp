@@ -1,5 +1,7 @@
 #include "core/node.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 
@@ -129,6 +131,34 @@ void PicoCubeNode::boot() {
   }
 }
 
+void PicoCubeNode::ensure_harvest_circuit() {
+  if (harvest_tr_) return;
+  // The IC train's synchronous rectifier maps onto the comparator-switch
+  // bridge (linear time-invariant: the adaptive engine's dt-ladder LU cache
+  // engages); the COTS diode bridge uses the junction-diode netlist and the
+  // Newton path.
+  if (cfg_.power == NodeConfig::PowerVersion::kIc) {
+    const auto* sync = dynamic_cast<const power::SynchronousRectifier*>(rectifier_.get());
+    const Resistance r_on = sync ? sync->params().r_on : Resistance{2.0};
+    harvest_rc_ = power::build_sync_rectifier_circuit(*shaker_,
+                                                      battery_.open_circuit_voltage(), r_on);
+  } else {
+    harvest_rc_ =
+        power::build_bridge_rectifier_circuit(*shaker_, battery_.open_circuit_voltage());
+  }
+  circuits::Transient::Options opt;
+  if (cfg_.harvest_fidelity == NodeConfig::HarvestFidelity::kCircuitAdaptive) {
+    opt.adaptive = true;
+    opt.dt = 2e-5;      // restart size at discontinuities
+    opt.dt_min = 1e-7;  // comparator-edge resolution floor
+    opt.dt_max = 1e-3;  // quiescent-stretch ceiling (1000 steps/s window)
+    opt.lte_tol = 5e-4;
+  } else {
+    opt.dt = 1e-6;  // the behavioral model's reference resolution
+  }
+  harvest_tr_ = std::make_unique<circuits::Transient>(*harvest_rc_.circuit, opt);
+}
+
 void PicoCubeNode::update_harvest() {
   const double t = sim_.now().value();
   if (solar_) {
@@ -139,8 +169,35 @@ void PicoCubeNode::update_harvest() {
         Current{p / battery_.open_circuit_voltage().value()});
     return;
   }
+  const double window = cfg_.harvest_update.value();
+  if (cfg_.harvest_fidelity != NodeConfig::HarvestFidelity::kBehavioral) {
+    // Circuit-level estimate: integrate the battery branch current of the
+    // rectifier netlist over the window (trapezoid over accepted steps —
+    // exact for the engine's piecewise-linear output) and deliver the mean
+    // as this window's charging current. The engine's clock tracks the
+    // simulator's, so caches and controller state persist across windows.
+    ensure_harvest_circuit();
+    harvest_rc_.battery->set_dc(battery_.open_circuit_voltage());
+    double charge = 0.0;
+    double prev_t = harvest_tr_->time();
+    double prev_i = harvest_i_prev_;
+    harvest_tr_->run_until(Duration{t + window},
+                           [&](double tt, const circuits::Vector& x) {
+                             const double i = harvest_rc_.circuit->branch_current(
+                                 x, harvest_rc_.battery->branch_index());
+                             charge += 0.5 * (prev_i + i) * (tt - prev_t);
+                             prev_t = tt;
+                             prev_i = i;
+                           });
+    harvest_i_prev_ = prev_i;
+    // A quiescent window can integrate slightly negative (reverse leakage
+    // through the off-switches / diode saturation current); the PMU blocks
+    // reverse current, so the accountant sees zero harvest then.
+    accountant_.set_harvest_current(Current{std::max(0.0, charge / window)});
+    return;
+  }
   const auto res = rectifier_->rectify(*shaker_, battery_.open_circuit_voltage(), t,
-                                       t + cfg_.harvest_update.value(), 2048);
+                                       t + window, 2048);
   accountant_.set_harvest_current(res.avg_current);
 }
 
@@ -256,6 +313,12 @@ void PicoCubeNode::publish_metrics(obs::MetricsRegistry& m) const {
     m.add(m.counter("node.wake_cycles"), static_cast<double>(wake_cycles_));
     m.add(m.counter("node.frames_ok"), static_cast<double>(frames_ok_));
     m.add(m.counter("node.frames_failed"), static_cast<double>(frames_failed_));
+    if (harvest_tr_) {
+      // Circuit-level harvest engine: steps, LU-cache traffic, rejected
+      // steps and the accepted-dt histogram ("transient.*").
+      harvest_tr_->set_telemetry(&m);
+      harvest_tr_->publish_metrics();
+    }
   } else {
     (void)m;
   }

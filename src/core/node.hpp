@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 
+#include "circuits/transient.hpp"
 #include "core/accountant.hpp"
 #include "core/powertrain.hpp"
 #include "core/report.hpp"
@@ -21,6 +22,7 @@
 #include "mcu/msp430.hpp"
 #include "power/gating.hpp"
 #include "power/rectifier.hpp"
+#include "power/rectifier_circuits.hpp"
 #include "radio/packet.hpp"
 #include "radio/transmitter.hpp"
 #include "sensors/accelerometer.hpp"
@@ -61,6 +63,15 @@ struct NodeConfig {
   std::optional<harvest::IrradianceProfile> irradiance;
   double mpp_efficiency = 0.85;  // MPP tracker + boost stage
   Duration harvest_update{1.0};  // charging-current refresh window
+
+  // Fidelity of the shaker→rectifier charging-current estimate per window:
+  // the behavioral sampling model (default), or the actual MNA rectifier
+  // netlist (comparator-switch bridge for the IC train, junction-diode
+  // bridge for COTS) solved by circuits::Transient — at a fixed 1 µs step,
+  // or under the adaptive LTE controller that stretches dt through the
+  // quiescent stretches between shaker pulses (docs/PERFORMANCE.md).
+  enum class HarvestFidelity { kBehavioral, kCircuitFixed, kCircuitAdaptive };
+  HarvestFidelity harvest_fidelity = HarvestFidelity::kBehavioral;
 
   // Fault injection.
   double oscillator_failure_prob = 0.0;
@@ -121,6 +132,9 @@ class PicoCubeNode {
   void radio_send(std::vector<std::uint8_t> frame);
   void finish_cycle(bool tx_ok);
   void update_harvest();
+  // Build the MNA rectifier netlist + transient engine on first use
+  // (circuit-level harvest fidelities only).
+  void ensure_harvest_circuit();
 
   NodeConfig cfg_;
   sim::Simulator sim_;
@@ -147,6 +161,11 @@ class PicoCubeNode {
   std::unique_ptr<harvest::ElectromagneticShaker> shaker_;
   std::unique_ptr<power::Rectifier> rectifier_;
   std::unique_ptr<harvest::SolarCell> solar_;
+  // Circuit-level harvest fidelity: persistent netlist + engine so the LU
+  // caches and the adaptive controller's state survive across windows.
+  power::RectifierCircuit harvest_rc_;
+  std::unique_ptr<circuits::Transient> harvest_tr_;
+  double harvest_i_prev_ = 0.0;  // battery branch current at the last accepted step
 
   // Device ledger handles.
   DeviceId dev_mcu_ = 0;

@@ -44,6 +44,19 @@ double Trace::at(Duration t) const {
   return value_on_segment(left, tv);
 }
 
+double Trace::sample_at(Duration t) const {
+  if (t_.empty()) return 0.0;
+  const double tv = t.value();
+  if (tv <= t_.front()) return v_.front();
+  if (tv >= t_.back()) return v_.back();
+  const auto it = std::upper_bound(t_.begin(), t_.end(), tv);
+  const auto left = static_cast<std::size_t>(it - t_.begin()) - 1;
+  const double t0 = t_[left];
+  const double t1 = t_[left + 1];
+  if (t1 == t0) return v_[left + 1];
+  return lerp(v_[left], v_[left + 1], (tv - t0) / (t1 - t0));
+}
+
 double Trace::integral(Duration t0d, Duration t1d) const {
   if (t_.empty()) return 0.0;
   double t0 = t0d.value();

@@ -39,6 +39,13 @@ class Trace {
   // value, after the last returns the last.
   [[nodiscard]] double at(Duration t) const;
 
+  // Linearly-interpolated value at time t regardless of the trace's interp
+  // mode — the dense-output companion of the adaptive transient engine,
+  // whose accepted samples are straight-line segments whatever the channel
+  // semantics. Mirrors resample(): an empty trace reads 0.0; a single
+  // sample or an out-of-range query clamps to the nearest sample's value.
+  [[nodiscard]] double sample_at(Duration t) const;
+
   // Integral of the trace over [t0, t1] respecting interpolation semantics.
   [[nodiscard]] double integral(Duration t0, Duration t1) const;
   // Time-weighted mean over [t0, t1]. Requires t1 >= t0. A zero-width

@@ -165,6 +165,43 @@ TEST(Trace, MeanSingleSampleTrace) {
   EXPECT_DOUBLE_EQ(t.mean(1_s, 1_s), 7.0);
 }
 
+TEST(Trace, SampleAtInterpolatesLinearly) {
+  // sample_at always interpolates linearly, even on a kStep trace (it is
+  // the dense-output accessor, mirroring resample()'s grid semantics).
+  Trace t("v", Interp::kStep);
+  t.record(0_s, 0.0);
+  t.record(2_s, 10.0);
+  t.record(4_s, 10.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(1_s), 5.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(2_s), 10.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(3_s), 10.0);
+}
+
+TEST(Trace, SampleAtEmptyTraceIsZero) {
+  Trace t("v");
+  EXPECT_DOUBLE_EQ(t.sample_at(0_s), 0.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(5_s), 0.0);
+}
+
+TEST(Trace, SampleAtSingleSampleHoldsEverywhere) {
+  Trace t("v");
+  t.record(1_s, 3.5);
+  EXPECT_DOUBLE_EQ(t.sample_at(0_s), 3.5);
+  EXPECT_DOUBLE_EQ(t.sample_at(1_s), 3.5);
+  EXPECT_DOUBLE_EQ(t.sample_at(9_s), 3.5);
+}
+
+TEST(Trace, SampleAtClampsOutOfRangeQueries) {
+  Trace t("v", Interp::kLinear);
+  t.record(1_s, 2.0);
+  t.record(3_s, 8.0);
+  // Same clamp-to-endpoint semantics as resample() outside the span.
+  EXPECT_DOUBLE_EQ(t.sample_at(0_s), 2.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(4_s), 8.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(1_s), 2.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(3_s), 8.0);
+}
+
 TEST(Trace, EnergyAccountingScenario) {
   // A 14 ms active pulse at 2 mW on top of a 4 uW sleep floor, 6 s period:
   // average must come out near the paper's ~6 uW ballpark plus active part.

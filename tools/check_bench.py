@@ -148,6 +148,20 @@ def main():
         if not ok:
             failures += 1
 
+    # Keys present in the run but absent from the baseline are new metrics
+    # (a bench gained a counter): record them into the baseline and warn,
+    # rather than failing — only divergence and disappearance are errors.
+    new_keys = sorted(set(current) - set(entry["values"]))
+    if new_keys:
+        for key in new_keys:
+            print(f"NEW       {key}: {current[key]:g} (recorded to baseline)")
+            entry["values"][key] = current[key]
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"warning: {len(new_keys)} new metric(s) recorded into "
+              f"'{args.name}' in {args.baseline}")
+
     if failures:
         print(f"\n{failures} value(s) outside tolerance for '{args.name}'")
         return 1
