@@ -1,0 +1,159 @@
+// E15 (extension) — adversarial fault-scenario soak.
+//
+// The paper's energy budget is quoted for a nominal drive cycle; this
+// bench runs the named hostile scenarios from the fault library
+// (tire stop-and-go, cold-soak NiMH, dying supercap, lossy channel) and
+// checks the graceful-degradation invariants on each: the energy ledger
+// never creates energy, state of charge stays within [0, 1], scenarios
+// engineered to kill the node trip the brownout path exactly once, and
+// the rest keep beaconing through the abuse.
+//
+// Every scenario's FaultPlan is recorded in the run manifest
+// (faults.<scenario> = spec string), so any run reproduces from its
+// manifest alone: FaultPlan::parse(spec) rebuilds the exact plan.
+//
+//   --scenario=NAME     run one scenario instead of the whole library
+//   --harvest=adaptive  evaluate the harvest chain on the MNA rectifier
+//                       netlist under the adaptive transient engine
+//   --trace=PATH        write the (first) scenario's trace CSV — the
+//                       golden-trace workflow (tools/check_trace.py)
+//   --json[=file] --telemetry[=prefix]  as every bench
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/node.hpp"
+#include "fault/scenarios.hpp"
+
+using namespace pico;
+using namespace pico::literals;
+
+namespace {
+
+// Golden traces resample every channel onto this fixed grid; the row count
+// is part of the golden-file contract (tools/check_trace.py).
+constexpr int kTracePoints = 400;
+
+struct ScenarioOutcome {
+  fault::Scenario scenario;
+  core::NodeReport report;
+  double stored_start_j = 0.0;
+  double stored_end_j = 0.0;
+  std::uint64_t brownouts = 0;
+  std::uint64_t fault_events_fired = 0;
+  std::uint64_t frames_lost = 0;
+};
+
+ScenarioOutcome run_scenario(const fault::Scenario& s, const std::string& trace_path,
+                             obs::TelemetrySession* telemetry) {
+  ScenarioOutcome out;
+  out.scenario = s;
+  core::PicoCubeNode node(s.config);
+  out.stored_start_j = node.battery().stored_energy().value();
+  node.run(s.sim_time);
+  out.stored_end_j = node.battery().stored_energy().value();
+  out.report = node.report();
+  out.brownouts = node.accountant().brownout_events();
+  out.frames_lost = node.transmitter().frames_lost();
+  if (const auto* inj = node.fault_injector()) {
+    out.fault_events_fired = inj->counters().events_fired;
+  }
+  if (!trace_path.empty()) {
+    node.traces().write_csv(trace_path, Duration{0.0}, s.sim_time, kTracePoints);
+    std::cout << "wrote " << trace_path << "\n";
+  }
+  if (telemetry) node.publish_metrics(telemetry->metrics());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchIo io("fault_scenarios", argc, argv);
+  std::string only;
+  std::string trace_path;
+  auto fidelity = core::NodeConfig::HarvestFidelity::kBehavioral;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--scenario=", 0) == 0) {
+      only = arg.substr(11);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg == "--harvest=adaptive") {
+      fidelity = core::NodeConfig::HarvestFidelity::kCircuitAdaptive;
+    } else if (arg == "--harvest=behavioral") {
+      fidelity = core::NodeConfig::HarvestFidelity::kBehavioral;
+    }
+  }
+
+  bench::heading("E15", "adversarial fault-scenario soak");
+
+  std::vector<fault::Scenario> scenarios;
+  if (only.empty()) {
+    scenarios = fault::scenario_library();
+  } else {
+    scenarios.push_back(fault::make_scenario(only));  // throws on a bad name
+  }
+  for (auto& s : scenarios) s = fault::with_fidelity(std::move(s), fidelity);
+
+  bench::PaperCheck check("E15 / fault scenarios");
+  Table t("scenario outcomes (" +
+          std::string(fidelity == core::NodeConfig::HarvestFidelity::kBehavioral
+                          ? "behavioral"
+                          : "adaptive circuit") +
+          " harvest)");
+  t.set_header({"scenario", "wakes", "ok/fail", "brownout", "soc end", "avg power"});
+
+  bool first = true;
+  for (const fault::Scenario& s : scenarios) {
+    auto span = io.span("scenario." + s.name);
+    const ScenarioOutcome out =
+        run_scenario(s, first ? trace_path : std::string{}, io.telemetry());
+    first = false;
+    const core::NodeReport& r = out.report;
+
+    t.add_row({s.name, std::to_string(r.wake_cycles),
+               std::to_string(r.frames_ok) + "/" + std::to_string(r.frames_failed),
+               out.brownouts ? "yes" : "no", fixed(r.soc_end, 4),
+               si(r.average_power.value(), "W")});
+
+    io.metric(s.name + ".wake_cycles", static_cast<double>(r.wake_cycles));
+    io.metric(s.name + ".frames_ok", static_cast<double>(r.frames_ok));
+    io.metric(s.name + ".frames_failed", static_cast<double>(r.frames_failed));
+    io.metric(s.name + ".brownouts", static_cast<double>(out.brownouts));
+    io.metric(s.name + ".soc_end", r.soc_end);
+    io.metric(s.name + ".avg_power_uw", r.average_power.value() * 1e6);
+    io.metric(s.name + ".fault_events_fired", static_cast<double>(out.fault_events_fired));
+    if (io.telemetry()) {
+      io.telemetry()->manifest().set("faults." + s.name, s.config.faults.to_spec());
+      io.telemetry()->manifest().set_seed(s.config.seed);
+    }
+
+    // Graceful-degradation invariants.
+    const double ledger_slack = r.harvested_energy_in.value() -
+                                r.battery_energy_out.value() -
+                                (out.stored_end_j - out.stored_start_j);
+    const double tol = 1e-6 + 1e-3 * (r.harvested_energy_in.value() +
+                                      r.battery_energy_out.value());
+    check.add_text(s.name + ": no energy creation", "stored delta <= in - out",
+                   si(ledger_slack, "J") + " slack", ledger_slack >= -tol);
+    check.add_text(s.name + ": SoC within [0, 1]", "0 <= soc <= 1", fixed(r.soc_end, 4),
+                   r.soc_end >= 0.0 && r.soc_end <= 1.0);
+    check.add_text(s.name + ": brownout expectation",
+                   s.expect_brownout ? "trips once" : "never trips",
+                   std::to_string(out.brownouts),
+                   out.brownouts == (s.expect_brownout ? 1u : 0u));
+    if (!s.expect_brownout) {
+      check.add_text(s.name + ": keeps beaconing", "frames_ok > 0",
+                     std::to_string(r.frames_ok), r.frames_ok > 0);
+    }
+    if (s.name == "lossy_channel") {
+      check.add_text("lossy_channel: frames faded on air", "frames_lost > 0",
+                     std::to_string(out.frames_lost), out.frames_lost > 0);
+    }
+  }
+  t.print(std::cout);
+
+  return io.finish(check);
+}

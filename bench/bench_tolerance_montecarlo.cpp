@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/node.hpp"
+#include "fault/plan.hpp"
 #include "runtime/parallel.hpp"
 
 using namespace pico;
@@ -34,9 +35,11 @@ struct Sample {
 // attaches the shaker+rectifier chain at the chosen fidelity.
 enum class HarvestMode { kNone, kBehavioral, kCircuitFixed, kCircuitAdaptive };
 
-Sample run_variant(Rng& rng, HarvestMode harvest, obs::TelemetrySession* telemetry) {
+Sample run_variant(Rng& rng, HarvestMode harvest, const fault::FaultPlan& faults,
+                   obs::TelemetrySession* telemetry) {
   core::NodeConfig cfg;
   cfg.drive = harvest::make_parked(600_s);
+  cfg.faults = faults;
   if (harvest != HarvestMode::kNone) {
     cfg.attach_harvester = true;
     if (harvest == HarvestMode::kCircuitFixed) {
@@ -75,11 +78,13 @@ Sample run_variant(Rng& rng, HarvestMode harvest, obs::TelemetrySession* telemet
 
 int main(int argc, char** argv) {
   // --trials=N --threads=N (0 = hardware concurrency) --json[=file]
-  // --telemetry[=prefix]
+  // --telemetry[=prefix] --faults=SPEC (fault-plan spec applied to every
+  // sampled build; see docs/ROBUSTNESS.md for the spec grammar)
   bench::BenchIo io("tolerance_montecarlo", argc, argv);
   std::size_t n = 80;
   unsigned threads = 0;
   HarvestMode harvest = HarvestMode::kNone;
+  fault::FaultPlan faults;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg.rfind("--trials=", 0) == 0) {
@@ -92,6 +97,8 @@ int main(int argc, char** argv) {
       harvest = HarvestMode::kCircuitFixed;
     } else if (arg == "--harvest=adaptive") {
       harvest = HarvestMode::kCircuitAdaptive;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults = fault::FaultPlan::parse(arg.substr(9));
     }
   }
 
@@ -106,6 +113,7 @@ int main(int argc, char** argv) {
   if (io.telemetry()) {
     io.telemetry()->manifest().set_seed(kBaseSeed);
     io.telemetry()->manifest().set("trials", static_cast<std::uint64_t>(n));
+    if (!faults.empty()) io.telemetry()->manifest().set("faults", faults.to_spec());
   }
   runtime::ParallelRunner runner(threads);
   std::vector<Sample> trial(n);
@@ -116,7 +124,7 @@ int main(int argc, char** argv) {
       // (kBaseSeed, i), independent of scheduling and worker count.
       auto trial_span = io.span("trial." + std::to_string(i));
       Rng rng = Rng::stream(kBaseSeed, i);
-      trial[i] = run_variant(rng, harvest, io.telemetry());
+      trial[i] = run_variant(rng, harvest, faults, io.telemetry());
     });
   }
   if (io.telemetry()) runner.publish_metrics(io.telemetry()->metrics());

@@ -17,7 +17,9 @@ DeviceId PowerAccountant::add_device(std::string name, RailId rail) {
 }
 
 Current PowerAccountant::battery_draw() const {
-  return train_.battery_current(battery_.terminal_voltage(Current{0.0}), loads_);
+  return Current{
+      train_.battery_current(battery_.terminal_voltage(Current{0.0}), loads_).value() *
+      converter_derate_};
 }
 
 Power PowerAccountant::battery_power() const {
@@ -37,18 +39,21 @@ void PowerAccountant::integrate_to_now() {
     return;
   }
   const Voltage vb = battery_.open_circuit_voltage();
-  const Current draw = train_.battery_current(vb, loads_);
+  const Current draw{train_.battery_current(vb, loads_).value() * converter_derate_};
   // Net battery current: harvest in, load out (signs: + charges).
   const Current net{harvest_.value() - draw.value()};
   const auto moved = battery_.transfer(net, Duration{dt});
   battery_.idle(Duration{dt});  // self-discharge in parallel
   if constexpr (obs::kEnabled) ++intervals_;
-  if (moved.hit_empty && !empty_signaled_) {
-    empty_signaled_ = true;
-    if constexpr (obs::kEnabled) ++brownouts_;
-    if (on_empty_) on_empty_();  // brown-out: the node drops its supplies
+  if (moved.hit_empty) {
+    // The cell emptied mid-interval: the loads received only the charge it
+    // could source plus the harvest flowing straight through. Billing the
+    // full demand would let energy_out exceed what physically existed.
+    const double supplied_q = harvest_.value() * dt + std::max(0.0, -moved.moved.value());
+    energy_out_ += vb.value() * std::min(draw.value() * dt, supplied_q);
+  } else {
+    energy_out_ += vb.value() * draw.value() * dt;
   }
-  energy_out_ += vb.value() * draw.value() * dt;
   energy_in_ += vb.value() * harvest_.value() * dt;
   // Device-level (rail-referred) energies.
   for (auto& d : devices_) {
@@ -56,12 +61,20 @@ void PowerAccountant::integrate_to_now() {
     d.energy_j += vr.value() * d.current.value() * dt;
   }
   last_time_ = now;
+  if (moved.hit_empty && !empty_signaled_) {
+    empty_signaled_ = true;
+    if constexpr (obs::kEnabled) ++brownouts_;
+    // Brown-out: the node drops its supplies. Fired only after the books
+    // for this interval close — the callback's own set_current() calls
+    // re-enter integrate_to_now(), which must see dt == 0.
+    if (on_empty_) on_empty_();
+  }
 }
 
 void PowerAccountant::record() {
   const Duration now = sim_.now();
   const Voltage vb = battery_.open_circuit_voltage();
-  const Current draw = train_.battery_current(vb, loads_);
+  const Current draw{train_.battery_current(vb, loads_).value() * converter_derate_};
   traces_.channel("p_node").record(now, vb.value() * draw.value());
   traces_.channel("i_batt").record(now, draw.value());
   traces_.channel("i_harvest").record(now, harvest_.value());
@@ -100,6 +113,14 @@ void PowerAccountant::set_harvest_current(Current i) {
   PICO_REQUIRE(i.value() >= 0.0, "harvest current must be non-negative");
   integrate_to_now();
   harvest_ = i;
+  record();
+}
+
+void PowerAccountant::set_converter_derate(double multiplier) {
+  PICO_REQUIRE(std::isfinite(multiplier) && multiplier >= 1.0,
+               "converter derate multiplier must be finite and >= 1");
+  integrate_to_now();
+  converter_derate_ = multiplier;
   record();
 }
 

@@ -50,6 +50,11 @@ class PowerAccountant {
   void set_radio_powered(bool on);
   // Harvester charging current into the battery (set by the integrator).
   void set_harvest_current(Current i);
+  // Converter-degradation fault hook: every battery-current draw is scaled
+  // by `multiplier` (>= 1; 1 / combined efficiency factor). Integrates the
+  // elapsed interval at the previous derating before applying the new one.
+  void set_converter_derate(double multiplier);
+  [[nodiscard]] double converter_derate() const { return converter_derate_; }
 
   // Integrate up to `now` (called internally; call once at end of run).
   void settle();
@@ -92,6 +97,7 @@ class PowerAccountant {
   std::vector<DeviceLedger> devices_;
   RailLoads loads_{};
   Current harvest_{};
+  double converter_derate_ = 1.0;
   double last_time_ = 0.0;
   double energy_out_ = 0.0;
   double energy_in_ = 0.0;

@@ -59,6 +59,7 @@ FleetResult FleetAnalysis::run(const FleetConfig& cfg) {
     nc.seed = cfg.seed + static_cast<std::uint64_t>(n) * 7919;
     nc.attach_harvester = cfg.attach_harvester;
     nc.harvest_fidelity = cfg.harvest_fidelity;
+    nc.faults = cfg.faults;
     PicoCubeNode node(nc);
     NodeRun run;
     node.set_frame_listener([&run, n](const radio::RfFrame& f) {

@@ -31,6 +31,10 @@ struct FleetConfig {
   // the collision analysis does not need the power chain.
   bool attach_harvester = false;
   NodeConfig::HarvestFidelity harvest_fidelity = NodeConfig::HarvestFidelity::kBehavioral;
+  // Fault plan applied identically to every node in the fleet (each node's
+  // injector runs on its own simulator, so per-node outcomes stay
+  // deterministic and thread-count independent).
+  fault::FaultPlan faults;
   // Worker concurrency for the per-node simulations (0 = hardware
   // concurrency). The result is identical at any thread count: interval
   // draws stay sequential and per-node frames are merged in node order.

@@ -58,6 +58,9 @@ PicoCubeNode::PicoCubeNode(NodeConfig cfg)
       cfg_.sensor == NodeConfig::Sensor::kTpms ? "SP12 TPMS" : "SCA3000", RailId::kVddMcu);
   dev_radio_rf_ = accountant_.add_device("radio RF (PA+osc)", RailId::kVddRadioRf);
   dev_radio_dig_ = accountant_.add_device("radio digital", RailId::kVddRadioDigital);
+  if (!cfg_.faults.empty()) {
+    dev_fault_ = accountant_.add_device("fault glitch", RailId::kVddMcu);
+  }
 
   cpu_ = cfg_.mcu_params.has_value()
              ? std::make_unique<mcu::Msp430>(sim_, *cfg_.mcu_params)
@@ -109,6 +112,8 @@ void PicoCubeNode::boot() {
     tx_->set_rf_rail(Voltage{0.0});
     tx_->set_digital_rail(Voltage{0.0});
     sequencer_.power_down();
+    // A glitch load is a short across the collapsed rail: no rail, no draw.
+    if (!cfg_.faults.empty()) accountant_.set_current(dev_fault_, Current{0.0});
   });
   // Bring up the always-on rail and let the firmware configure itself.
   const Voltage v_mcu = accountant_.rail_voltage(RailId::kVddMcu);
@@ -128,6 +133,35 @@ void PicoCubeNode::boot() {
   if ((shaker_ && rectifier_) || solar_) {
     sim_.every(cfg_.harvest_update, [this] { update_harvest(); });
     update_harvest();
+  }
+
+  if (!cfg_.faults.empty()) {
+    fault::FaultHooks hooks;
+    hooks.set_harvest_derate = [this](double factor) {
+      harvest_derate_ = factor;
+      // Re-estimate immediately so the derate takes effect mid-window —
+      // except in circuit fidelities, where re-running would advance the
+      // transient engine past the periodic tick; there the new factor
+      // applies from the next window.
+      const bool circuit =
+          cfg_.harvest_fidelity != NodeConfig::HarvestFidelity::kBehavioral && !solar_;
+      if (((shaker_ && rectifier_) || solar_) && !circuit) update_harvest();
+    };
+    hooks.age_storage = [this](double cap, double res, double sd) {
+      battery_.degrade(cap, res, sd);
+    };
+    hooks.set_converter_derate = [this](double mult) {
+      accountant_.set_converter_derate(mult);
+    };
+    hooks.set_frame_loss = [this](double p) { tx_->set_frame_loss(p); };
+    hooks.set_glitch_load = [this](double amps) {
+      // Post-brownout the rail is gone; a glitch cannot load it.
+      if (accountant_.battery_died()) return;
+      accountant_.set_current(dev_fault_, Current{amps});
+    };
+    fault_injector_ =
+        std::make_unique<fault::FaultInjector>(sim_, cfg_.faults, std::move(hooks));
+    fault_injector_->arm();
   }
 }
 
@@ -164,7 +198,7 @@ void PicoCubeNode::update_harvest() {
   if (solar_) {
     // MPP-tracked solar charger: harvested power through the tracker's
     // efficiency, delivered as a charging current at the cell voltage.
-    const double p = solar_->mpp_at_time(t).value() * cfg_.mpp_efficiency;
+    const double p = solar_->mpp_at_time(t).value() * cfg_.mpp_efficiency * harvest_derate_;
     accountant_.set_harvest_current(
         Current{p / battery_.open_circuit_voltage().value()});
     return;
@@ -193,12 +227,13 @@ void PicoCubeNode::update_harvest() {
     // A quiescent window can integrate slightly negative (reverse leakage
     // through the off-switches / diode saturation current); the PMU blocks
     // reverse current, so the accountant sees zero harvest then.
-    accountant_.set_harvest_current(Current{std::max(0.0, charge / window)});
+    accountant_.set_harvest_current(
+        Current{std::max(0.0, charge / window) * harvest_derate_});
     return;
   }
   const auto res = rectifier_->rectify(*shaker_, battery_.open_circuit_voltage(), t,
                                        t + window, 2048);
-  accountant_.set_harvest_current(res.avg_current);
+  accountant_.set_harvest_current(Current{res.avg_current.value() * harvest_derate_});
 }
 
 void PicoCubeNode::on_interrupt(mcu::Irq irq) {
@@ -313,6 +348,7 @@ void PicoCubeNode::publish_metrics(obs::MetricsRegistry& m) const {
     m.add(m.counter("node.wake_cycles"), static_cast<double>(wake_cycles_));
     m.add(m.counter("node.frames_ok"), static_cast<double>(frames_ok_));
     m.add(m.counter("node.frames_failed"), static_cast<double>(frames_failed_));
+    if (fault_injector_) fault_injector_->publish_metrics(m);
     if (harvest_tr_) {
       // Circuit-level harvest engine: steps, LU-cache traffic, rejected
       // steps and the accepted-dt histogram ("transient.*").

@@ -18,6 +18,8 @@
 #include "core/accountant.hpp"
 #include "core/powertrain.hpp"
 #include "core/report.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "harvest/harvester.hpp"
 #include "mcu/msp430.hpp"
 #include "power/gating.hpp"
@@ -75,6 +77,10 @@ struct NodeConfig {
 
   // Fault injection.
   double oscillator_failure_prob = 0.0;
+  // Scheduled fault plan (docs/ROBUSTNESS.md): harvester derating, storage
+  // aging, converter degradation, channel loss, supply glitches — injected
+  // through the event simulator at boot. Empty by default (no faults).
+  fault::FaultPlan faults;
 
   // Component-parameter overrides (tolerance studies / part variation).
   std::optional<mcu::Msp430::Params> mcu_params;
@@ -98,6 +104,12 @@ class PicoCubeNode {
   // --- Access for benches/examples -----------------------------------------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] sim::TraceSet& traces() { return traces_; }
+  [[nodiscard]] PowerAccountant& accountant() { return accountant_; }
+  [[nodiscard]] const PowerAccountant& accountant() const { return accountant_; }
+  // Null when the node runs without a fault plan.
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const {
+    return fault_injector_.get();
+  }
   [[nodiscard]] const storage::NiMhBattery& battery() const { return battery_; }
   [[nodiscard]] storage::NiMhBattery& battery() { return battery_; }
   [[nodiscard]] PowerTrain& power_train() { return *train_; }
@@ -167,11 +179,16 @@ class PicoCubeNode {
   std::unique_ptr<circuits::Transient> harvest_tr_;
   double harvest_i_prev_ = 0.0;  // battery branch current at the last accepted step
 
+  // Fault injection (armed at boot when cfg_.faults is non-empty).
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
+  double harvest_derate_ = 1.0;  // combined harvester amplitude factor
+
   // Device ledger handles.
   DeviceId dev_mcu_ = 0;
   DeviceId dev_sensor_ = 0;
   DeviceId dev_radio_rf_ = 0;
   DeviceId dev_radio_dig_ = 0;
+  DeviceId dev_fault_ = 0;  // supply-glitch parasitic load (faulted runs only)
 
   // Firmware state.
   bool cycle_busy_ = false;

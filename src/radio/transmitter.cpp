@@ -58,6 +58,11 @@ void FbarOokTransmitter::set_frame_listener(FrameListener cb) {
   frame_listener_ = std::move(cb);
 }
 
+void FbarOokTransmitter::set_frame_loss(double p) {
+  PICO_REQUIRE(p >= 0.0 && p <= 1.0, "frame loss probability must be within [0, 1]");
+  frame_loss_ = p;
+}
+
 void FbarOokTransmitter::set_rf_current(double amps) {
   rf_current_ = amps;
   if (listener_) {
@@ -125,6 +130,14 @@ void FbarOokTransmitter::transmit(const std::vector<std::uint8_t>& frame, Freque
     busy_ = false;
     ++frames_sent_;
     set_rf_current(0.0);
+    // Channel-fade fault: the frame was transmitted in full (energy spent)
+    // but faded on air. Guarding the draw keeps nominal RNG sequences
+    // untouched.
+    if (frame_loss_ > 0.0 && rng_.chance(frame_loss_)) {
+      ++frames_lost_;
+      if (done) done(false);
+      return;
+    }
     if (frame_listener_) frame_listener_(rf);
     if (done) done(true);
   });

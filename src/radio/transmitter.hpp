@@ -76,8 +76,16 @@ class FbarOokTransmitter {
   [[nodiscard]] const Params& params() const { return prm_; }
   [[nodiscard]] const FbarOscillator& oscillator() const { return osc_; }
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  // Frames fully transmitted (energy spent) but lost to a channel fade.
+  [[nodiscard]] std::uint64_t frames_lost() const { return frames_lost_; }
   // Deterministic fault injection uses this stream.
   void reseed_faults(std::uint64_t seed) { rng_.reseed(seed); }
+  // Channel-fade fault hook: each completed frame is lost with probability
+  // `p` — the PA still burns the full airtime's energy, but the frame never
+  // reaches a listener and the completion callback reports failure. The
+  // loss draw happens only while p > 0, so nominal runs consume exactly the
+  // same fault-RNG sequence as before the hook existed.
+  void set_frame_loss(double p);
 
  private:
   void set_rf_current(double amps);
@@ -93,7 +101,9 @@ class FbarOokTransmitter {
   CurrentListener listener_;
   FrameListener frame_listener_;
   std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_lost_ = 0;
   std::uint64_t tx_generation_ = 0;
+  double frame_loss_ = 0.0;
   Rng rng_{0xF00DF00D};
 };
 

@@ -20,7 +20,7 @@ Voltage CapacitorStore::terminal_voltage(Current discharge) const {
 }
 
 TransferResult CapacitorStore::transfer(Current i, Duration dt) {
-  PICO_REQUIRE(dt.value() >= 0.0, "transfer duration must be non-negative");
+  require_finite_request(i.value(), dt.value(), prm_.label.c_str());
   TransferResult res;
   if (dt.value() == 0.0) return res;
   const double c = prm_.capacitance.value();
@@ -69,6 +69,7 @@ Current CapacitorStore::max_burst_current() const {
 }
 
 Energy CapacitorStore::idle(Duration dt) {
+  require_finite_request(0.0, dt.value(), prm_.label.c_str());
   const double c = prm_.capacitance.value();
   const double e0 = 0.5 * c * v_ * v_;
   const double dv = prm_.leakage.value() * dt.value() / c;
@@ -87,6 +88,19 @@ void CapacitorStore::set_voltage(Voltage v) {
   PICO_REQUIRE(v.value() >= 0.0 && v.value() <= prm_.v_max.value(),
                "voltage must be within [0, v_max]");
   v_ = v.value();
+}
+
+void CapacitorStore::degrade(double capacitance_factor, double esr_mult,
+                             double leakage_mult) {
+  PICO_REQUIRE(std::isfinite(capacitance_factor) && capacitance_factor > 0.0 &&
+                   capacitance_factor <= 1.0,
+               "capacitance factor must be within (0, 1]");
+  PICO_REQUIRE(std::isfinite(esr_mult) && esr_mult >= 1.0, "ESR multiplier must be >= 1");
+  PICO_REQUIRE(std::isfinite(leakage_mult) && leakage_mult >= 1.0,
+               "leakage multiplier must be >= 1");
+  prm_.capacitance = Capacitance{prm_.capacitance.value() * capacitance_factor};
+  prm_.esr = Resistance{prm_.esr.value() * esr_mult};
+  prm_.leakage = Current{prm_.leakage.value() * leakage_mult};
 }
 
 CapacitorStore make_supercap(Capacitance c, Voltage v_max) {

@@ -57,7 +57,7 @@ Current NiMhBattery::max_burst_current() const {
 }
 
 TransferResult NiMhBattery::transfer(Current i, Duration dt) {
-  PICO_REQUIRE(dt.value() >= 0.0, "transfer duration must be non-negative");
+  require_finite_request(i.value(), dt.value(), "NiMH");
   TransferResult res;
   if (dt.value() == 0.0) return res;
   double amps = i.value();
@@ -89,7 +89,9 @@ TransferResult NiMhBattery::transfer(Current i, Duration dt) {
       throughput_ += stored;
       return res;
     }
-    soc_ = (q0 + dq) / cap;
+    // Floating-point residue can push the ratio a hair past 1.0 when dq
+    // lands exactly on the remaining room; clamp at the bound.
+    soc_ = std::min((q0 + dq) / cap, 1.0);
     res.moved = Charge{dq};
     res.stored_delta = Energy{dq * ocv_(soc_)};
     // Charging loss across internal resistance.
@@ -104,7 +106,7 @@ TransferResult NiMhBattery::transfer(Current i, Duration dt) {
     draw = q0;
     res.hit_empty = true;
   }
-  soc_ = (q0 - draw) / cap;
+  soc_ = std::max((q0 - draw) / cap, 0.0);
   res.moved = Charge{-draw};
   res.stored_delta = Energy{-draw * ocv_(soc_)};
   res.dissipated = Energy{amps * amps * prm_.internal_resistance.value() * dt.value()};
@@ -131,17 +133,38 @@ Energy NiMhBattery::capacity_energy() const {
 }
 
 Energy NiMhBattery::idle(Duration dt) {
+  require_finite_request(0.0, dt.value(), "NiMH");
   const double rate = prm_.self_discharge_per_day / 86400.0;
   const double frac = std::min(rate * dt.value(), soc_);
   const double lost_q = frac * prm_.capacity.value();
   const double lost_e = lost_q * ocv_(soc_);
-  soc_ -= frac;
+  // Self-discharge may race an external discharge within the same
+  // integration interval (transfer() then idle()); clamp at empty so the
+  // combination can never drive the state of charge negative.
+  soc_ = std::max(soc_ - frac, 0.0);
   return Energy{lost_e};
 }
 
 void NiMhBattery::set_soc(double soc) {
   PICO_REQUIRE(soc >= 0.0 && soc <= 1.0, "SoC must be within [0, 1]");
   soc_ = soc;
+}
+
+void NiMhBattery::degrade(double capacity_factor, double resistance_mult,
+                          double self_discharge_mult) {
+  PICO_REQUIRE(std::isfinite(capacity_factor) && capacity_factor > 0.0 &&
+                   capacity_factor <= 1.0,
+               "capacity factor must be within (0, 1]");
+  PICO_REQUIRE(std::isfinite(resistance_mult) && resistance_mult >= 1.0,
+               "resistance multiplier must be >= 1");
+  PICO_REQUIRE(std::isfinite(self_discharge_mult) && self_discharge_mult >= 1.0,
+               "self-discharge multiplier must be >= 1");
+  prm_.capacity = Charge{prm_.capacity.value() * capacity_factor};
+  prm_.internal_resistance = Resistance{prm_.internal_resistance.value() * resistance_mult};
+  prm_.self_discharge_per_day *= self_discharge_mult;
+  // Proportional active-material loss: the state of charge is unchanged,
+  // so the charge (and stored energy) held in the faded material is lost
+  // with it — aging can only ever destroy energy, never create it.
 }
 
 }  // namespace pico::storage

@@ -59,6 +59,13 @@ class NiMhBattery : public EnergyStore {
 
   void set_soc(double soc);
 
+  // Aging step (fault injection / lifetime studies): scale the capacity by
+  // `capacity_factor` (0, 1], multiply the internal resistance and the
+  // self-discharge rate. Models proportional active-material loss: SoC is
+  // preserved, so the charge in the faded material is lost with it and
+  // stored energy scales down by exactly `capacity_factor`.
+  void degrade(double capacity_factor, double resistance_mult, double self_discharge_mult);
+
  private:
   Params prm_;
   LookupTable ocv_;  // SoC -> open-circuit voltage

@@ -10,8 +10,10 @@
 // and discharging as negative.
 #pragma once
 
+#include <cmath>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/units.hpp"
 
 namespace pico::storage {
@@ -61,6 +63,19 @@ class EnergyStore {
 
   [[nodiscard]] bool empty() const { return soc() <= 0.0; }
   [[nodiscard]] bool full() const { return soc() >= 1.0; }
+
+ protected:
+  // Shared precondition for transfer()/idle() implementations: a non-finite
+  // request (NaN/Inf current or duration) is a caller bug that would
+  // silently poison the state of charge — reject it with a diagnostic
+  // instead of propagating NaN through the energy ledger.
+  static void require_finite_request(double amps, double dt_s, const char* who) {
+    PICO_REQUIRE(std::isfinite(amps),
+                 std::string(who) + ": transfer current must be finite (got NaN/Inf)");
+    PICO_REQUIRE(std::isfinite(dt_s),
+                 std::string(who) + ": transfer duration must be finite (got NaN/Inf)");
+    PICO_REQUIRE(dt_s >= 0.0, std::string(who) + ": transfer duration must be non-negative");
+  }
 };
 
 }  // namespace pico::storage

@@ -1,0 +1,176 @@
+// Scenario soak harness: every named adversarial scenario from the fault
+// library runs to completion under both harvest fidelities (behavioral
+// sampling and the MNA rectifier netlist under the adaptive engine), and
+// every run must satisfy the graceful-degradation invariants:
+//
+//   - no energy creation: the store never gains more than harvest-in
+//     minus load-out (aging and self-discharge only destroy energy);
+//   - state of charge stays within [0, 1] and stored energy stays finite
+//     and non-negative;
+//   - recorded waveforms contain no NaN/Inf samples;
+//   - scenarios engineered to kill the node trip the brownout latch
+//     exactly once and then go quiet; the others keep beaconing;
+//   - fault.* counters match the plan that was injected.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/node.hpp"
+#include "fault/scenarios.hpp"
+#include "obs/metrics.hpp"
+
+namespace pico {
+namespace {
+
+struct SoakResult {
+  core::NodeReport report;
+  double stored_start_j = 0.0;
+  double stored_end_j = 0.0;
+  std::uint64_t brownouts = 0;
+  std::uint64_t frames_lost = 0;
+  fault::FaultInjector::Counters fault_counters;
+  std::uint64_t wakes_at_brownout_check = 0;  // wake count at 2/3 of the run
+};
+
+SoakResult soak(const fault::Scenario& s) {
+  SoakResult out;
+  core::PicoCubeNode node(s.config);
+  out.stored_start_j = node.battery().stored_energy().value();
+  // Pause mid-run so "goes quiet after brownout" is observable.
+  node.run(Duration{s.sim_time.value() * 2.0 / 3.0});
+  out.wakes_at_brownout_check = node.wake_cycles();
+  node.run(s.sim_time);
+  out.stored_end_j = node.battery().stored_energy().value();
+  out.report = node.report();
+  out.brownouts = node.accountant().brownout_events();
+  out.frames_lost = node.transmitter().frames_lost();
+  if (const auto* inj = node.fault_injector()) out.fault_counters = inj->counters();
+
+  // Waveform sanity: every recorded channel sample must be finite.
+  for (const auto& name : {"soc", "v_batt", "p_node", "i_harvest"}) {
+    const auto& ch = node.traces().channel(name);
+    const double t0 = ch.start_time().value();
+    const double t1 = ch.end_time().value();
+    for (int k = 0; k <= 64; ++k) {
+      const double t = t0 + (t1 - t0) * k / 64.0;
+      EXPECT_TRUE(std::isfinite(ch.sample_at(Duration{t}))) << name << " @ " << t;
+    }
+  }
+  return out;
+}
+
+void check_invariants(const fault::Scenario& s, const SoakResult& r) {
+  SCOPED_TRACE(s.name);
+  const core::NodeReport& rep = r.report;
+
+  // State of charge and stored energy stay physical.
+  EXPECT_GE(rep.soc_end, 0.0);
+  EXPECT_LE(rep.soc_end, 1.0);
+  EXPECT_GE(r.stored_end_j, 0.0);
+  EXPECT_TRUE(std::isfinite(r.stored_end_j));
+
+  // One-sided energy conservation: the store cannot gain more than the
+  // ledger's net input (losses — self-discharge, aging, I^2R — are not
+  // individually metered, so only the creation direction is exact).
+  const double in = rep.harvested_energy_in.value();
+  const double out = rep.battery_energy_out.value();
+  const double delta = r.stored_end_j - r.stored_start_j;
+  const double tol = 1e-6 + 1e-3 * (in + out);
+  EXPECT_LE(delta, in - out + tol) << "in=" << in << " out=" << out;
+
+  // Brownout expectation: the latch fires exactly once or never.
+  if (s.expect_brownout) {
+    EXPECT_EQ(r.brownouts, 1u);
+    // Graceful shutdown: the node stopped waking after the latch fired.
+    EXPECT_EQ(rep.wake_cycles, r.wakes_at_brownout_check);
+  } else {
+    EXPECT_EQ(r.brownouts, 0u);
+    EXPECT_GT(rep.frames_ok, 0u);
+    // Still alive in the last third of the run.
+    EXPECT_GT(rep.wake_cycles, r.wakes_at_brownout_check);
+    // Management stays a tax, never a source.
+    EXPECT_GE(rep.management_overhead.value(), -1e-9);
+  }
+
+  // The injector fired every scheduled open edge that lies inside the run.
+  std::uint64_t expected_fired = 0;
+  for (const auto& ev : s.config.faults.events()) {
+    if (ev.at_s <= s.sim_time.value()) ++expected_fired;
+  }
+  EXPECT_EQ(r.fault_counters.events_fired, expected_fired);
+  EXPECT_EQ(r.fault_counters.events_armed, s.config.faults.size());
+}
+
+class FaultScenarioSoak
+    : public ::testing::TestWithParam<core::NodeConfig::HarvestFidelity> {};
+
+TEST_P(FaultScenarioSoak, AllScenariosHoldInvariants) {
+  for (const fault::Scenario& base : fault::scenario_library()) {
+    const fault::Scenario s = fault::with_fidelity(base, GetParam());
+    check_invariants(s, soak(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fidelity, FaultScenarioSoak,
+    ::testing::Values(core::NodeConfig::HarvestFidelity::kBehavioral,
+                      core::NodeConfig::HarvestFidelity::kCircuitAdaptive),
+    [](const auto& param_info) {
+      return param_info.param == core::NodeConfig::HarvestFidelity::kBehavioral
+                 ? "Behavioral"
+                 : "CircuitAdaptive";
+    });
+
+TEST(FaultScenario, LossyChannelFadesFramesButKeepsLedgerBalanced) {
+  const fault::Scenario s = fault::make_scenario("lossy_channel");
+  const SoakResult r = soak(s);
+  // Frames faded on air show up as failed cycles and lost frames — the
+  // TX energy was still spent (the PA doesn't know the channel faded).
+  EXPECT_GT(r.frames_lost, 0u);
+  EXPECT_EQ(r.report.frames_failed, r.frames_lost);
+  EXPECT_GT(r.report.frames_ok, 0u);
+}
+
+TEST(FaultScenario, ColdSoakBrownoutDropsGlitchLoad) {
+  const fault::Scenario s = fault::make_scenario("cold_soak_nimh");
+  core::PicoCubeNode node(s.config);
+  node.run(s.sim_time);
+  ASSERT_TRUE(node.accountant().battery_died());
+  // The glitch load cannot outlive the rail it shorted: after brownout
+  // every rail load (including "fault glitch") is zero.
+  for (const auto& d : node.accountant().devices()) {
+    EXPECT_DOUBLE_EQ(d.current.value(), 0.0) << d.name;
+  }
+}
+
+TEST(FaultScenario, LibraryNamesAreStableAndLookupsWork) {
+  const auto names = fault::scenario_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "tire_stop_and_go");
+  EXPECT_EQ(names[1], "cold_soak_nimh");
+  EXPECT_EQ(names[2], "dying_supercap");
+  EXPECT_EQ(names[3], "lossy_channel");
+  for (const auto& n : names) {
+    EXPECT_EQ(fault::make_scenario(n).name, n);
+    EXPECT_FALSE(fault::make_scenario(n).config.faults.empty());
+  }
+  EXPECT_THROW(fault::make_scenario("no_such_scenario"), DesignError);
+}
+
+TEST(FaultScenario, MetricsCarryFaultCounters) {
+  const fault::Scenario s = fault::make_scenario("tire_stop_and_go");
+  core::PicoCubeNode node(s.config);
+  node.run(s.sim_time);
+  obs::MetricsRegistry m;
+  node.publish_metrics(m);
+  const auto snap = m.snapshot();
+  EXPECT_EQ(snap.value("fault.events_armed"),
+            static_cast<double>(s.config.faults.size()));
+  EXPECT_GT(snap.value("fault.events_fired"), 0.0);
+  EXPECT_GT(snap.value("fault.harvest_derates"), 0.0);
+  EXPECT_EQ(snap.value("fault.supply_glitches"), 1.0);
+}
+
+}  // namespace
+}  // namespace pico

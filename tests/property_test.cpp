@@ -3,16 +3,21 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "circuits/circuit.hpp"
 #include "circuits/components.hpp"
 #include "circuits/transient.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/node.hpp"
+#include "fault/plan.hpp"
 #include "power/rectifier.hpp"
 #include "radio/packet.hpp"
 #include "scopt/analysis.hpp"
 #include "sim/trace.hpp"
+#include "storage/capacitors.hpp"
 #include "storage/nimh.hpp"
 
 namespace pico {
@@ -287,6 +292,118 @@ TEST_P(RcConvergence, ErrorShrinksWithTimestep) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Steps, RcConvergence, ::testing::Values(2e-5, 1e-5, 5e-6, 1e-6));
+
+// ---------------------------------------------------------------------------
+// Fault-plan properties: a randomized seeded FaultPlan soaked through a
+// full node must never corrupt physical state — no negative stored
+// energy, no NaN waveforms, no energy creation in the power accountant's
+// ledger. A violating plan is shrunk (greedy event removal) before being
+// reported, so the failure message carries a minimal reproducing spec.
+
+// Empty string = all invariants hold; otherwise the first violation.
+std::string soak_violation(const fault::FaultPlan& plan, std::uint64_t seed) {
+  core::NodeConfig cfg;
+  cfg.drive = harvest::make_city_cycle();
+  cfg.attach_harvester = true;
+  cfg.battery_initial_soc = 0.3;
+  cfg.seed = seed;
+  cfg.faults = plan;
+  core::PicoCubeNode node(cfg);
+  const double stored0 = node.battery().stored_energy().value();
+  node.run(Duration{40.0});
+  const auto rep = node.report();
+  const double stored1 = node.battery().stored_energy().value();
+
+  if (!(rep.soc_end >= 0.0 && rep.soc_end <= 1.0)) return "SoC outside [0, 1]";
+  if (!(stored1 >= 0.0) || !std::isfinite(stored1)) return "negative/NaN stored energy";
+  const double in = rep.harvested_energy_in.value();
+  const double out = rep.battery_energy_out.value();
+  if (!std::isfinite(in) || !std::isfinite(out)) return "NaN ledger";
+  const double tol = 1e-6 + 1e-3 * (in + out);
+  if (stored1 - stored0 > in - out + tol) return "ledger energy creation";
+  for (const auto& name : {"soc", "v_batt", "p_node"}) {
+    const auto& ch = node.traces().channel(name);
+    for (int k = 0; k <= 32; ++k) {
+      const Duration t{40.0 * k / 32.0};
+      if (!std::isfinite(ch.sample_at(t))) return std::string("NaN in trace ") + name;
+    }
+  }
+  return {};
+}
+
+class FaultPlanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultPlanProperty, RandomPlansNeverCorruptNodeState) {
+  const std::uint64_t seed = GetParam();
+  Rng rng = Rng::stream(0xFA017ull, seed);
+  fault::FaultPlan plan = fault::FaultPlan::randomized(rng, Duration{40.0});
+  std::string why = soak_violation(plan, seed);
+  if (why.empty()) return;
+  // Shrink: drop events one at a time while the violation persists.
+  bool shrunk = true;
+  while (shrunk && plan.size() > 1) {
+    shrunk = false;
+    for (std::size_t k = 0; k < plan.size(); ++k) {
+      fault::FaultPlan smaller;
+      for (std::size_t j = 0; j < plan.size(); ++j) {
+        if (j != k) smaller.add(plan.events()[j]);
+      }
+      const std::string w = soak_violation(smaller, seed);
+      if (!w.empty()) {
+        plan = smaller;
+        why = w;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  FAIL() << why << " — minimal reproducing plan (seed " << seed
+         << "): " << plan.to_spec();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultPlanProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(FaultPlanProperty, SpecCodecRoundTripsRandomPlans) {
+  Rng rng(0xC0DEC);
+  for (int k = 0; k < 50; ++k) {
+    fault::FaultPlan plan =
+        fault::FaultPlan::randomized(rng, Duration{rng.uniform(10.0, 3600.0)});
+    EXPECT_EQ(fault::FaultPlan::parse(plan.to_spec()), plan) << plan.to_spec();
+  }
+}
+
+TEST(StorageFuzz, NonFiniteTransfersAreRejectedWithDiagnostic) {
+  storage::NiMhBattery cell;
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(cell.transfer(Current{nan}, Duration{1.0}), DesignError);
+  EXPECT_THROW(cell.transfer(Current{1e-3}, Duration{inf}), DesignError);
+  EXPECT_THROW(cell.idle(Duration{nan}), DesignError);
+  EXPECT_THROW(cell.transfer(Current{1e-3}, Duration{-1.0}), DesignError);
+  auto sc = storage::make_supercap(Capacitance{0.1}, Voltage{3.6});
+  EXPECT_THROW(sc.transfer(Current{inf}, Duration{1.0}), DesignError);
+  EXPECT_THROW(sc.idle(Duration{-2.0}), DesignError);
+  // The throw happens before any state mutation.
+  EXPECT_DOUBLE_EQ(cell.soc(), storage::NiMhBattery::Params{}.initial_soc);
+}
+
+TEST(StorageFuzz, SimultaneousDischargeAndSelfDischargeClampAtEmpty) {
+  // Worst case from the integrator: transfer() then idle() in the same
+  // interval with almost nothing left — the combination must clamp at
+  // zero, never go negative.
+  Rng rng(77);
+  for (int k = 0; k < 200; ++k) {
+    storage::NiMhBattery::Params p;
+    p.initial_soc = rng.uniform(0.0, 2e-4);
+    p.self_discharge_per_day = rng.uniform(0.0, 500.0);
+    storage::NiMhBattery cell(p);
+    cell.transfer(Current{-rng.uniform(0.0, 50e-3)}, Duration{rng.uniform(0.0, 10.0)});
+    cell.idle(Duration{rng.uniform(0.0, 10.0)});
+    EXPECT_GE(cell.soc(), 0.0);
+    EXPECT_GE(cell.stored_energy().value(), 0.0);
+  }
+}
 
 }  // namespace
 }  // namespace pico

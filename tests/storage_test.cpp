@@ -1,6 +1,8 @@
 // Tests for the energy-storage models (paper §4.4).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "storage/capacitors.hpp"
 #include "storage/nimh.hpp"
@@ -207,6 +209,63 @@ TEST(CapacitorStore, BurstCurrentBeatsBattery) {
   auto sc = make_supercap(Capacitance{0.22}, 2.5_V);
   sc.set_voltage(2.0_V);
   EXPECT_GT(sc.max_burst_current().value(), nimh.max_burst_current().value());
+}
+
+TEST(NiMh, DegradeScalesParametersAndPreservesSoc) {
+  NiMhBattery::Params p;
+  p.initial_soc = 0.6;
+  NiMhBattery cell(p);
+  const double e0 = cell.stored_energy().value();
+  cell.degrade(0.5, 4.0, 3.0);
+  // Proportional active-material loss: SoC unchanged, capacity halved, so
+  // stored energy scales by exactly the capacity factor — aging never
+  // creates energy.
+  EXPECT_DOUBLE_EQ(cell.soc(), 0.6);
+  EXPECT_DOUBLE_EQ(cell.capacity().value(), p.capacity.value() * 0.5);
+  EXPECT_NEAR(cell.stored_energy().value(), e0 * 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(cell.params().internal_resistance.value(),
+                   p.internal_resistance.value() * 4.0);
+  EXPECT_DOUBLE_EQ(cell.params().self_discharge_per_day, p.self_discharge_per_day * 3.0);
+}
+
+TEST(NiMh, DegradeRejectsBadArguments) {
+  NiMhBattery cell;
+  EXPECT_THROW(cell.degrade(0.0, 1.0, 1.0), DesignError);   // capacity factor 0
+  EXPECT_THROW(cell.degrade(1.5, 1.0, 1.0), DesignError);   // capacity gain
+  EXPECT_THROW(cell.degrade(0.5, 0.9, 1.0), DesignError);   // resistance improves
+  EXPECT_THROW(cell.degrade(0.5, 1.0, 0.5), DesignError);   // self-discharge improves
+  EXPECT_DOUBLE_EQ(cell.capacity().value(), NiMhBattery::Params{}.capacity.value());
+}
+
+TEST(NiMh, TransferRejectsNonFiniteRequests) {
+  NiMhBattery cell;
+  const double nan = std::nan("");
+  EXPECT_THROW(cell.transfer(Current{nan}, Duration{1.0}), DesignError);
+  EXPECT_THROW(cell.transfer(Current{1e-3}, Duration{nan}), DesignError);
+  EXPECT_THROW(cell.idle(Duration{-1.0}), DesignError);
+}
+
+TEST(NiMh, DischargePlusSelfDischargeClampsAtEmpty) {
+  NiMhBattery::Params p;
+  p.initial_soc = 1e-5;
+  p.self_discharge_per_day = 10.0;  // aged-cell class leakage
+  NiMhBattery cell(p);
+  cell.transfer(Current{-10e-3}, Duration{5.0});  // drains past empty
+  cell.idle(Duration{1000.0});                    // self-discharge races it
+  EXPECT_GE(cell.soc(), 0.0);
+  EXPECT_GE(cell.stored_energy().value(), 0.0);
+}
+
+TEST(CapacitorStore, DegradeScalesParametersAndHoldsVoltage) {
+  auto sc = make_supercap(Capacitance{0.1}, Voltage{3.6});
+  sc.set_voltage(Voltage{2.0});
+  const double e0 = sc.stored_energy().value();
+  sc.degrade(0.8, 2.0, 10.0);
+  // Plates lose area but the terminal voltage holds: energy scales with C.
+  EXPECT_NEAR(sc.stored_energy().value(), e0 * 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(sc.terminal_voltage(Current{0.0}).value(), 2.0);
+  EXPECT_THROW(sc.degrade(1.2, 1.0, 1.0), DesignError);
+  EXPECT_THROW(sc.degrade(0.9, 0.5, 1.0), DesignError);
 }
 
 }  // namespace
