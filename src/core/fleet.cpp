@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -22,7 +24,11 @@ double FleetAnalysis::aloha_collision_probability(int nodes, Duration airtime,
 FleetResult FleetAnalysis::run(const FleetConfig& cfg) {
   PICO_REQUIRE(cfg.nodes >= 1, "need at least one node");
   PICO_REQUIRE(cfg.sim_time.value() > 0.0, "simulation time must be positive");
+  return cfg.medium == FleetConfig::Medium::kShared ? run_shared_medium(cfg)
+                                                    : run_interval_merge(cfg);
+}
 
+FleetResult FleetAnalysis::run_interval_merge(const FleetConfig& cfg) {
   struct Interval {
     double start;
     double end;
@@ -63,8 +69,9 @@ FleetResult FleetAnalysis::run(const FleetConfig& cfg) {
     PicoCubeNode node(nc);
     NodeRun run;
     node.set_frame_listener([&run, n](const radio::RfFrame& f) {
-      const double air = static_cast<double>(f.bytes.size()) * 8.0 / f.data_rate.value();
-      run.frames.push_back({f.start.value(), f.start.value() + air, n});
+      // Full occupied-air interval: the startup chirp jams like data bits.
+      run.frames.push_back(
+          {f.start.value(), f.start.value() + f.airtime().value(), n});
     });
     node.run(cfg.sim_time);
     return run;
@@ -101,6 +108,83 @@ FleetResult FleetAnalysis::run(const FleetConfig& cfg) {
       static_cast<double>(res.frames_collided) / static_cast<double>(res.frames_total);
   res.aloha_prediction =
       aloha_collision_probability(cfg.nodes, res.mean_airtime, cfg.nominal_interval);
+  return res;
+}
+
+FleetResult FleetAnalysis::run_shared_medium(const FleetConfig& cfg) {
+  FleetResult res;
+  res.nodes = cfg.nodes;
+
+  // Same sequential interval-draw discipline as the merge mode: the
+  // Box–Muller cache makes the draw order part of the contract, and the
+  // drawn periods must match between media models for a fair comparison.
+  Rng rng(cfg.seed);
+  for (int n = 0; n < cfg.nodes; ++n) {
+    res.intervals_s.push_back(cfg.nominal_interval.value() *
+                              (1.0 + rng.normal(0.0, cfg.interval_tolerance)));
+  }
+
+  // One timeline: N nodes plus the base station interleave on a single
+  // event queue, so the run is sequential and — unlike thread pools —
+  // trivially identical at any cfg.threads setting.
+  sim::Simulator sim;
+  net::BaseStation bs(sim, cfg.base);
+  std::vector<std::unique_ptr<PicoCubeNode>> nodes;
+  nodes.reserve(static_cast<std::size_t>(cfg.nodes));
+  for (int n = 0; n < cfg.nodes; ++n) {
+    NodeConfig nc;
+    nc.node_id = static_cast<std::uint8_t>(n + 1);
+    nc.drive = harvest::make_city_cycle();
+    nc.sample_interval = Duration{res.intervals_s[static_cast<std::size_t>(n)]};
+    nc.data_rate = cfg.data_rate;
+    nc.seed = cfg.seed + static_cast<std::uint64_t>(n) * 7919;
+    nc.attach_harvester = cfg.attach_harvester;
+    nc.harvest_fidelity = cfg.harvest_fidelity;
+    nc.faults = cfg.faults;
+    nc.link.mode = cfg.arq ? NodeConfig::Link::Mode::kArq
+                           : NodeConfig::Link::Mode::kBeacon;
+    nc.link.arq = cfg.arq_params;
+    nc.link.wakeup = cfg.wakeup;
+    nc.link.own_base_station = false;  // the fleet's station is shared
+    nc.link.uplink = cfg.uplink;
+    nc.link.downlink = cfg.downlink;
+    auto node = std::make_unique<PicoCubeNode>(std::move(nc), &sim);
+    node->attach_to_base_station(bs);
+    nodes.push_back(std::move(node));
+  }
+  for (auto& node : nodes) node->boot();
+  sim.run_until(cfg.sim_time);
+  for (auto& node : nodes) node->settle();
+
+  const net::BaseStation::Counters& c = bs.counters();
+  res.frames_total = c.frames_on_air;
+  res.frames_collided = c.collided;
+  res.frames_captured = c.captured;
+  res.frames_delivered = c.delivered;
+  res.dup_rx = c.dup_rx;
+  res.delivered_payload_bits = c.delivered_payload_bits;
+  if (c.frames_on_air > 0) {
+    res.collision_rate = static_cast<double>(c.collided) /
+                         static_cast<double>(c.frames_on_air);
+    res.mean_airtime =
+        Duration{c.airtime_s / static_cast<double>(c.frames_on_air)};
+  }
+  res.aloha_prediction =
+      aloha_collision_probability(cfg.nodes, res.mean_airtime, cfg.nominal_interval);
+
+  for (const auto& node : nodes) {
+    if (const net::LinkLayer* link = node->link_layer()) {
+      res.tx_attempts += link->counters().tx_attempts;
+      res.retries += link->counters().retries;
+      res.acked += link->counters().acked;
+      res.arq_failed += link->counters().failed;
+    }
+    res.energy_out_j += node->accountant().battery_energy_out().value();
+  }
+  if (c.delivered_payload_bits > 0) {
+    res.energy_per_delivered_bit_j =
+        res.energy_out_j / static_cast<double>(c.delivered_payload_bits);
+  }
   return res;
 }
 

@@ -3,10 +3,19 @@
 // A car carries four PicoCubes and one receiver. Each SP12 event timer
 // runs at "six seconds" only to its own RC accuracy, so the four beacon
 // phases drift through each other; whenever two frames overlap on air,
-// the OOK receiver captures neither. This module runs N independent node
-// simulations (deterministic, staggered boots, per-node timer tolerance),
-// merges the transmitted frame intervals onto one timeline, and counts
-// collisions — compared against the unslotted-ALOHA prediction
+// the OOK receiver captures neither — unless one is strong enough to
+// capture through.
+//
+// Two media models (FleetConfig::Medium):
+//   kIntervalMerge — the historical estimate: N independent node
+//     simulations, transmitted frame intervals merged onto one timeline,
+//     overlaps counted by sweep line (no receiver, no capture, no ARQ).
+//   kShared — the real thing: N nodes and one net::BaseStation share one
+//     event simulator; the station resolves capture/collision per frame
+//     and (in ARQ mode) answers with wake-up ACK bursts, so retries,
+//     duplicates and energy-per-delivered-bit come out of the same run.
+//     One timeline makes the result identical at any thread count.
+// Both are checked against the unslotted-ALOHA prediction
 // P(collision) ≈ 1 − e^{−2(N−1)τ/T}.
 #pragma once
 
@@ -14,6 +23,8 @@
 
 #include "common/units.hpp"
 #include "core/node.hpp"
+#include "net/basestation.hpp"
+#include "net/link.hpp"
 
 namespace pico::core {
 
@@ -32,13 +43,25 @@ struct FleetConfig {
   bool attach_harvester = false;
   NodeConfig::HarvestFidelity harvest_fidelity = NodeConfig::HarvestFidelity::kBehavioral;
   // Fault plan applied identically to every node in the fleet (each node's
-  // injector runs on its own simulator, so per-node outcomes stay
-  // deterministic and thread-count independent).
+  // injector runs on its own simulator — or on the shared timeline with
+  // per-node seeds — so outcomes stay deterministic).
   fault::FaultPlan faults;
   // Worker concurrency for the per-node simulations (0 = hardware
   // concurrency). The result is identical at any thread count: interval
   // draws stay sequential and per-node frames are merged in node order.
+  // Inert in kShared mode, which runs one timeline sequentially.
   unsigned threads = 0;
+
+  // Medium model (see header comment).
+  enum class Medium { kIntervalMerge, kShared };
+  Medium medium = Medium::kIntervalMerge;
+  // Shared-medium knobs: link policy per node and the station itself.
+  bool arq = false;  // kArq on every node (false: beacon into the station)
+  net::ArqParams arq_params;
+  radio::WakeupReceiver::Params wakeup;
+  net::BaseStation::Params base;
+  radio::Channel::Params uplink;    // per-node; seeded per node
+  radio::Channel::Params downlink;
 };
 
 struct FleetResult {
@@ -50,17 +73,32 @@ struct FleetResult {
   Duration mean_airtime{};
   // Per-node actual timer intervals (for reporting).
   std::vector<double> intervals_s;
+
+  // Shared-medium extras (Medium::kShared only; zero otherwise).
+  std::uint64_t frames_captured = 0;   // decoded through interference
+  std::uint64_t frames_delivered = 0;  // unique frames at the station
+  std::uint64_t dup_rx = 0;
+  std::uint64_t tx_attempts = 0;       // ARQ attempts incl. retries
+  std::uint64_t retries = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t arq_failed = 0;        // frames abandoned after max retries
+  std::uint64_t delivered_payload_bits = 0;
+  double energy_out_j = 0.0;           // fleet-wide battery energy out
+  double energy_per_delivered_bit_j = 0.0;  // 0 when nothing delivered
 };
 
 class FleetAnalysis {
  public:
-  // Run the fleet; each node is an independent deterministic simulation
-  // whose transmitted frames are merged by absolute timestamp.
+  // Run the fleet with the configured medium model.
   [[nodiscard]] static FleetResult run(const FleetConfig& cfg);
 
   // Closed-form unslotted-ALOHA collision probability.
   [[nodiscard]] static double aloha_collision_probability(int nodes, Duration airtime,
                                                           Duration interval);
+
+ private:
+  [[nodiscard]] static FleetResult run_interval_merge(const FleetConfig& cfg);
+  [[nodiscard]] static FleetResult run_shared_medium(const FleetConfig& cfg);
 };
 
 }  // namespace pico::core

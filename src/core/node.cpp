@@ -18,8 +18,10 @@ std::unique_ptr<PowerTrain> make_train(const NodeConfig& cfg) {
 }
 }  // namespace
 
-PicoCubeNode::PicoCubeNode(NodeConfig cfg)
+PicoCubeNode::PicoCubeNode(NodeConfig cfg, sim::Simulator* shared_sim)
     : cfg_(std::move(cfg)),
+      owned_sim_(shared_sim ? nullptr : std::make_unique<sim::Simulator>()),
+      sim_(shared_sim ? *shared_sim : *owned_sim_),
       battery_([&] {
         storage::NiMhBattery::Params bp;
         bp.initial_soc = cfg_.battery_initial_soc;
@@ -94,10 +96,66 @@ PicoCubeNode::PicoCubeNode(NodeConfig cfg)
     accountant_.set_current(dev_radio_rf_, rf);
     accountant_.set_current(dev_radio_dig_, dig);
   });
+  // The node owns the transmitter's frame listeners and fans out to the
+  // medium hooks (base-station port) and the user observer slots.
+  tx_->set_frame_listener([this](const radio::RfFrame& f) {
+    if (medium_completed_) medium_completed_(f);
+    if (user_frame_listener_) user_frame_listener_(f);
+  });
+  tx_->set_frame_start_listener([this](const radio::RfFrame& f) {
+    if (medium_started_) medium_started_(f);
+    if (user_frame_start_listener_) user_frame_start_listener_(f);
+  });
+
+  if (cfg_.link.mode == NodeConfig::Link::Mode::kArq) {
+    dev_wakeup_ = accountant_.add_device("wake-up RX (ACK)", RailId::kVddMcu);
+    radio::WakeupReceiver detector{cfg_.link.wakeup, cfg_.seed ^ 0x57A7EULL};
+    link_ = std::make_unique<net::LinkLayer>(sim_, *tx_, std::move(detector),
+                                             cfg_.link.arq, cfg_.seed ^ 0xA11CEULL);
+    link_->set_listen_bill([this](bool on) {
+      // The wake-up receiver draws its listen power from the MCU rail
+      // exactly while the ACK window is open.
+      const double v = accountant_.rail_voltage(RailId::kVddMcu).value();
+      const double amps =
+          on && v > 0.0 ? cfg_.link.wakeup.listen_power.value() / v : 0.0;
+      accountant_.set_current(dev_wakeup_, Current{amps});
+    });
+  }
+  // A station of one's own works in either link mode: beacon nodes get
+  // delivery (and energy-per-delivered-bit) measured, ARQ nodes also get
+  // the ACK loop closed.
+  if (cfg_.link.own_base_station) {
+    bs_ = std::make_unique<net::BaseStation>(sim_, cfg_.link.base);
+    attach_to_base_station(*bs_);
+  }
 }
 
 void PicoCubeNode::set_frame_listener(radio::FbarOokTransmitter::FrameListener cb) {
-  tx_->set_frame_listener(std::move(cb));
+  user_frame_listener_ = std::move(cb);
+}
+
+void PicoCubeNode::set_frame_start_listener(radio::FbarOokTransmitter::FrameListener cb) {
+  user_frame_start_listener_ = std::move(cb);
+}
+
+int PicoCubeNode::attach_to_base_station(net::BaseStation& bs) {
+  radio::Channel uplink{radio::PatchAntenna{}, cfg_.link.uplink,
+                        cfg_.seed ^ 0x0B1ULL};
+  radio::Channel downlink{radio::PatchAntenna{}, cfg_.link.downlink,
+                          cfg_.seed ^ 0x0B2ULL};
+  net::BaseStation::AckSink sink;
+  if (link_) {
+    sink = [this](double rx_dbm) { link_->deliver_ack(rx_dbm); };
+  }
+  const int port = bs.attach_node(std::move(uplink), std::move(downlink),
+                                  std::move(sink));
+  medium_started_ = [&bs, port](const radio::RfFrame& f) {
+    bs.frame_started(port, f);
+  };
+  medium_completed_ = [&bs, port](const radio::RfFrame& f) {
+    bs.frame_completed(port, f);
+  };
+  return port;
 }
 
 void PicoCubeNode::boot() {
@@ -114,6 +172,8 @@ void PicoCubeNode::boot() {
     sequencer_.power_down();
     // A glitch load is a short across the collapsed rail: no rail, no draw.
     if (!cfg_.faults.empty()) accountant_.set_current(dev_fault_, Current{0.0});
+    // An open ACK-listen window dies with its rail.
+    if (link_) accountant_.set_current(dev_wakeup_, Current{0.0});
   });
   // Bring up the always-on rail and let the firmware configure itself.
   const Voltage v_mcu = accountant_.rail_voltage(RailId::kVddMcu);
@@ -284,10 +344,18 @@ void PicoCubeNode::radio_send(std::vector<std::uint8_t> frame) {
   // Switch-board sequence: shunt + LDO energized, input gate first, output
   // gate after the clean-edge delay.
   accountant_.set_radio_powered(true);
-  sequencer_.power_up([this, frame = std::move(frame)] {
+  sequencer_.power_up([this, frame = std::move(frame)]() mutable {
     tx_->set_digital_rail(Voltage{1.0});
     tx_->set_rf_rail(Voltage{0.65});
-    tx_->transmit(frame, cfg_.data_rate, [this](bool ok) { finish_cycle(ok); });
+    if (link_) {
+      // ARQ: the rails stay up for the whole exchange — retries and
+      // ACK-listen windows included — and the cycle succeeds only on a
+      // confirmed delivery.
+      link_->send(std::move(frame), cfg_.data_rate,
+                  [this](bool ok) { finish_cycle(ok); });
+    } else {
+      tx_->transmit(frame, cfg_.data_rate, [this](bool ok) { finish_cycle(ok); });
+    }
   });
 }
 
@@ -310,8 +378,10 @@ void PicoCubeNode::finish_cycle(bool tx_ok) {
 void PicoCubeNode::run(Duration until) {
   boot();
   sim_.run_until(until);
-  accountant_.settle();
+  settle();
 }
+
+void PicoCubeNode::settle() { accountant_.settle(); }
 
 NodeReport PicoCubeNode::report() const {
   NodeReport r;
@@ -348,6 +418,16 @@ void PicoCubeNode::publish_metrics(obs::MetricsRegistry& m) const {
     m.add(m.counter("node.wake_cycles"), static_cast<double>(wake_cycles_));
     m.add(m.counter("node.frames_ok"), static_cast<double>(frames_ok_));
     m.add(m.counter("node.frames_failed"), static_cast<double>(frames_failed_));
+    if (link_) link_->publish_metrics(m);
+    if (bs_) {
+      bs_->publish_metrics(m);
+      const auto& nc = bs_->counters();
+      if (nc.delivered_payload_bits > 0) {
+        m.set(m.gauge("net.energy_per_delivered_bit"),
+              accountant_.battery_energy_out().value() /
+                  static_cast<double>(nc.delivered_payload_bits));
+      }
+    }
     if (fault_injector_) fault_injector_->publish_metrics(m);
     if (harvest_tr_) {
       // Circuit-level harvest engine: steps, LU-cache traffic, rejected

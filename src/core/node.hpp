@@ -22,11 +22,15 @@
 #include "fault/plan.hpp"
 #include "harvest/harvester.hpp"
 #include "mcu/msp430.hpp"
+#include "net/basestation.hpp"
+#include "net/link.hpp"
 #include "power/gating.hpp"
 #include "power/rectifier.hpp"
 #include "power/rectifier_circuits.hpp"
+#include "radio/channel.hpp"
 #include "radio/packet.hpp"
 #include "radio/transmitter.hpp"
+#include "radio/wakeup.hpp"
 #include "sensors/accelerometer.hpp"
 #include "sensors/stimulus.hpp"
 #include "sensors/tpms.hpp"
@@ -87,17 +91,44 @@ struct NodeConfig {
   std::optional<sensors::Sp12Tpms::Params> tpms_params;
   std::optional<power::ChargePumpTps60313::Params> charge_pump_params;
 
+  // Link-layer policy (docs/NETWORKING.md). kBeacon is the paper's §6
+  // demo: fire-and-forget, a cycle succeeds when the PA finishes the
+  // frame. kArq is the §7.3 architecture: the node's wake-up receiver
+  // doubles as an ACK detector, and a cycle succeeds only when the base
+  // station confirms delivery — retries and ACK-listen windows are
+  // billed to the battery like any other load.
+  struct Link {
+    enum class Mode { kBeacon, kArq };
+    Mode mode = Mode::kBeacon;
+    net::ArqParams arq;
+    radio::WakeupReceiver::Params wakeup;  // ACK detector (ARQ mode)
+    // Stand-alone runs own a base station; fleet shared-medium runs
+    // attach every node to one external station instead.
+    bool own_base_station = false;
+    net::BaseStation::Params base;
+    radio::Channel::Params uplink;    // node -> base station
+    radio::Channel::Params downlink;  // base station -> wake-up receiver
+  };
+  Link link;
+
   std::uint64_t seed = 1;
 };
 
 class PicoCubeNode {
  public:
-  explicit PicoCubeNode(NodeConfig cfg);
+  // Stand-alone: the node owns its simulator. Pass `shared_sim` to put
+  // several nodes (and a base station) on one timeline — the caller then
+  // boots each node, runs the shared simulator, and settles each node.
+  explicit PicoCubeNode(NodeConfig cfg, sim::Simulator* shared_sim = nullptr);
   PicoCubeNode(const PicoCubeNode&) = delete;
   PicoCubeNode& operator=(const PicoCubeNode&) = delete;
 
   // Boot the firmware (t = 0 event) and run until `until`.
   void run(Duration until);
+  // Shared-timeline pieces of run(): idempotent boot, and the final
+  // energy-ledger settle after the caller-driven simulation ends.
+  void boot();
+  void settle();
 
   [[nodiscard]] NodeReport report() const;
 
@@ -116,8 +147,23 @@ class PicoCubeNode {
   [[nodiscard]] mcu::Msp430& cpu() { return *cpu_; }
   [[nodiscard]] radio::FbarOokTransmitter& transmitter() { return *tx_; }
   [[nodiscard]] const radio::PacketCodec& codec() const { return codec_; }
-  // Attach the demo receiver (or any observer) to the RF output.
+  // Attach the demo receiver (or any observer) to the RF output. These
+  // user slots coexist with the base-station medium hooks: the node owns
+  // the transmitter's listeners and forwards to both.
   void set_frame_listener(radio::FbarOokTransmitter::FrameListener cb);
+  void set_frame_start_listener(radio::FbarOokTransmitter::FrameListener cb);
+
+  // Wire this node's uplink/downlink into an external (shared-medium)
+  // base station. Returns the station port. In ARQ mode the station's
+  // ACK bursts feed the node's wake-up receiver; in beacon mode frames
+  // are only counted. Call before boot().
+  int attach_to_base_station(net::BaseStation& bs);
+
+  // Link layer / own base station (null in beacon / external-BS runs).
+  [[nodiscard]] net::LinkLayer* link_layer() { return link_.get(); }
+  [[nodiscard]] const net::LinkLayer* link_layer() const { return link_.get(); }
+  [[nodiscard]] net::BaseStation* base_station() { return bs_.get(); }
+  [[nodiscard]] const net::BaseStation* base_station() const { return bs_.get(); }
 
   [[nodiscard]] std::uint64_t wake_cycles() const { return wake_cycles_; }
   [[nodiscard]] std::uint64_t frames_ok() const { return frames_ok_; }
@@ -137,7 +183,6 @@ class PicoCubeNode {
   void publish_metrics(obs::MetricsRegistry& m) const;
 
  private:
-  void boot();
   void on_interrupt(mcu::Irq irq);
   void tpms_cycle();
   void motion_cycle();
@@ -149,7 +194,11 @@ class PicoCubeNode {
   void ensure_harvest_circuit();
 
   NodeConfig cfg_;
-  sim::Simulator sim_;
+  // Owned timeline for stand-alone runs; null when the node rides a
+  // shared simulator (fleet shared-medium mode). `sim_` is the one the
+  // node actually runs on either way.
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  sim::Simulator& sim_;
   sim::TraceSet traces_;
 
   // Stimuli.
@@ -168,6 +217,16 @@ class PicoCubeNode {
   std::unique_ptr<radio::FbarOokTransmitter> tx_;
   power::RadioRailSequencer sequencer_;
   radio::PacketCodec codec_;
+
+  // Link layer (ARQ mode) and optional private base station.
+  std::unique_ptr<net::LinkLayer> link_;
+  std::unique_ptr<net::BaseStation> bs_;
+  // Medium hooks installed by attach_to_base_station; the transmitter's
+  // listeners forward to these plus the user slots below.
+  radio::FbarOokTransmitter::FrameListener medium_started_;
+  radio::FbarOokTransmitter::FrameListener medium_completed_;
+  radio::FbarOokTransmitter::FrameListener user_frame_listener_;
+  radio::FbarOokTransmitter::FrameListener user_frame_start_listener_;
 
   // Harvest path.
   std::unique_ptr<harvest::ElectromagneticShaker> shaker_;
@@ -189,6 +248,7 @@ class PicoCubeNode {
   DeviceId dev_radio_rf_ = 0;
   DeviceId dev_radio_dig_ = 0;
   DeviceId dev_fault_ = 0;  // supply-glitch parasitic load (faulted runs only)
+  DeviceId dev_wakeup_ = 0;  // ACK-listen window draw (ARQ mode only)
 
   // Firmware state.
   bool cycle_busy_ = false;

@@ -81,10 +81,28 @@ Scenario lossy_channel() {
   return s;
 }
 
+Scenario lossy_channel_arq() {
+  Scenario s;
+  s.name = "lossy_channel_arq";
+  s.summary =
+      "The lossy_channel fade run with the ARQ link closed: the node's "
+      "wake-up receiver doubles as an ACK detector and every faded frame "
+      "costs retries and backoff instead of silent loss — the retry "
+      "energy must stay on the ledger and delivery must recover.";
+  s.config = harvested_base(0.5);
+  s.config.seed = 1005;
+  s.config.faults.channel_loss(10.0, 100.0, 0.7).converter_degradation(30.0, 60.0, 0.7);
+  s.config.link.mode = core::NodeConfig::Link::Mode::kArq;
+  s.config.link.own_base_station = true;
+  s.sim_time = Duration{180.0};
+  return s;
+}
+
 }  // namespace
 
 std::vector<Scenario> scenario_library() {
-  return {tire_stop_and_go(), cold_soak_nimh(), dying_supercap(), lossy_channel()};
+  return {tire_stop_and_go(), cold_soak_nimh(), dying_supercap(), lossy_channel(),
+          lossy_channel_arq()};
 }
 
 std::vector<std::string> scenario_names() {

@@ -27,7 +27,7 @@ struct Scenario {
 };
 
 // All named scenarios, in stable order: tire_stop_and_go, cold_soak_nimh,
-// dying_supercap, lossy_channel.
+// dying_supercap, lossy_channel, lossy_channel_arq.
 [[nodiscard]] std::vector<Scenario> scenario_library();
 
 [[nodiscard]] std::vector<std::string> scenario_names();

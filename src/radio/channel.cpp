@@ -32,6 +32,14 @@ Power Channel::received_power(Power tx_power) {
   return Power{p};
 }
 
+Channel::LinkSample Channel::sample_link(Power tx_power, Frequency data_rate) {
+  LinkSample s;
+  s.p_rx = received_power(tx_power);  // the frame's single shadowing draw
+  s.rx_dbm = watts_to_dbm(s.p_rx);
+  s.snr = s.p_rx.value() / noise_power(data_rate).value();
+  return s;
+}
+
 double Channel::received_power_dbm(Power tx_power) {
   return watts_to_dbm(received_power(tx_power));
 }
@@ -44,7 +52,7 @@ Power Channel::noise_power(Frequency data_rate) const {
 }
 
 double Channel::snr(Power tx_power, Frequency data_rate) {
-  return received_power(tx_power).value() / noise_power(data_rate).value();
+  return sample_link(tx_power, data_rate).snr;
 }
 
 void Channel::set_distance(Length d) {

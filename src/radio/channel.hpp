@@ -27,13 +27,26 @@ class Channel {
   Channel(PatchAntenna tx_antenna, Params p, std::uint64_t seed = 42);
   explicit Channel(PatchAntenna tx_antenna);
 
-  // Received power for a frame sent at `tx_power`.
+  // One fading realization of a link: every field derives from the same
+  // shadowing draw, so a frame's detection decision and its bit-error rate
+  // are consistent. This is the unit the receiver and the base station
+  // consume — call it once per frame.
+  struct LinkSample {
+    Power p_rx{};          // received power after path loss + shadowing
+    double rx_dbm = -999.0;
+    double snr = 0.0;      // linear, in the bandwidth matched to data_rate
+  };
+  [[nodiscard]] LinkSample sample_link(Power tx_power, Frequency data_rate);
+
+  // Received power for a frame sent at `tx_power`. Each call with
+  // shadowing enabled is an independent fading draw — use sample_link()
+  // when the same frame also needs an SNR.
   [[nodiscard]] Power received_power(Power tx_power);
   [[nodiscard]] double received_power_dbm(Power tx_power);
 
   // Noise power in a bandwidth matched to the data rate (B ~ 2 * rate).
   [[nodiscard]] Power noise_power(Frequency data_rate) const;
-  // Linear SNR for a frame.
+  // Linear SNR for a frame (single fading draw, same as sample_link).
   [[nodiscard]] double snr(Power tx_power, Frequency data_rate);
 
   void set_distance(Length d);

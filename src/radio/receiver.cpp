@@ -18,18 +18,24 @@ double SuperregenReceiver::ook_ber(double snr_linear) {
 }
 
 SuperregenReceiver::Reception SuperregenReceiver::receive(const RfFrame& frame) {
+  // One fading draw per frame: detection and bit errors must agree on the
+  // realization this frame actually saw.
+  return receive(frame, channel_.sample_link(frame.tx_power, frame.data_rate));
+}
+
+SuperregenReceiver::Reception SuperregenReceiver::receive(
+    const RfFrame& frame, const Channel::LinkSample& link) {
   Reception r;
   ++frames_seen_;
-  airtime_s_ += static_cast<double>(frame.bytes.size()) * 8.0 / frame.data_rate.value();
-  const Power p_rx = channel_.received_power(frame.tx_power);
-  r.rx_power_dbm = watts_to_dbm(p_rx);
+  airtime_s_ += frame.airtime().value();
+  r.rx_power_dbm = link.rx_dbm;
   if (r.rx_power_dbm < prm_.sensitivity_dbm) {
-    return r;  // below squelch: nothing detected
+    return r;  // below squelch: seen but not detected
   }
   r.detected = true;
-  const double snr = p_rx.value() / channel_.noise_power(frame.data_rate).value();
-  r.snr_db = ratio_to_db(snr);
-  const double ber = ook_ber(snr);
+  ++frames_detected_;
+  r.snr_db = ratio_to_db(link.snr);
+  const double ber = ook_ber(link.snr);
 
   // Flip bits independently with probability `ber`.
   auto bits = bytes_to_bits(frame.bytes);

@@ -7,6 +7,20 @@
 // that probability (deterministic seeded RNG) and handed to the packet
 // codec, whose CRC rejects corrupted frames — so packet-error rate vs
 // range emerges from the link physics.
+//
+// Counter semantics (each frame increments exactly one rung past the
+// last it clears, and every earlier rung):
+//   frames_seen     — every frame presented to the receiver. Airtime
+//                     accrues here: a below-squelch frame still occupied
+//                     the medium for its full on-air interval (startup
+//                     chirp + data bits).
+//   frames_detected — frames whose received power cleared the squelch
+//                     threshold (sensitivity_dbm) on this frame's fading
+//                     realization; only these are demodulated.
+//   frames_decoded  — detected frames whose CRC survived the bit flips.
+// So seen >= detected >= decoded, and seen - detected frames fell below
+// squelch (range/orientation/fade), detected - decoded frames died to
+// bit errors.
 #pragma once
 
 #include <cstdint>
@@ -40,12 +54,19 @@ class SuperregenReceiver {
     std::optional<Packet> packet;  // decoded if CRC passed
   };
 
-  // Demodulate one transmitted frame.
+  // Demodulate one transmitted frame. Draws one fading realization from
+  // the channel (Channel::sample_link) — detection and bit errors both
+  // derive from that single draw.
   [[nodiscard]] Reception receive(const RfFrame& frame);
+  // Demodulate against an externally-resolved link sample. The base
+  // station uses this after collision/capture resolution, where the
+  // effective SNR is an SINR the channel alone cannot know.
+  [[nodiscard]] Reception receive(const RfFrame& frame, const Channel::LinkSample& link);
 
   [[nodiscard]] Channel& channel() { return channel_; }
   [[nodiscard]] const Params& params() const { return prm_; }
   [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
+  [[nodiscard]] std::uint64_t frames_detected() const { return frames_detected_; }
   [[nodiscard]] std::uint64_t frames_decoded() const { return frames_decoded_; }
   [[nodiscard]] const PacketCodec& codec() const { return codec_; }
 
@@ -53,7 +74,8 @@ class SuperregenReceiver {
   [[nodiscard]] Energy listen_energy(Duration window) const {
     return Energy{prm_.rx_power.value() * window.value()};
   }
-  // Cumulative airtime of the frames demodulated so far.
+  // Cumulative occupied-air time of every frame seen (startup + bits),
+  // matching RfFrame::airtime() / FbarOokTransmitter::airtime().
   [[nodiscard]] Duration airtime_seen() const { return Duration{airtime_s_}; }
 
  private:
@@ -62,6 +84,7 @@ class SuperregenReceiver {
   PacketCodec codec_;
   Rng rng_;
   std::uint64_t frames_seen_ = 0;
+  std::uint64_t frames_detected_ = 0;
   std::uint64_t frames_decoded_ = 0;
   double airtime_s_ = 0.0;
 };

@@ -58,6 +58,10 @@ void FbarOokTransmitter::set_frame_listener(FrameListener cb) {
   frame_listener_ = std::move(cb);
 }
 
+void FbarOokTransmitter::set_frame_start_listener(FrameListener cb) {
+  frame_start_listener_ = std::move(cb);
+}
+
 void FbarOokTransmitter::set_frame_loss(double p) {
   PICO_REQUIRE(p >= 0.0 && p <= 1.0, "frame loss probability must be within [0, 1]");
   frame_loss_ = p;
@@ -104,7 +108,10 @@ void FbarOokTransmitter::transmit(const std::vector<std::uint8_t>& frame, Freque
   // Startup: oscillator core only.
   set_rf_current(osc_.params().core_current.value());
 
-  const RfFrame rf{sim_.now() + osc_.startup_time(), rate, prm_.tx_power, frame};
+  // The occupied-air interval starts now: the startup chirp jams the
+  // channel before the first data bit.
+  const RfFrame rf{sim_.now(), osc_.startup_time(), rate, prm_.tx_power, frame};
+  if (frame_start_listener_) frame_start_listener_(rf);
   const double byte_time = 8.0 / rate.value();
   const double i_on = carrier_on_current().value();
 

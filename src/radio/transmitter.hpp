@@ -23,11 +23,24 @@
 namespace pico::radio {
 
 // A transmitted frame as it leaves the PA: what the channel propagates.
+//
+// `start` is the beginning of the occupied-air interval — the instant the
+// oscillator core powers up. The FBAR startup chirp occupies the channel
+// (and jams other nodes) just like data bits do, so collision windows,
+// receiver airtime accounting and FbarOokTransmitter::airtime() all agree
+// on [start, start + airtime()].
 struct RfFrame {
   Duration start{};
+  Duration startup{};  // FBAR oscillator startup preceding the first bit
   Frequency data_rate{};
   Power tx_power{};  // carrier-on RF power at the antenna port
   std::vector<std::uint8_t> bytes;
+
+  // Total occupied-air interval: oscillator startup + data bits.
+  [[nodiscard]] Duration airtime() const {
+    return Duration{startup.value() +
+                    static_cast<double>(bytes.size()) * 8.0 / data_rate.value()};
+  }
 };
 
 class FbarOokTransmitter {
@@ -72,6 +85,11 @@ class FbarOokTransmitter {
   void set_current_listener(CurrentListener cb);
   using FrameListener = std::function<void(const RfFrame&)>;
   void set_frame_listener(FrameListener cb);
+  // Fires synchronously when a frame starts occupying the air (oscillator
+  // power-up), before the outcome is known. A shared-medium receiver needs
+  // this to register occupancy: frames that later fade or abort still
+  // jammed the channel while they were on air.
+  void set_frame_start_listener(FrameListener cb);
 
   [[nodiscard]] const Params& params() const { return prm_; }
   [[nodiscard]] const FbarOscillator& oscillator() const { return osc_; }
@@ -100,6 +118,7 @@ class FbarOokTransmitter {
   double rf_current_ = 0.0;
   CurrentListener listener_;
   FrameListener frame_listener_;
+  FrameListener frame_start_listener_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_lost_ = 0;
   std::uint64_t tx_generation_ = 0;

@@ -132,6 +132,37 @@ TEST(FaultScenario, LossyChannelFadesFramesButKeepsLedgerBalanced) {
   EXPECT_GT(r.report.frames_ok, 0u);
 }
 
+TEST(FaultScenario, LossyChannelArqRetriesRecoverDelivery) {
+  const fault::Scenario s = fault::make_scenario("lossy_channel_arq");
+  core::PicoCubeNode node(s.config);
+  node.run(s.sim_time);
+  ASSERT_NE(node.link_layer(), nullptr);
+  ASSERT_NE(node.base_station(), nullptr);
+  const auto& link = node.link_layer()->counters();
+  const auto& bs = node.base_station()->counters();
+  // The fade forced retries, and the retries recovered deliveries the
+  // fire-and-forget link would have lost outright.
+  EXPECT_GT(link.retries, 0u);
+  EXPECT_GT(link.acked, 0u);
+  EXPECT_GT(bs.delivered, 0u);
+  EXPECT_GE(link.tx_attempts, link.acked + link.failed);
+  // A faded frame never reaches the station: frames the station saw
+  // complete is attempts minus the transmitter's lost count.
+  EXPECT_EQ(bs.frames_completed,
+            link.tx_attempts - node.transmitter().frames_lost());
+  // Node-level success mirrors the ARQ outcome, not the PA finishing.
+  EXPECT_EQ(node.frames_ok(), link.acked);
+  EXPECT_EQ(node.frames_failed(), link.failed);
+  // The ACK-listen windows were billed: the wake-up device shows energy.
+  bool wakeup_billed = false;
+  for (const auto& d : node.accountant().devices()) {
+    if (d.name.find("wake-up") != std::string::npos) {
+      wakeup_billed = d.energy_j > 0.0;
+    }
+  }
+  EXPECT_TRUE(wakeup_billed);
+}
+
 TEST(FaultScenario, ColdSoakBrownoutDropsGlitchLoad) {
   const fault::Scenario s = fault::make_scenario("cold_soak_nimh");
   core::PicoCubeNode node(s.config);
@@ -146,11 +177,12 @@ TEST(FaultScenario, ColdSoakBrownoutDropsGlitchLoad) {
 
 TEST(FaultScenario, LibraryNamesAreStableAndLookupsWork) {
   const auto names = fault::scenario_names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 5u);
   EXPECT_EQ(names[0], "tire_stop_and_go");
   EXPECT_EQ(names[1], "cold_soak_nimh");
   EXPECT_EQ(names[2], "dying_supercap");
   EXPECT_EQ(names[3], "lossy_channel");
+  EXPECT_EQ(names[4], "lossy_channel_arq");
   for (const auto& n : names) {
     EXPECT_EQ(fault::make_scenario(n).name, n);
     EXPECT_FALSE(fault::make_scenario(n).config.faults.empty());

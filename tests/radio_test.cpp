@@ -342,6 +342,201 @@ TEST(Receiver, BerFormula) {
   EXPECT_LT(SuperregenReceiver::ook_ber(40.0), 1e-8);
 }
 
+// --- Fading coherence (regression: one frame, one shadowing draw) -----------
+
+TEST(Channel, SampleLinkFieldsDeriveFromOneShadowingDraw) {
+  Channel::Params cp;
+  cp.shadowing_sigma_db = 8.0;
+  Channel ch{PatchAntenna{}, cp, 1234};
+  const double noise_w = ch.noise_power(200_kHz).value();
+  for (int i = 0; i < 64; ++i) {
+    const auto s = ch.sample_link(Power{1.2e-3}, 200_kHz);
+    // Every field of the sample is the same realization.
+    EXPECT_NEAR(s.rx_dbm, watts_to_dbm(s.p_rx), 1e-9);
+    EXPECT_NEAR(s.snr, s.p_rx.value() / noise_w, s.snr * 1e-12);
+  }
+}
+
+TEST(Channel, SampleLinkConsumesExactlyOneDraw) {
+  // Stream alignment: a sample_link call advances the shadowing RNG by
+  // exactly one draw, so legacy received_power sequences stay
+  // bit-identical when calls are swapped one-for-one.
+  Channel::Params cp;
+  cp.shadowing_sigma_db = 6.0;
+  Channel a{PatchAntenna{}, cp, 777};
+  Channel b{PatchAntenna{}, cp, 777};
+  const double a1 = a.received_power(Power{1.2e-3}).value();
+  const double a2 = a.received_power(Power{1.2e-3}).value();
+  const double b1 = b.sample_link(Power{1.2e-3}, 200_kHz).p_rx.value();
+  const double b2 = b.received_power(Power{1.2e-3}).value();
+  EXPECT_DOUBLE_EQ(a1, b1);
+  EXPECT_DOUBLE_EQ(a2, b2);
+}
+
+TEST(Channel, ShadowingOffIsDeterministic) {
+  // sigma = 0 touches no RNG: every call returns the closed-form value.
+  Channel ch{PatchAntenna{}};
+  const auto s1 = ch.sample_link(Power{1.2e-3}, 200_kHz);
+  const auto s2 = ch.sample_link(Power{1.2e-3}, 200_kHz);
+  EXPECT_DOUBLE_EQ(s1.p_rx.value(), s2.p_rx.value());
+  EXPECT_DOUBLE_EQ(s1.snr, s2.snr);
+  EXPECT_DOUBLE_EQ(s1.snr, ch.snr(Power{1.2e-3}, 200_kHz));
+}
+
+TEST(Receiver, DetectionAndBerShareOneFadingDraw) {
+  // Regression for the double-draw bug: with shadowing on, a frame's
+  // squelch decision and its SNR (hence BER) must come from the same
+  // fading realization — snr_db == rx_dbm - noise_dbm identically.
+  Channel::Params cp;
+  cp.distance = Length{3.0};
+  cp.shadowing_sigma_db = 10.0;  // deep fades: squelch flips frame-to-frame
+  Channel probe{PatchAntenna{}, cp, 31};
+  const double noise_dbm = watts_to_dbm(probe.noise_power(200_kHz));
+  SuperregenReceiver rx{Channel{PatchAntenna{}, cp, 31},
+                        SuperregenReceiver::Params{}, 5};
+  RfFrame f;
+  f.data_rate = 200_kHz;
+  f.tx_power = Power{1.2e-3};
+  f.bytes = {0xAA, 0xAA, 0x2D, 0xD4, 0x42};
+  int detected = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const auto r = rx.receive(f);
+    if (!r.detected) continue;
+    ++detected;
+    EXPECT_NEAR(r.snr_db, r.rx_power_dbm - noise_dbm, 1e-9);
+  }
+  // The fade must actually exercise both sides of the squelch for the
+  // coherence check to mean anything.
+  EXPECT_GT(detected, 0);
+  EXPECT_LT(detected, trials);
+  EXPECT_EQ(rx.frames_seen(), static_cast<std::uint64_t>(trials));
+  EXPECT_EQ(rx.frames_detected(), static_cast<std::uint64_t>(detected));
+}
+
+// --- On-air interval (startup chirp occupies the channel) -------------------
+
+TEST_F(TxFixture, OnAirIntervalsAgreeAcrossTxFrameAndReceiver) {
+  rails_up();
+  SuperregenReceiver rx{Channel{PatchAntenna{}}};
+  RfFrame started;
+  RfFrame completed;
+  tx.set_frame_start_listener([&](const RfFrame& f) { started = f; });
+  tx.set_frame_listener([&](const RfFrame& f) { completed = f; });
+  const std::vector<std::uint8_t> frame(12, 0xA5);
+  const double t0 = sim.now().value();
+  bool done = false;
+  tx.transmit(frame, 200_kHz, [&](bool ok) { done = ok; });
+  sim.run_until(5_ms);
+  ASSERT_TRUE(done);
+  const double t_done = tx.oscillator().startup_time().value() +
+                        static_cast<double>(frame.size()) * 8.0 / 200e3;
+  // The frame's occupied-air interval starts at the transmit call
+  // (oscillator power-up) and spans startup + bits...
+  EXPECT_DOUBLE_EQ(started.start.value(), t0);
+  EXPECT_DOUBLE_EQ(started.startup.value(), tx.oscillator().startup_time().value());
+  // ...and all three accountings of its length agree exactly:
+  const double air = tx.airtime(frame.size(), 200_kHz).value();
+  EXPECT_DOUBLE_EQ(started.airtime().value(), air);        // fleet windows
+  EXPECT_DOUBLE_EQ(completed.airtime().value(), air);      // channel copy
+  const auto r = rx.receive(completed);
+  (void)r;
+  EXPECT_DOUBLE_EQ(rx.airtime_seen().value(), air);        // receiver ledger
+  // The completion event lands exactly at the end of the interval.
+  EXPECT_NEAR(started.start.value() + air, t0 + t_done, 1e-12);
+}
+
+// --- Squelch counter semantics (seen >= detected >= decoded) ----------------
+
+TEST(Receiver, CounterLadderSeenDetectedDecoded) {
+  PacketCodec codec;
+  Packet p;
+  p.payload = {1, 2, 3};
+  RfFrame f;
+  f.data_rate = 200_kHz;
+  f.tx_power = Power{1.2e-3};
+  f.bytes = codec.encode(p);
+
+  // Below squelch: seen, not detected, airtime still accrues (the frame
+  // occupied the medium whether or not this receiver could hear it).
+  Channel far{PatchAntenna{}};
+  far.set_distance(Length{100.0});
+  SuperregenReceiver rx_far{std::move(far)};
+  const auto r1 = rx_far.receive(f);
+  EXPECT_FALSE(r1.detected);
+  EXPECT_EQ(rx_far.frames_seen(), 1u);
+  EXPECT_EQ(rx_far.frames_detected(), 0u);
+  EXPECT_EQ(rx_far.frames_decoded(), 0u);
+  EXPECT_DOUBLE_EQ(rx_far.airtime_seen().value(), f.airtime().value());
+
+  // Clean link: every rung increments.
+  SuperregenReceiver rx_near{Channel{PatchAntenna{}}};
+  const auto r2 = rx_near.receive(f);
+  EXPECT_TRUE(r2.detected);
+  ASSERT_TRUE(r2.packet.has_value());
+  EXPECT_EQ(rx_near.frames_seen(), 1u);
+  EXPECT_EQ(rx_near.frames_detected(), 1u);
+  EXPECT_EQ(rx_near.frames_decoded(), 1u);
+}
+
+// --- PER vs distance against the closed-form BER ----------------------------
+
+TEST(Receiver, PerVsDistanceTracksOokBerPrediction) {
+  // Seeded, tolerance-banded: measured packet-error rate along a distance
+  // sweep must track 1 - (1-BER)^n with BER from the closed-form ook_ber
+  // at the (deterministic, shadowing-off) link SNR. Only bits after the
+  // preamble are load-bearing: the codec's sync scan survives preamble
+  // damage.
+  PacketCodec codec;
+  Packet p;
+  p.payload.assign(16, 0x5A);
+  RfFrame f;
+  f.data_rate = 330_kHz;
+  f.tx_power = Power{1.2e-3};
+  f.bytes = codec.encode(p);
+  const double eff_bits = static_cast<double>(
+      (f.bytes.size() - codec.params().preamble_bytes) * 8);
+
+  const int trials = 300;
+  int transition_points = 0;
+  double prev_per = -1.0;
+  for (const double d : {1.4, 1.7, 2.0, 2.4, 2.9}) {
+    Channel::Params cp;
+    cp.distance = Length{d};
+    cp.tx_alignment = 0.4;
+    cp.noise_figure_db = 36.0;
+    Channel probe{PatchAntenna{}, cp};
+    const double snr = probe.snr(f.tx_power, f.data_rate);
+    const double predicted =
+        1.0 - std::pow(1.0 - SuperregenReceiver::ook_ber(snr), eff_bits);
+
+    SuperregenReceiver rx{Channel{PatchAntenna{}, cp},
+                          SuperregenReceiver::Params{}, 4242};
+    int lost = 0;
+    for (int i = 0; i < trials; ++i) {
+      if (!rx.receive(f).packet.has_value()) ++lost;
+    }
+    const double measured = static_cast<double>(lost) / trials;
+
+    if (predicted > 0.05 && predicted < 0.95) {
+      ++transition_points;
+      // 3-sigma binomial sampling band plus modeling slack.
+      const double band =
+          0.06 + 3.0 * std::sqrt(predicted * (1.0 - predicted) / trials);
+      EXPECT_NEAR(measured, predicted, band) << "d = " << d << " m";
+    } else if (predicted <= 0.05) {
+      EXPECT_LE(measured, 0.15) << "d = " << d << " m";
+    } else {
+      EXPECT_GE(measured, 0.85) << "d = " << d << " m";
+    }
+    // PER must be monotone in distance along the sweep.
+    EXPECT_GE(measured, prev_per - 0.05) << "d = " << d << " m";
+    prev_per = measured;
+  }
+  // The sweep must cross the waterfall, or the band checks proved nothing.
+  EXPECT_GE(transition_points, 1);
+}
+
 TEST(Receiver, PacketErrorRateRisesNearSensitivityEdge) {
   // At low SNR (forced by a noisy, misaligned link) CRC rejects frames.
   Channel::Params cp;
