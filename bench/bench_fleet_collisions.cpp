@@ -10,6 +10,7 @@
 
 #include "bench_util.hpp"
 #include "core/fleet.hpp"
+#include "fleet/engine.hpp"
 
 using namespace pico;
 using namespace pico::literals;
@@ -40,15 +41,18 @@ int main(int argc, char** argv) {
 
   // Scaling with fleet size: a dense deployment (the intro's "very dense
   // collaborative networks") eventually needs more than pure ALOHA.
+  // Stepped by the sharded fleet engine's domain partitioning (one cell =
+  // the same one-receiver physics) instead of merging N independent
+  // timelines — hundreds of nodes cost milliseconds, not minutes.
   Table scale("collision rate vs fleet size (30 min each)");
   scale.set_header({"nodes", "measured", "ALOHA prediction"});
   std::vector<double> xs, ys;
   double measured_at_32 = 0.0;
-  for (int n : {2, 4, 8, 16, 32}) {
+  for (int n : {2, 4, 8, 16, 32, 128}) {
     core::FleetConfig c;
     c.nodes = n;
     c.sim_time = Duration{1800.0};
-    const auto r = core::FleetAnalysis::run(c);
+    const auto r = fleet::ShardedFleetEngine::run(fleet::spec_from_fleet_config(c));
     scale.add_row({std::to_string(n), pct(r.collision_rate, 2), pct(r.aloha_prediction, 2)});
     xs.push_back(n);
     ys.push_back(r.collision_rate * 100.0);
@@ -56,6 +60,15 @@ int main(int argc, char** argv) {
   }
   scale.print(std::cout);
   bench::ascii_plot("collision rate [%] vs fleet size", xs, ys);
+
+  // Cross-validation: the kernel-driven domain and the full shared event
+  // timeline must agree on what went on air and what collided.
+  core::FleetConfig xc;
+  xc.nodes = 32;
+  xc.sim_time = Duration{900.0};
+  xc.medium = core::FleetConfig::Medium::kShared;
+  const auto shared = core::FleetAnalysis::run(xc);
+  const auto sharded = fleet::ShardedFleetEngine::run(fleet::spec_from_fleet_config(xc));
 
   bench::PaperCheck check("E15 / fleet collisions");
   check.add_text("four-wheel collision rate is negligible", "< 0.5%",
@@ -65,5 +78,11 @@ int main(int argc, char** argv) {
   check.add_text("rate grows roughly linearly with fleet size", "32 nodes ~ 8x of 4",
                  pct(measured_at_32, 2),
                  measured_at_32 > 2.0 * four.collision_rate);
+  check.add("sharded domain vs shared timeline: frames on air",
+            static_cast<double>(shared.frames_total),
+            static_cast<double>(sharded.frames_on_air), "", 0.01);
+  check.add("sharded domain vs shared timeline: frames collided",
+            static_cast<double>(shared.frames_collided),
+            static_cast<double>(sharded.collided), "", 0.05);
   return io.finish(check);
 }

@@ -8,6 +8,14 @@ namespace pico::core {
 PowerAccountant::PowerAccountant(sim::Simulator& simulator, storage::NiMhBattery& battery,
                                  PowerTrain& train, sim::TraceSet& traces)
     : sim_(simulator), battery_(battery), train_(train), traces_(traces) {
+  tr_p_node_ = &traces_.channel("p_node");
+  tr_i_batt_ = &traces_.channel("i_batt");
+  tr_i_harvest_ = &traces_.channel("i_harvest");
+  tr_v_batt_ = &traces_.channel("v_batt", sim::Interp::kLinear);
+  tr_soc_ = &traces_.channel("soc", sim::Interp::kLinear);
+  tr_p_mcu_ = &traces_.channel("p_mcu_rail");
+  tr_p_radio_rf_ = &traces_.channel("p_radio_rf");
+  tr_p_radio_dig_ = &traces_.channel("p_radio_dig");
   record();
 }
 
@@ -72,21 +80,22 @@ void PowerAccountant::integrate_to_now() {
 }
 
 void PowerAccountant::record() {
+  if (!recording_) return;
   const Duration now = sim_.now();
   const Voltage vb = battery_.open_circuit_voltage();
   const Current draw{train_.battery_current(vb, loads_).value() * converter_derate_};
-  traces_.channel("p_node").record(now, vb.value() * draw.value());
-  traces_.channel("i_batt").record(now, draw.value());
-  traces_.channel("i_harvest").record(now, harvest_.value());
-  traces_.channel("v_batt", sim::Interp::kLinear).record(now, vb.value());
-  traces_.channel("soc", sim::Interp::kLinear).record(now, battery_.soc());
-  traces_.channel("p_mcu_rail").record(
-      now, train_.rail_voltage(RailId::kVddMcu, vb, loads_).value() *
-               loads_.mcu_sensor.value());
-  traces_.channel("p_radio_rf").record(
-      now, train_.rail_voltage(RailId::kVddRadioRf, vb, loads_).value() *
-               loads_.radio_rf.value());
-  traces_.channel("p_radio_dig").record(
+  tr_p_node_->record(now, vb.value() * draw.value());
+  tr_i_batt_->record(now, draw.value());
+  tr_i_harvest_->record(now, harvest_.value());
+  tr_v_batt_->record(now, vb.value());
+  tr_soc_->record(now, battery_.soc());
+  tr_p_mcu_->record(now,
+                    train_.rail_voltage(RailId::kVddMcu, vb, loads_).value() *
+                        loads_.mcu_sensor.value());
+  tr_p_radio_rf_->record(now,
+                         train_.rail_voltage(RailId::kVddRadioRf, vb, loads_).value() *
+                             loads_.radio_rf.value());
+  tr_p_radio_dig_->record(
       now, train_.rail_voltage(RailId::kVddRadioDigital, vb, loads_).value() *
                loads_.radio_digital.value());
 }

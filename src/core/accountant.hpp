@@ -64,6 +64,13 @@ class PowerAccountant {
   void set_empty_callback(std::function<void()> cb) { on_empty_ = std::move(cb); }
   [[nodiscard]] bool battery_died() const { return empty_signaled_; }
 
+  // Waveform recording on/off (on by default). Fleet-scale runs disable it:
+  // recording eight channels per device event is the accountant's main
+  // memory/allocation cost, and nobody reads 100k nodes' waveforms. Energy
+  // integration is unaffected.
+  void set_recording(bool on) { recording_ = on; }
+  [[nodiscard]] bool recording() const { return recording_; }
+
   // --- Queries ---------------------------------------------------------------
   [[nodiscard]] Current battery_draw() const;
   [[nodiscard]] Power battery_power() const;
@@ -94,6 +101,18 @@ class PowerAccountant {
   storage::NiMhBattery& battery_;
   PowerTrain& train_;
   sim::TraceSet& traces_;
+  // Channel handles resolved once at construction: record() runs on every
+  // device state change, and per-call string lookups were the fleet step
+  // path's dominant heap-allocation source.
+  sim::Trace* tr_p_node_ = nullptr;
+  sim::Trace* tr_i_batt_ = nullptr;
+  sim::Trace* tr_i_harvest_ = nullptr;
+  sim::Trace* tr_v_batt_ = nullptr;
+  sim::Trace* tr_soc_ = nullptr;
+  sim::Trace* tr_p_mcu_ = nullptr;
+  sim::Trace* tr_p_radio_rf_ = nullptr;
+  sim::Trace* tr_p_radio_dig_ = nullptr;
+  bool recording_ = true;
   std::vector<DeviceLedger> devices_;
   RailLoads loads_{};
   Current harvest_{};

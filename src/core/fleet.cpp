@@ -128,7 +128,12 @@ FleetResult FleetAnalysis::run_shared_medium(const FleetConfig& cfg) {
   // event queue, so the run is sequential and — unlike thread pools —
   // trivially identical at any cfg.threads setting.
   sim::Simulator sim;
+  // Pre-size the event pools and station ports: a node keeps only a
+  // handful of events live at once (wake timer, rail sequencing, the
+  // transmitter's byte ticker), so steady state never grows the queue.
+  sim.reserve(static_cast<std::size_t>(cfg.nodes) * 8 + 64);
   net::BaseStation bs(sim, cfg.base);
+  bs.reserve_ports(static_cast<std::size_t>(cfg.nodes));
   std::vector<std::unique_ptr<PicoCubeNode>> nodes;
   nodes.reserve(static_cast<std::size_t>(cfg.nodes));
   for (int n = 0; n < cfg.nodes; ++n) {

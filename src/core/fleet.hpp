@@ -17,6 +17,13 @@
 //     One timeline makes the result identical at any thread count.
 // Both are checked against the unslotted-ALOHA prediction
 // P(collision) ≈ 1 − e^{−2(N−1)τ/T}.
+//
+// For city-scale fleets (100k+ nodes) neither model fits: one timeline is
+// O(events) serial, and per-node simulators still pay full event cost per
+// wake. fleet::ShardedFleetEngine (src/fleet/engine.hpp) partitions the
+// medium into spatial collision domains driven by a closed-form cycle
+// kernel; fleet::spec_from_fleet_config maps a FleetConfig onto it for
+// apples-to-apples comparisons with kShared physics.
 #pragma once
 
 #include <vector>

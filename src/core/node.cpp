@@ -315,13 +315,16 @@ void PicoCubeNode::on_interrupt(mcu::Irq irq) {
 
 void PicoCubeNode::tpms_cycle() {
   // The CPU naps in LPM0 while the SP12 converts; the readout wakes it.
+  // The sample parks in a member so every closure on this chain captures
+  // only `this` and stays allocation-free in steady state.
   tpms_->measure(*cpu_, [this](const sensors::TpmsSample& sample) {
-    cpu_->run_for(cfg_.format_time, [this, sample] {
-      radio::Packet pkt;
-      pkt.node_id = cfg_.node_id;
-      pkt.seq = seq_++;
-      pkt.payload = radio::encode_tpms_payload(sample);
-      radio_send(codec_.encode(pkt));
+    pending_sample_ = sample;
+    cpu_->run_for(cfg_.format_time, [this] {
+      pkt_.node_id = cfg_.node_id;
+      pkt_.seq = seq_++;
+      radio::encode_tpms_payload_into(pending_sample_, pkt_.payload);
+      codec_.encode_into(pkt_, frame_buf_);
+      radio_send();
     });
   });
   cpu_->sleep(mcu::PowerState::kLpm0);
@@ -330,31 +333,32 @@ void PicoCubeNode::tpms_cycle() {
 void PicoCubeNode::motion_cycle() {
   accel_->enter_measurement();
   accel_->read_sample(*cpu_, [this](const sensors::AccelSample& sample) {
-    cpu_->run_for(cfg_.format_time, [this, sample] {
-      radio::Packet pkt;
-      pkt.node_id = cfg_.node_id;
-      pkt.seq = seq_++;
-      pkt.payload = radio::encode_accel_payload(sample.accel);
-      radio_send(codec_.encode(pkt));
+    pending_accel_ = sample;
+    cpu_->run_for(cfg_.format_time, [this] {
+      pkt_.node_id = cfg_.node_id;
+      pkt_.seq = seq_++;
+      pkt_.payload = radio::encode_accel_payload(pending_accel_.accel);
+      codec_.encode_into(pkt_, frame_buf_);
+      radio_send();
     });
   });
 }
 
-void PicoCubeNode::radio_send(std::vector<std::uint8_t> frame) {
+void PicoCubeNode::radio_send() {
   // Switch-board sequence: shunt + LDO energized, input gate first, output
   // gate after the clean-edge delay.
   accountant_.set_radio_powered(true);
-  sequencer_.power_up([this, frame = std::move(frame)]() mutable {
+  sequencer_.power_up([this] {
     tx_->set_digital_rail(Voltage{1.0});
     tx_->set_rf_rail(Voltage{0.65});
     if (link_) {
       // ARQ: the rails stay up for the whole exchange — retries and
       // ACK-listen windows included — and the cycle succeeds only on a
       // confirmed delivery.
-      link_->send(std::move(frame), cfg_.data_rate,
+      link_->send(frame_buf_, cfg_.data_rate,
                   [this](bool ok) { finish_cycle(ok); });
     } else {
-      tx_->transmit(frame, cfg_.data_rate, [this](bool ok) { finish_cycle(ok); });
+      tx_->transmit(frame_buf_, cfg_.data_rate, [this](bool ok) { finish_cycle(ok); });
     }
   });
 }

@@ -186,7 +186,8 @@ class PicoCubeNode {
   void on_interrupt(mcu::Irq irq);
   void tpms_cycle();
   void motion_cycle();
-  void radio_send(std::vector<std::uint8_t> frame);
+  // Transmits the frame staged in frame_buf_.
+  void radio_send();
   void finish_cycle(bool tx_ok);
   void update_harvest();
   // Build the MNA rectifier netlist + transient engine on first use
@@ -250,7 +251,13 @@ class PicoCubeNode {
   DeviceId dev_fault_ = 0;  // supply-glitch parasitic load (faulted runs only)
   DeviceId dev_wakeup_ = 0;  // ACK-listen window draw (ARQ mode only)
 
-  // Firmware state.
+  // Firmware state. The sample/packet/frame staging buffers are members so
+  // a steady-state wake cycle reuses their capacity instead of allocating:
+  // the firmware has exactly one outstanding cycle, so one set suffices.
+  sensors::TpmsSample pending_sample_{};
+  sensors::AccelSample pending_accel_{};
+  radio::Packet pkt_;
+  std::vector<std::uint8_t> frame_buf_;
   bool cycle_busy_ = false;
   std::uint64_t wake_cycles_ = 0;
   std::uint64_t frames_ok_ = 0;

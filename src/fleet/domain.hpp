@@ -1,0 +1,177 @@
+// domain.hpp — one spatial collision domain of the sharded fleet engine.
+//
+// The shared radio medium is partitioned geometrically: the fleet lives
+// on a line of `cell_m`-wide cells, each with its own gateway receiver at
+// the cell center, and a node's frames only contend at the gateway they
+// can actually reach. Nodes inside the interference margin of a cell
+// boundary additionally export their frames to the neighboring domain as
+// interference-only records — that is the entire cross-domain coupling,
+// exchanged once per epoch at a deterministic barrier.
+//
+// Each epoch runs in two phases (ShardedFleetEngine drives them):
+//
+//   Phase A (parallel)  advance(): step every node's wake timer through
+//     the epoch, draw the frame's RNG in a fixed order (loss, shadowing,
+//     decode), bill the cycle energy, and append the frame to the local
+//     list plus any boundary outboxes. Beacon-mode frame generation is
+//     independent of collision outcomes, so this phase needs no
+//     cross-domain data at all.
+//   barrier + exchange  the engine moves every outbox into the neighbor's
+//     inbox in domain order.
+//   Phase B (parallel)  resolve(): sort the domain's air records, resolve
+//     capture/collision/squelch/decode for every own frame that ends
+//     inside the epoch, and carry boundary-spanning records forward.
+//
+// Nothing in a domain depends on which shard ran it or on thread count:
+// all randomness is per-node (Rng::stream), all ordering is by (start,
+// node id), and the engine reduces domain counters in domain order — so
+// fleet metrics are bit-identical for any shards x threads combination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fleet/kernel.hpp"
+
+namespace pico::fleet {
+
+// Constants shared by every domain: the calibrated cycle, the radio link
+// budget, and the fault subset schedules. Immutable during a run.
+struct KernelModel {
+  CycleProfile profile{};
+  double sim_time_s = 0.0;
+  double data_rate_hz = 200e3;
+  double tx_power_w = 1.2e-3;
+  double eirp_gain = 1.0;        // g_tx(alignment) * g_rx, linear
+  double path_loss_1m = 1.0;     // friis at 1 m; scales as d^2
+  double gateway_height_m = 1.0; // antenna offset: distance never hits 0
+  double fixed_distance_m = 0.0; // >0: every link at this range
+  double shadowing_sigma_db = 0.0;
+  double noise_w = 1e-15;        // matched-filter noise power
+  double capture_ratio = 4.0;    // linear wanted-over-interference margin
+  double sensitivity_w = 0.0;    // squelch threshold, linear watts
+  double max_airtime_s = 0.0;    // carry-window size at epoch boundaries
+
+  // Channel-loss fault windows (kind kChannelLoss), in plan order.
+  struct LossWindow {
+    double at_s = 0.0;
+    double end_s = 0.0;  // <= at_s means permanent
+    double p = 0.0;
+  };
+  std::vector<LossWindow> loss_windows;
+  // Harvester derate windows (kind kHarvesterDerate).
+  struct DerateWindow {
+    double at_s = 0.0;
+    double end_s = 0.0;
+    double factor = 1.0;
+  };
+  std::vector<DerateWindow> derate_windows;
+  const HarvestIntegral* harvest = nullptr;  // null: no harvest path
+
+  // Frame-loss probability in effect at time t (last matching window wins,
+  // like the scalar FaultInjector applying events in plan order).
+  [[nodiscard]] double loss_probability(double t) const;
+  // Harvest charge over [t0, t1] with derate windows applied.
+  [[nodiscard]] double harvest_charge(double t0, double t1) const;
+  // Received power at the gateway for a link of length `d_m`.
+  [[nodiscard]] double rx_power_w(double d_m) const;
+};
+
+// Per-domain counters; the engine reduces them in domain order.
+struct DomainCounters {
+  std::uint64_t wake_cycles = 0;
+  std::uint64_t frames_on_air = 0;
+  std::uint64_t frames_completed = 0;
+  std::uint64_t frames_lost = 0;  // channel-loss fault: jammed, never arrived
+  std::uint64_t collided = 0;
+  std::uint64_t captured = 0;
+  std::uint64_t below_squelch = 0;
+  std::uint64_t crc_rejected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_payload_bits = 0;
+  std::uint64_t edge_exports = 0;
+  std::uint64_t nodes_dead = 0;
+  double airtime_s = 0.0;
+  double energy_out_j = 0.0;
+  double energy_in_j = 0.0;
+};
+
+class Domain {
+ public:
+  // An interference-only record exported across a boundary.
+  struct EdgeFrame {
+    double start_s = 0.0;
+    double end_s = 0.0;
+    double p_rx_w = 0.0;
+    std::uint32_t node = 0;  // global id (tie-break determinism)
+  };
+
+  Domain() = default;
+
+  // Struct-of-arrays node state. `dist_left/right` < 0 means the node is
+  // outside the margin band of that boundary (no export).
+  void add_node(std::uint32_t global_id, double interval_s, double first_wake_s,
+                Rng rng, double dist_own_m, double dist_left_m, double dist_right_m);
+  // Pre-size the per-epoch scratch for `epoch_s`-long epochs so the
+  // steady-state loop never allocates.
+  void reserve_scratch(double epoch_s, double min_interval_s);
+
+  // Phase A: generate frames and bill cycle energy through `epoch_end_s`.
+  void advance(double epoch_end_s, const KernelModel& m);
+  // Phase B: resolve every own frame ending inside the epoch.
+  void resolve(double epoch_end_s, const KernelModel& m);
+  // After the last epoch: bill sleep-floor and harvest energy, mark dead
+  // nodes. Deterministic per node; called once.
+  void finalize(const KernelModel& m);
+
+  [[nodiscard]] std::size_t nodes() const { return interval_s_.size(); }
+  [[nodiscard]] const DomainCounters& counters() const { return c_; }
+  [[nodiscard]] std::vector<EdgeFrame>& outbox_left() { return outbox_left_; }
+  [[nodiscard]] std::vector<EdgeFrame>& outbox_right() { return outbox_right_; }
+  [[nodiscard]] std::vector<EdgeFrame>& inbox() { return inbox_; }
+
+ private:
+  // An own frame pending resolution.
+  struct Frame {
+    double start_s = 0.0;
+    double end_s = 0.0;
+    double p_rx_w = 0.0;
+    double u_decode = 0.0;
+    std::uint32_t node = 0;   // local index
+    std::uint32_t seq = 0;
+    bool lost = false;
+  };
+  // A sortable air record (own frame or imported interference).
+  struct AirRecord {
+    double start_s = 0.0;
+    double end_s = 0.0;
+    double p_rx_w = 0.0;
+    std::uint32_t global_node = 0;
+  };
+
+  // SoA node state.
+  std::vector<std::uint32_t> global_id_;
+  std::vector<double> interval_s_;
+  std::vector<double> next_wake_s_;
+  std::vector<double> dist_own_m_;
+  std::vector<double> dist_left_m_;
+  std::vector<double> dist_right_m_;
+  std::vector<Rng> rng_;
+  std::vector<std::uint32_t> seq_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<std::uint64_t> cycles_;
+  std::vector<double> cycle_energy_j_;  // accumulated wake-cycle energy
+
+  // Per-epoch scratch (capacity reused across epochs).
+  std::vector<Frame> pending_;       // own frames awaiting resolution
+  std::vector<AirRecord> records_;   // sorted air records for the sweep
+  std::vector<AirRecord> carry_;     // boundary-spanning records
+  std::vector<EdgeFrame> outbox_left_;
+  std::vector<EdgeFrame> outbox_right_;
+  std::vector<EdgeFrame> inbox_;
+
+  DomainCounters c_;
+};
+
+}  // namespace pico::fleet

@@ -1,0 +1,285 @@
+#include "fleet/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/fleet.hpp"
+#include "obs/metrics.hpp"
+#include "radio/antenna.hpp"
+#include "runtime/parallel.hpp"
+
+namespace pico::fleet {
+
+namespace {
+constexpr double kBoltzmann = 1.380649e-23;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer over a running hash: cheap, stable, and any
+  // single-bit difference avalanches.
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+}  // namespace
+
+std::uint64_t FleetMetrics::fingerprint() const {
+  std::uint64_t h = 0x5EED5EED5EED5EEDULL;
+  for (std::uint64_t v :
+       {nodes, domains, wake_cycles, frames_on_air, frames_completed, frames_lost,
+        collided, captured, below_squelch, crc_rejected, delivered,
+        delivered_payload_bits, edge_exports, nodes_dead}) {
+    h = mix(h, v);
+  }
+  for (double v : {airtime_s, energy_out_j, energy_in_j}) {
+    h = mix(h, std::bit_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+void FleetMetrics::publish_metrics(obs::MetricsRegistry& m,
+                                   const std::string& prefix) const {
+  if constexpr (obs::kEnabled) {
+    m.add(m.counter(prefix + ".wake_cycles"), static_cast<double>(wake_cycles));
+    m.add(m.counter(prefix + ".frames_on_air"), static_cast<double>(frames_on_air));
+    m.add(m.counter(prefix + ".frames_completed"),
+          static_cast<double>(frames_completed));
+    m.add(m.counter(prefix + ".frames_lost"), static_cast<double>(frames_lost));
+    m.add(m.counter(prefix + ".collided"), static_cast<double>(collided));
+    m.add(m.counter(prefix + ".captured"), static_cast<double>(captured));
+    m.add(m.counter(prefix + ".below_squelch"), static_cast<double>(below_squelch));
+    m.add(m.counter(prefix + ".crc_rejected"), static_cast<double>(crc_rejected));
+    m.add(m.counter(prefix + ".delivered"), static_cast<double>(delivered));
+    m.add(m.counter(prefix + ".delivered_payload_bits"),
+          static_cast<double>(delivered_payload_bits));
+    m.add(m.counter(prefix + ".edge_exports"), static_cast<double>(edge_exports));
+    m.add(m.counter(prefix + ".nodes_dead"), static_cast<double>(nodes_dead));
+    m.add(m.counter(prefix + ".energy_out_j"), energy_out_j);
+    m.add(m.counter(prefix + ".energy_in_j"), energy_in_j);
+    m.set(m.gauge(prefix + ".nodes"), static_cast<double>(nodes));
+    m.set(m.gauge(prefix + ".domains"), static_cast<double>(domains));
+    m.set(m.gauge(prefix + ".shards"), static_cast<double>(shards));
+    m.set(m.gauge(prefix + ".collision_rate"), collision_rate);
+  } else {
+    (void)m;
+    (void)prefix;
+  }
+}
+
+FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec) {
+  PICO_REQUIRE(spec.nodes >= 1, "fleet needs at least one node");
+  PICO_REQUIRE(spec.sim_time_s > 0.0, "simulation time must be positive");
+  PICO_REQUIRE(spec.domains >= 1, "need at least one collision domain");
+  PICO_REQUIRE(spec.cell_m > 0.0, "cell size must be positive");
+  PICO_REQUIRE(spec.interference_margin_m >= 0.0 &&
+                   spec.interference_margin_m <= spec.cell_m / 2.0,
+               "interference margin must be within [0, cell/2]");
+  PICO_REQUIRE(spec.nominal_interval_s > 0.0, "interval must be positive");
+  PICO_REQUIRE(spec.node.link.mode == core::NodeConfig::Link::Mode::kBeacon,
+               "sharded fleet engine is beacon-only (ARQ couples domains)");
+
+  // --- Kernel model ---------------------------------------------------------
+  core::NodeConfig nc = spec.node;
+  nc.sample_interval = Duration{spec.nominal_interval_s};
+
+  KernelModel m;
+  m.profile = CycleProfile::calibrate(nc);
+  m.sim_time_s = spec.sim_time_s;
+  m.data_rate_hz = nc.data_rate.value();
+  m.tx_power_w = radio::FbarOokTransmitter::Params{}.tx_power.value();
+  const radio::PatchAntenna antenna{};
+  m.eirp_gain = antenna.gain_at_orientation(spec.tx_alignment) *
+                db_to_ratio(spec.rx_gain_dbi);
+  m.path_loss_1m = radio::friis_path_loss(antenna.params().frequency, Length{1.0});
+  m.gateway_height_m = spec.gateway_height_m;
+  m.fixed_distance_m = spec.fixed_distance_m;
+  m.shadowing_sigma_db = spec.shadowing_sigma_db;
+  m.noise_w = kBoltzmann * spec.noise_temp_k * 2.0 * m.data_rate_hz *
+              db_to_ratio(spec.noise_figure_db);
+  m.capture_ratio = db_to_ratio(spec.capture_db);
+  m.sensitivity_w = dbm_to_watts(spec.sensitivity_dbm).value();
+  m.max_airtime_s = m.profile.airtime_s;
+  PICO_REQUIRE(spec.epoch_s > 2.0 * m.max_airtime_s,
+               "epoch must exceed two frame airtimes");
+
+  HarvestIntegral harvest;
+  if (spec.attach_harvester) {
+    harvest = HarvestIntegral(nc, spec.sim_time_s);
+    m.harvest = &harvest;
+  }
+  for (const fault::FaultEvent& ev : spec.faults.events()) {
+    const double end = ev.windowed() ? ev.at_s + ev.duration_s : ev.at_s;
+    switch (ev.kind) {
+      case fault::FaultKind::kHarvesterDerate:
+        m.derate_windows.push_back({ev.at_s, end, ev.magnitude});
+        break;
+      case fault::FaultKind::kChannelLoss:
+        m.loss_windows.push_back({ev.at_s, end, ev.magnitude});
+        break;
+      default:
+        PICO_REQUIRE(false,
+                     "sharded fleet engine supports only harvester-derate and "
+                     "channel-loss faults");
+    }
+  }
+
+  // --- Fleet layout ---------------------------------------------------------
+  // Interval draws stay sequential (Box–Muller caches a deviate): the same
+  // contract — and the same drawn periods — as core::FleetAnalysis.
+  Rng interval_rng(spec.seed);
+  std::vector<double> intervals(spec.nodes);
+  double min_interval = spec.nominal_interval_s;
+  for (std::size_t n = 0; n < spec.nodes; ++n) {
+    intervals[n] = spec.nominal_interval_s *
+                   (1.0 + interval_rng.normal(0.0, spec.interval_tolerance));
+    PICO_REQUIRE(intervals[n] > 0.0, "drawn interval must stay positive");
+    min_interval = std::min(min_interval, intervals[n]);
+  }
+
+  const std::size_t kDomains = spec.domains;
+  std::vector<Domain> domains(kDomains);
+  const double length = spec.cell_m * static_cast<double>(kDomains);
+  const double h2 = spec.gateway_height_m * spec.gateway_height_m;
+  const auto link_dist = [&](double dx) {
+    if (spec.fixed_distance_m > 0.0) return spec.fixed_distance_m;
+    return std::sqrt(dx * dx + h2);
+  };
+  for (std::size_t n = 0; n < spec.nodes; ++n) {
+    const double x = (static_cast<double>(n) + 0.5) * length /
+                     static_cast<double>(spec.nodes);
+    const auto d = std::min(static_cast<std::size_t>(x / spec.cell_m), kDomains - 1);
+    const double center = (static_cast<double>(d) + 0.5) * spec.cell_m;
+    const double left_edge = static_cast<double>(d) * spec.cell_m;
+    const double right_edge = left_edge + spec.cell_m;
+    double dist_left = -1.0;
+    double dist_right = -1.0;
+    if (d > 0 && x - left_edge <= spec.interference_margin_m) {
+      dist_left = link_dist(x - (center - spec.cell_m));
+    }
+    if (d + 1 < kDomains && right_edge - x <= spec.interference_margin_m) {
+      dist_right = link_dist(center + spec.cell_m - x);
+    }
+    // First wake at the node's own period (the SP12 event timer), RNG from
+    // the per-node stream: independent of domain, shard and thread count.
+    // Phase randomization consumes one draw from that stream before any
+    // per-frame draws, so it is equally shard/thread-invariant.
+    Rng node_rng = Rng::stream(spec.seed, n);
+    double first_wake = intervals[n];
+    if (spec.randomize_phase) first_wake += intervals[n] * node_rng.uniform();
+    domains[d].add_node(static_cast<std::uint32_t>(n), intervals[n], first_wake,
+                        node_rng, link_dist(x - center), dist_left, dist_right);
+  }
+  for (Domain& d : domains) d.reserve_scratch(spec.epoch_s, min_interval);
+
+  // --- Sharded epoch loop ---------------------------------------------------
+  const std::size_t kShards =
+      spec.shards == 0 ? kDomains : std::min(spec.shards, kDomains);
+  const auto shard_range = [&](std::size_t s) {
+    const std::size_t lo = s * kDomains / kShards;
+    const std::size_t hi = (s + 1) * kDomains / kShards;
+    return std::pair<std::size_t, std::size_t>{lo, hi};
+  };
+  runtime::ParallelRunner runner(spec.threads);
+  double t = 0.0;
+  while (t < spec.sim_time_s) {
+    const double epoch_end = std::min(t + spec.epoch_s, spec.sim_time_s);
+    // Phase A: frame generation + energy billing, per domain in parallel.
+    runner.run_trials(kShards, [&](std::size_t s) {
+      const auto [lo, hi] = shard_range(s);
+      for (std::size_t d = lo; d < hi; ++d) domains[d].advance(epoch_end, m);
+    });
+    // Barrier reached: exchange boundary frames in domain order. The
+    // inbox receives the left neighbor's rightbound frames first, then
+    // the right neighbor's leftbound frames — a fixed merge order, so
+    // the downstream sort tie-breaks identically every run.
+    for (std::size_t d = 0; d < kDomains; ++d) {
+      auto& inbox = domains[d].inbox();
+      if (d > 0) {
+        auto& from_left = domains[d - 1].outbox_right();
+        inbox.insert(inbox.end(), from_left.begin(), from_left.end());
+      }
+      if (d + 1 < kDomains) {
+        auto& from_right = domains[d + 1].outbox_left();
+        inbox.insert(inbox.end(), from_right.begin(), from_right.end());
+      }
+    }
+    // Phase B: capture/collision/decode resolution, per domain in parallel.
+    runner.run_trials(kShards, [&](std::size_t s) {
+      const auto [lo, hi] = shard_range(s);
+      for (std::size_t d = lo; d < hi; ++d) domains[d].resolve(epoch_end, m);
+    });
+    t = epoch_end;
+  }
+  for (Domain& d : domains) d.finalize(m);
+
+  // --- Reduction (domain order: part of the determinism contract) -----------
+  FleetMetrics out;
+  out.nodes = spec.nodes;
+  out.domains = kDomains;
+  out.shards = kShards;
+  for (const Domain& d : domains) {
+    const DomainCounters& c = d.counters();
+    out.wake_cycles += c.wake_cycles;
+    out.frames_on_air += c.frames_on_air;
+    out.frames_completed += c.frames_completed;
+    out.frames_lost += c.frames_lost;
+    out.collided += c.collided;
+    out.captured += c.captured;
+    out.below_squelch += c.below_squelch;
+    out.crc_rejected += c.crc_rejected;
+    out.delivered += c.delivered;
+    out.delivered_payload_bits += c.delivered_payload_bits;
+    out.edge_exports += c.edge_exports;
+    out.nodes_dead += c.nodes_dead;
+    out.airtime_s += c.airtime_s;
+    out.energy_out_j += c.energy_out_j;
+    out.energy_in_j += c.energy_in_j;
+  }
+  if (out.frames_on_air > 0) {
+    out.collision_rate = static_cast<double>(out.collided) /
+                         static_cast<double>(out.frames_on_air);
+  }
+  // Per-domain ALOHA sanity figure: the average domain population sets
+  // the offered load each gateway actually sees.
+  const double nodes_per_domain =
+      static_cast<double>(spec.nodes) / static_cast<double>(kDomains);
+  out.aloha_prediction = core::FleetAnalysis::aloha_collision_probability(
+      std::max(1, static_cast<int>(std::lround(nodes_per_domain))),
+      Duration{m.profile.airtime_s}, Duration{spec.nominal_interval_s});
+  return out;
+}
+
+FleetSpec spec_from_fleet_config(const core::FleetConfig& cfg, std::size_t domains) {
+  PICO_REQUIRE(!cfg.arq, "sharded fleet engine is beacon-only");
+  FleetSpec spec;
+  spec.nodes = static_cast<std::size_t>(cfg.nodes);
+  spec.sim_time_s = cfg.sim_time.value();
+  spec.nominal_interval_s = cfg.nominal_interval.value();
+  spec.interval_tolerance = cfg.interval_tolerance;
+  spec.seed = cfg.seed;
+  spec.domains = std::max<std::size_t>(1, domains);
+  // kShared physics: every link at the uplink's configured range,
+  // regardless of where a node sits in its cell.
+  spec.fixed_distance_m = cfg.uplink.distance.value();
+  spec.tx_alignment = cfg.uplink.tx_alignment;
+  spec.rx_gain_dbi = cfg.uplink.rx_gain_dbi;
+  spec.shadowing_sigma_db = cfg.uplink.shadowing_sigma_db;
+  spec.noise_temp_k = cfg.uplink.noise_temp.value();
+  spec.noise_figure_db = cfg.uplink.noise_figure_db;
+  spec.capture_db = cfg.base.capture_db;
+  spec.sensitivity_dbm = cfg.base.rx.sensitivity_dbm;
+  spec.threads = cfg.threads;
+  spec.node.drive = harvest::make_city_cycle();
+  spec.node.data_rate = cfg.data_rate;
+  spec.node.harvest_fidelity = cfg.harvest_fidelity;
+  spec.attach_harvester = cfg.attach_harvester;
+  spec.faults = cfg.faults;
+  return spec;
+}
+
+}  // namespace pico::fleet

@@ -1,0 +1,145 @@
+// engine.hpp — the sharded fleet engine: spatial collision domains on the
+// work-stealing runner, stepped by the closed-form node kernel.
+//
+// This is the 100k+-node path (ROADMAP: city-scale fleets). The scalar
+// shared-medium fleet (core::FleetAnalysis, Medium::kShared) puts every
+// node on one event queue and every frame in one receiver — faithful, but
+// serial and O(events) per wake cycle. The sharded engine exploits two
+// structural facts:
+//
+//   * Radio range is meters; a fleet spans kilometers. Partitioning space
+//     into collision domains makes the medium embarrassingly parallel up
+//     to a thin boundary exchange (fleet/domain.hpp).
+//   * A behavioral beacon node is periodic, so its energy integrates in
+//     closed form (fleet/kernel.hpp) — O(1) per wake cycle.
+//
+// Determinism contract: results are bit-identical for any combination of
+// shard count and thread count. Per-node randomness comes from
+// Rng::stream(seed, node), domains are fixed by geometry (shards only
+// group domains into runner tasks), the epoch barrier exchanges boundary
+// frames in domain order, and counters reduce in domain order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "fault/plan.hpp"
+#include "fleet/domain.hpp"
+
+namespace pico::obs {
+class MetricsRegistry;
+}
+namespace pico::core {
+struct FleetConfig;
+}
+
+namespace pico::fleet {
+
+struct FleetSpec {
+  // Fleet shape.
+  std::size_t nodes = 1024;
+  double sim_time_s = 60.0;
+  double nominal_interval_s = 6.0;   // SP12 event timer
+  double interval_tolerance = 0.004; // per-node RC tolerance (1 sigma)
+  std::uint64_t seed = 99;
+  // false: every node boots at t = 0 and first wakes after one interval —
+  // the scalar fleet's behavior, phase-synchronized for the first many
+  // cycles. true: spread first wakes uniformly over one extra interval
+  // (a mature deployment where nodes booted at different times), drawn
+  // from each node's own stream so determinism is unaffected.
+  bool randomize_phase = false;
+
+  // Geometry: `domains` cells of `cell_m` meters along a line, one
+  // gateway per cell center at `gateway_height_m`. Nodes are spaced
+  // uniformly over the full length; a node within
+  // `interference_margin_m` of a cell boundary exports its frames to the
+  // neighboring domain as interference. The defaults fit the paper's
+  // link budget: the 1 cm^3 patch radiates at about -25 dBi, so a -75 dBm
+  // squelch runs out near 5 m — an 8 m cell keeps every node's own
+  // gateway within range (worst case ~4.1 m ~ -72 dBm).
+  std::size_t domains = 16;
+  double cell_m = 8.0;
+  double interference_margin_m = 2.0;
+  double gateway_height_m = 1.0;
+  // > 0: every link (own and exported) uses this fixed range instead of
+  // the geometric distance — the scalar kShared medium's "all nodes at
+  // 1 m" physics, for apples-to-apples comparisons.
+  double fixed_distance_m = 0.0;
+
+  // Link budget (mirrors radio::Channel / net::BaseStation defaults).
+  double tx_alignment = 1.0;
+  double rx_gain_dbi = 2.0;
+  double shadowing_sigma_db = 0.0;
+  double noise_temp_k = 300.0;
+  double noise_figure_db = 10.0;
+  double capture_db = 6.0;
+  double sensitivity_dbm = -75.0;
+
+  // Execution: domains are grouped into `shards` runner tasks (0 = one
+  // shard per domain); `threads` feeds the ParallelRunner (0 = hardware
+  // concurrency). Neither affects results. `epoch_s` bounds per-epoch
+  // scratch memory; any value larger than one frame airtime is exact.
+  std::size_t shards = 0;
+  unsigned threads = 0;
+  double epoch_s = 30.0;
+
+  // Node model: calibration basis for the cycle kernel. Beacon mode only
+  // (ARQ feedback would couple domains within an epoch); the engine
+  // overrides sample_interval with nominal_interval_s.
+  core::NodeConfig node;
+  bool attach_harvester = false;
+
+  // Fault subset understood by the kernel: kHarvesterDerate and
+  // kChannelLoss. Other kinds are rejected (run those scenarios on the
+  // scalar path).
+  fault::FaultPlan faults;
+};
+
+struct FleetMetrics {
+  std::uint64_t nodes = 0;
+  std::uint64_t domains = 0;
+  std::uint64_t shards = 0;
+  std::uint64_t wake_cycles = 0;
+  std::uint64_t frames_on_air = 0;
+  std::uint64_t frames_completed = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t collided = 0;
+  std::uint64_t captured = 0;
+  std::uint64_t below_squelch = 0;
+  std::uint64_t crc_rejected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_payload_bits = 0;
+  std::uint64_t edge_exports = 0;
+  std::uint64_t nodes_dead = 0;
+  double airtime_s = 0.0;
+  double energy_out_j = 0.0;
+  double energy_in_j = 0.0;
+  double collision_rate = 0.0;     // collided / frames_on_air
+  double aloha_prediction = 0.0;   // per-domain closed form, for sanity
+
+  // Order-independent digest of every counter and energy total: equal
+  // fingerprints mean bit-identical results. The determinism suite
+  // compares these across shard/thread sweeps.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  // fleet.* metric family. No-op when observability is compiled out.
+  void publish_metrics(obs::MetricsRegistry& m, const std::string& prefix = "fleet") const;
+};
+
+class ShardedFleetEngine {
+ public:
+  // Run the spec to completion. Deterministic: a pure function of the
+  // spec (shards/threads excluded — see the contract above).
+  [[nodiscard]] static FleetMetrics run(const FleetSpec& spec);
+};
+
+// Map a core::FleetConfig onto the sharded engine with kShared-comparable
+// physics: every link at the uplink's fixed distance, the station's
+// capture margin and squelch, the same interval-draw seed and discipline.
+// `domains` > 1 spreads the same fleet over that many cells (each cell
+// then sees 1/domains of the offered load). Beacon mode only.
+[[nodiscard]] FleetSpec spec_from_fleet_config(const core::FleetConfig& cfg,
+                                               std::size_t domains = 1);
+
+}  // namespace pico::fleet

@@ -1,0 +1,110 @@
+#include "fleet/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "harvest/harvester.hpp"
+#include "power/rectifier.hpp"
+
+namespace pico::fleet {
+
+CycleProfile CycleProfile::calibrate(const core::NodeConfig& cfg) {
+  // Calibration node: same firmware, but stripped of everything that is
+  // modeled separately in the kernel (harvest, faults) or unsupported
+  // (ARQ). The beacon cycle itself is untouched.
+  core::NodeConfig nc = cfg;
+  nc.attach_harvester = false;
+  nc.faults = {};
+  nc.oscillator_failure_prob = 0.0;
+  nc.link = {};
+  PICO_REQUIRE(nc.sample_interval.value() > 0.0, "calibration needs a positive interval");
+
+  CycleProfile p;
+  const double interval = nc.sample_interval.value();
+  const auto run_energy = [&](double until, bool extract) {
+    core::PicoCubeNode node(nc);
+    if (extract) {
+      node.set_frame_start_listener([&](const radio::RfFrame& f) {
+        if (p.frame_bytes != 0) return;
+        // First wake fires at t = interval (the SP12 event timer).
+        p.tx_offset_s = f.start.value() - interval;
+        p.airtime_s = f.airtime().value();
+        p.frame_bytes = f.bytes.size();
+      });
+    }
+    node.run(Duration{until});
+    if (extract) {
+      PICO_REQUIRE(p.frame_bytes != 0, "calibration run produced no frame");
+      p.sleep_power_w = node.report().sleep_floor.value();
+      p.cycle_duration_s = node.last_cycle_time().value();
+      p.battery_ocv_v = node.battery().open_circuit_voltage().value();
+      p.battery_budget_j =
+          node.battery().capacity_energy().value() * nc.battery_initial_soc;
+      const std::size_t overhead = node.codec().overhead_bytes();
+      const std::size_t preamble = node.codec().params().preamble_bytes;
+      PICO_REQUIRE(p.frame_bytes > overhead, "frame shorter than codec overhead");
+      p.payload_bits = (p.frame_bytes - overhead) * 8;
+      p.decode_bits = (p.frame_bytes - preamble) * 8;
+    }
+    return node.report().battery_energy_out.value();
+  };
+
+  // One complete cycle vs two: the difference cancels the boot transient,
+  // leaving exactly one interval of floor plus one cycle of extra energy.
+  const double e_one = run_energy(interval * 1.5, true);
+  const double e_two = run_energy(interval * 2.5, false);
+  p.cycle_energy_j = (e_two - e_one) - p.sleep_power_w * interval;
+  PICO_REQUIRE(p.cycle_energy_j > 0.0, "calibrated cycle energy must be positive");
+  return p;
+}
+
+HarvestIntegral::HarvestIntegral(const core::NodeConfig& cfg, double horizon_s) {
+  PICO_REQUIRE(horizon_s > 0.0, "harvest horizon must be positive");
+  window_s_ = cfg.harvest_update.value();
+  PICO_REQUIRE(window_s_ > 0.0, "harvest window must be positive");
+
+  // Same estimator the scalar behavioral node runs every window: shaker
+  // EMF into the power train's rectifier topology against the battery's
+  // initial OCV (the OCV drift over a run is far below the estimator's
+  // own fidelity).
+  harvest::SpeedProfile profile =
+      cfg.drive.has_value() ? *cfg.drive : harvest::make_city_cycle();
+  harvest::ElectromagneticShaker shaker(profile);
+  std::unique_ptr<power::Rectifier> rectifier;
+  if (cfg.power == core::NodeConfig::PowerVersion::kIc) {
+    rectifier = std::make_unique<power::SynchronousRectifier>();
+  } else {
+    rectifier = std::make_unique<power::DiodeBridgeRectifier>();
+  }
+  storage::NiMhBattery::Params bp;
+  bp.initial_soc = cfg.battery_initial_soc;
+  const Voltage ocv = storage::NiMhBattery(bp).open_circuit_voltage();
+
+  const auto windows = static_cast<std::size_t>(std::ceil(horizon_s / window_s_));
+  cum_.assign(windows + 1, 0.0);
+  for (std::size_t k = 0; k < windows; ++k) {
+    const double t0 = static_cast<double>(k) * window_s_;
+    const auto res = rectifier->rectify(shaker, ocv, t0, t0 + window_s_, 2048);
+    cum_[k + 1] = cum_[k] + res.avg_current.value() * window_s_;
+  }
+}
+
+double HarvestIntegral::charge_between(double t0, double t1) const {
+  if (cum_.empty() || t1 <= t0) return 0.0;
+  const double hi = static_cast<double>(cum_.size() - 1) * window_s_;
+  t0 = std::clamp(t0, 0.0, hi);
+  t1 = std::clamp(t1, 0.0, hi);
+  // Piecewise-constant current per window: linear interpolation of the
+  // cumulative grid is exact.
+  const auto at = [&](double t) {
+    const double w = t / window_s_;
+    const auto k = static_cast<std::size_t>(w);
+    const std::size_t kk = std::min(k, cum_.size() - 2);
+    const double frac = w - static_cast<double>(kk);
+    return cum_[kk] + frac * (cum_[kk + 1] - cum_[kk]);
+  };
+  return at(t1) - at(t0);
+}
+
+}  // namespace pico::fleet

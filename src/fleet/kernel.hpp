@@ -1,0 +1,75 @@
+// kernel.hpp — the closed-form per-node model behind the sharded fleet
+// engine (docs/PERFORMANCE.md, "Fleet scaling").
+//
+// A behavioral beacon node is periodic: sleep at a constant floor, wake
+// every timer interval, run the same sample/format/transmit cycle, go
+// back to sleep. The scalar PicoCubeNode walks that cycle event by event
+// (~40 simulator events per wake); at 100k nodes that is the entire
+// simulation cost. But the cycle's *energy* is the same every time, so an
+// idle-through-wake period integrates in closed form:
+//
+//   E(t0, t1) = sleep_power * (t1 - t0) + cycles_in(t0, t1) * cycle_energy
+//
+// CycleProfile measures those constants once by running one scalar node
+// for two wake cycles (calibration is exact for the behavioral model: the
+// difference of two runs cancels the boot transient), and the fleet
+// kernel then steps every node in O(1) per wake instead of O(events).
+//
+// HarvestIntegral does the same for the shaker->rectifier charging path:
+// the behavioral estimate is a per-window average current that depends
+// only on the drive profile and the (nearly constant) battery OCV, so one
+// precomputed cumulative grid serves every node sharing the profile.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/node.hpp"
+
+namespace pico::fleet {
+
+// Calibrated constants of one behavioral beacon cycle. All energies are
+// battery-referred (what PowerAccountant bills), so kernel totals are
+// directly comparable to PicoCubeNode::report().
+struct CycleProfile {
+  double sleep_power_w = 0.0;    // deep-sleep battery power (the floor)
+  double cycle_energy_j = 0.0;   // per wake cycle, above the floor
+  double cycle_duration_s = 0.0; // interrupt -> back in LPM3
+  double tx_offset_s = 0.0;      // interrupt -> occupied air starts
+  double airtime_s = 0.0;        // startup chirp + frame bits
+  std::size_t frame_bytes = 0;   // encoded beacon frame length
+  std::size_t decode_bits = 0;   // bits past the preamble: any flip kills CRC
+  std::size_t payload_bits = 0;  // delivered payload per decoded frame
+  double battery_ocv_v = 0.0;    // OCV at the configured initial SoC
+  double battery_budget_j = 0.0; // usable energy at the initial SoC
+
+  // Run one scalar node (beacon mode, no harvester, no faults) for two
+  // wake cycles and extract the constants. Deterministic: pure function
+  // of the config. The config's sample_interval is the calibration
+  // period; the constants are interval-independent.
+  [[nodiscard]] static CycleProfile calibrate(const core::NodeConfig& cfg);
+};
+
+// Cumulative charge delivered by the behavioral shaker->rectifier path,
+// on the same per-window grid the scalar node uses (NodeConfig's
+// harvest_update window, 2048-sample rectify per window, battery at its
+// initial OCV). charge_between is O(1) per query.
+class HarvestIntegral {
+ public:
+  HarvestIntegral() = default;
+  // Precompute windows covering [0, horizon_s). Uses cfg's drive profile,
+  // power version (rectifier topology) and initial SoC.
+  HarvestIntegral(const core::NodeConfig& cfg, double horizon_s);
+
+  [[nodiscard]] bool empty() const { return cum_.empty(); }
+  // Integral of the charging current over [t0, t1] in coulombs (no
+  // derating applied; the caller scales faulted windows).
+  [[nodiscard]] double charge_between(double t0, double t1) const;
+
+ private:
+  double window_s_ = 1.0;
+  // cum_[k] = charge delivered in windows [0, k); size = windows + 1.
+  std::vector<double> cum_;
+};
+
+}  // namespace pico::fleet

@@ -26,6 +26,12 @@ BaseStation::BaseStation(sim::Simulator& sim, Params p)
   PICO_REQUIRE(prm_.ack_chip_rate.value() > 0.0, "ack chip rate must be positive");
 }
 
+void BaseStation::reserve_ports(std::size_t nodes) {
+  ports_.reserve(nodes);
+  // Worst case every port has one frame inside the prune horizon.
+  on_air_.reserve(std::max<std::size_t>(64, nodes));
+}
+
 int BaseStation::attach_node(radio::Channel uplink, radio::Channel downlink,
                              AckSink on_ack) {
   Port port{std::move(uplink), std::move(downlink), std::move(on_ack),

@@ -78,6 +78,11 @@ class BaseStation {
   using AckSink = std::function<void(double /*rx_dbm*/)>;
   int attach_node(radio::Channel uplink, radio::Channel downlink, AckSink on_ack);
 
+  // Pre-size the port table and the on-air window for a fleet of `nodes`
+  // attached ports, so fleet bring-up and frame bursts don't reallocate
+  // mid-run. Call before the attach loop.
+  void reserve_ports(std::size_t nodes);
+
   // Medium events, from the node transmitter's listeners. `frame_started`
   // must fire for every frame that occupies air (including ones that
   // later fade — they still jam); `frame_completed` only for frames that

@@ -37,14 +37,18 @@ Duration RadioRailSequencer::total_startup_time() const {
 
 void RadioRailSequencer::power_up(std::function<void()> on_ready) {
   const std::uint64_t gen = ++sequence_generation_;
+  on_ready_ = std::move(on_ready);
   input_gate_.set_on(true);
   sim_.schedule_in(prm_.input_to_output_delay, [this, gen] {
     if (gen != sequence_generation_) return;  // superseded by a power-down
     output_gate_.set_on(true);
   });
-  sim_.schedule_in(total_startup_time(), [this, gen, cb = std::move(on_ready)] {
+  sim_.schedule_in(total_startup_time(), [this, gen] {
     if (gen != sequence_generation_) return;
     rail_good_ = true;
+    // Move out first: the callback may start the next sequence.
+    auto cb = std::move(on_ready_);
+    on_ready_ = nullptr;
     if (cb) cb();
   });
 }

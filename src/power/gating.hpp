@@ -74,6 +74,10 @@ class RadioRailSequencer {
   PowerGate output_gate_;
   bool rail_good_ = false;
   std::uint64_t sequence_generation_ = 0;  // cancels stale power-up chains
+  // Parked ready-callback for the in-flight sequence: the timer closures
+  // then capture only (this, gen) and stay inside std::function's
+  // small-object buffer — no heap traffic per radio wake.
+  std::function<void()> on_ready_;
 };
 
 }  // namespace pico::power

@@ -36,8 +36,14 @@ std::size_t PacketCodec::frame_bytes(const Packet& p) const {
 }
 
 std::vector<std::uint8_t> PacketCodec::encode(const Packet& p) const {
-  PICO_REQUIRE(p.payload.size() <= prm_.max_payload, "payload exceeds max length");
   std::vector<std::uint8_t> out;
+  encode_into(p, out);
+  return out;
+}
+
+void PacketCodec::encode_into(const Packet& p, std::vector<std::uint8_t>& out) const {
+  PICO_REQUIRE(p.payload.size() <= prm_.max_payload, "payload exceeds max length");
+  out.clear();
   out.reserve(frame_bytes(p));
   for (std::size_t i = 0; i < prm_.preamble_bytes; ++i) out.push_back(0xAA);
   out.push_back(static_cast<std::uint8_t>(prm_.sync_word >> 8));
@@ -50,7 +56,6 @@ std::vector<std::uint8_t> PacketCodec::encode(const Packet& p) const {
   const std::uint16_t crc = crc16_ccitt(out.data() + body_start, out.size() - body_start);
   out.push_back(static_cast<std::uint8_t>(crc >> 8));
   out.push_back(static_cast<std::uint8_t>(crc & 0xFF));
-  return out;
 }
 
 std::optional<Packet> PacketCodec::decode(const std::vector<std::uint8_t>& frame) const {
@@ -126,12 +131,17 @@ std::uint16_t clamp_u16(double x) {
 
 std::vector<std::uint8_t> encode_tpms_payload(const sensors::TpmsSample& s) {
   std::vector<std::uint8_t> p;
-  p.reserve(8);
-  push_u16(p, clamp_u16(s.pressure.value() / 100.0));            // 0.1 kPa units
-  push_u16(p, clamp_u16((s.temperature.value() - 200.0) * 100)); // cK above 200 K
-  push_u16(p, clamp_u16(s.accel.value() * 10.0));                // 0.1 m/s^2 units
-  push_u16(p, clamp_u16(s.supply.value() * 1000.0));             // mV
+  encode_tpms_payload_into(s, p);
   return p;
+}
+
+void encode_tpms_payload_into(const sensors::TpmsSample& s, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(8);
+  push_u16(out, clamp_u16(s.pressure.value() / 100.0));            // 0.1 kPa units
+  push_u16(out, clamp_u16((s.temperature.value() - 200.0) * 100)); // cK above 200 K
+  push_u16(out, clamp_u16(s.accel.value() * 10.0));                // 0.1 m/s^2 units
+  push_u16(out, clamp_u16(s.supply.value() * 1000.0));             // mV
 }
 
 std::optional<sensors::TpmsSample> decode_tpms_payload(const std::vector<std::uint8_t>& p) {

@@ -42,6 +42,10 @@ class PacketCodec {
 
   // Full frame: preamble | sync | len | id | seq | payload | crc16.
   [[nodiscard]] std::vector<std::uint8_t> encode(const Packet& p) const;
+  // Same frame encoded into a caller-owned buffer (cleared first). The
+  // node's firmware reuses one buffer per cycle so steady-state wake
+  // cycles never touch the heap.
+  void encode_into(const Packet& p, std::vector<std::uint8_t>& out) const;
   // Scan for sync, validate length and CRC. nullopt on any corruption.
   [[nodiscard]] std::optional<Packet> decode(const std::vector<std::uint8_t>& frame) const;
 
@@ -64,6 +68,7 @@ std::size_t popcount(const std::vector<std::uint8_t>& bytes);
 // TPMS sample: kPa*10 (u16) | centi-kelvin above 200 K (u16) | accel dm/s^2
 // (u16) | supply mV (u16).
 std::vector<std::uint8_t> encode_tpms_payload(const sensors::TpmsSample& s);
+void encode_tpms_payload_into(const sensors::TpmsSample& s, std::vector<std::uint8_t>& out);
 std::optional<sensors::TpmsSample> decode_tpms_payload(const std::vector<std::uint8_t>& p);
 
 // Accelerometer sample: x, y, z in mg as signed 16-bit.

@@ -35,11 +35,17 @@ Duration FbarOokTransmitter::airtime(std::size_t frame_bytes, Frequency rate) co
 void FbarOokTransmitter::set_rf_rail(Voltage v) {
   rf_rail_ = v;
   if (rf_rail_.value() < prm_.rf_supply.value() * 0.9 && busy_) {
-    // Rail collapsed mid-frame: abort (failure surfaces via the done cb of
-    // the pending transmit through the generation check).
+    // Rail collapsed mid-frame: abort. The pending byte ticker sees the
+    // generation bump and goes quiet; the failure still surfaces at the
+    // frame's original completion time, as it did when the completion event
+    // was pre-scheduled.
     ++tx_generation_;
     busy_ = false;
     set_rf_current(0.0);
+    if (done_) {
+      sim_.schedule_at(tx_end_, [done = std::move(done_)] { done(false); });
+      done_ = nullptr;
+    }
   }
 }
 
@@ -109,45 +115,62 @@ void FbarOokTransmitter::transmit(const std::vector<std::uint8_t>& frame, Freque
   set_rf_current(osc_.params().core_current.value());
 
   // The occupied-air interval starts now: the startup chirp jams the
-  // channel before the first data bit.
-  const RfFrame rf{sim_.now(), osc_.startup_time(), rate, prm_.tx_power, frame};
-  if (frame_start_listener_) frame_start_listener_(rf);
-  const double byte_time = 8.0 / rate.value();
-  const double i_on = carrier_on_current().value();
+  // channel before the first data bit. The frame object is a pooled member:
+  // assign() reuses its byte capacity, and the done callback parks in a
+  // member slot, so a steady-state frame performs no heap allocations.
+  cur_frame_.start = sim_.now();
+  cur_frame_.startup = osc_.startup_time();
+  cur_frame_.data_rate = rate;
+  cur_frame_.tx_power = prm_.tx_power;
+  cur_frame_.bytes.assign(frame.begin(), frame.end());
+  done_ = std::move(done);
+  tx_start_ = sim_.now();
+  byte_time_s_ = 8.0 / rate.value();
+  i_on_ = carrier_on_current().value();
+  tx_byte_ = 0;
+  tx_end_ = Duration{tx_start_.value() + osc_.startup_time().value() +
+                     static_cast<double>(cur_frame_.bytes.size()) * byte_time_s_};
+  if (frame_start_listener_) frame_start_listener_(cur_frame_);
+  schedule_byte_tick(gen, 0);
+}
 
-  // Schedule per-byte current updates after startup.
-  for (std::size_t k = 0; k < frame.size(); ++k) {
-    const Duration at{osc_.startup_time().value() + static_cast<double>(k) * byte_time};
-    const std::uint8_t byte = frame[k];
-    sim_.schedule_in(at, [this, gen, byte, i_on] {
-      if (gen != tx_generation_) return;
-      int ones = 0;
-      for (int b = 0; b < 8; ++b) ones += (byte >> b) & 1;
-      const double duty = ones / 8.0;
-      set_rf_current(osc_.params().core_current.value() + i_on * duty);
-    });
+void FbarOokTransmitter::schedule_byte_tick(std::uint64_t gen, std::size_t k) {
+  // Same float grouping as the old pre-scheduled form (startup + k*T added
+  // to the frame start), so event timestamps are bit-identical.
+  const double off = osc_.startup_time().value() + static_cast<double>(k) * byte_time_s_;
+  sim_.schedule_at(Duration{tx_start_.value() + off}, [this, gen] { byte_tick(gen); });
+}
+
+void FbarOokTransmitter::byte_tick(std::uint64_t gen) {
+  if (gen != tx_generation_) return;  // aborted; set_rf_rail owns the failure
+  const std::size_t k = tx_byte_++;
+  if (k < cur_frame_.bytes.size()) {
+    const std::uint8_t byte = cur_frame_.bytes[k];
+    int ones = 0;
+    for (int b = 0; b < 8; ++b) ones += (byte >> b) & 1;
+    const double duty = ones / 8.0;
+    set_rf_current(osc_.params().core_current.value() + i_on_ * duty);
+    schedule_byte_tick(gen, k + 1);
+    return;
   }
-  const Duration total{osc_.startup_time().value() +
-                       static_cast<double>(frame.size()) * byte_time};
-  sim_.schedule_in(total, [this, gen, rf, done] {
-    if (gen != tx_generation_) {
-      if (done) done(false);  // aborted by a rail drop
-      return;
-    }
-    busy_ = false;
-    ++frames_sent_;
-    set_rf_current(0.0);
-    // Channel-fade fault: the frame was transmitted in full (energy spent)
-    // but faded on air. Guarding the draw keeps nominal RNG sequences
-    // untouched.
-    if (frame_loss_ > 0.0 && rng_.chance(frame_loss_)) {
-      ++frames_lost_;
-      if (done) done(false);
-      return;
-    }
-    if (frame_listener_) frame_listener_(rf);
-    if (done) done(true);
-  });
+  // One past the last byte: frame complete.
+  busy_ = false;
+  ++frames_sent_;
+  set_rf_current(0.0);
+  // Move the callback out first: done() may start the next transmit (ARQ
+  // retry), which repopulates the member slot.
+  DoneFn done = std::move(done_);
+  done_ = nullptr;
+  // Channel-fade fault: the frame was transmitted in full (energy spent)
+  // but faded on air. Guarding the draw keeps nominal RNG sequences
+  // untouched.
+  if (frame_loss_ > 0.0 && rng_.chance(frame_loss_)) {
+    ++frames_lost_;
+    if (done) done(false);
+    return;
+  }
+  if (frame_listener_) frame_listener_(cur_frame_);
+  if (done) done(true);
 }
 
 }  // namespace pico::radio

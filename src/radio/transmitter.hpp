@@ -107,7 +107,14 @@ class FbarOokTransmitter {
 
  private:
   void set_rf_current(double amps);
-  void finish(bool ok, DoneFn& done);
+  // Self-advancing byte ticker: tick k sets the RF current for byte k and
+  // schedules tick k+1; tick N (one past the last byte) completes the
+  // frame. Each tick's closure captures only (this, gen) — 16 bytes, inside
+  // std::function's small-object buffer — so a steady-state frame costs no
+  // heap allocations (the frame bytes and the done callback live in pooled
+  // members).
+  void schedule_byte_tick(std::uint64_t gen, std::size_t k);
+  void byte_tick(std::uint64_t gen);
 
   sim::Simulator& sim_;
   FbarOscillator osc_;
@@ -124,6 +131,14 @@ class FbarOokTransmitter {
   std::uint64_t tx_generation_ = 0;
   double frame_loss_ = 0.0;
   Rng rng_{0xF00DF00D};
+  // In-flight frame state, reused across transmissions.
+  RfFrame cur_frame_{};
+  DoneFn done_;
+  Duration tx_start_{};
+  Duration tx_end_{};
+  double byte_time_s_ = 0.0;
+  double i_on_ = 0.0;
+  std::size_t tx_byte_ = 0;
 };
 
 }  // namespace pico::radio

@@ -37,22 +37,28 @@ void Sp12Tpms::measure(mcu::Msp430& cpu, std::function<void(const TpmsSample&)> 
   PICO_REQUIRE(powered(), "sensor must be powered to measure");
   PICO_REQUIRE(!converting_, "measurement already in progress");
   converting_ = true;
+  // Park the callback and (later) the sample in members: the scheduled
+  // closures then capture at most (this, &cpu) and fit std::function's
+  // small-object buffer instead of heap-allocating every wake cycle.
+  done_ = std::move(done);
   notify();
-  sim_.schedule_in(conversion_time(), [this, &cpu, cb = std::move(done)] {
+  sim_.schedule_in(conversion_time(), [this, &cpu] {
     converting_ = false;
     notify();
     if (!powered()) return;
     // Readout over SPI; the sample is timestamped at conversion end.
     const double t = sim_.now().value();
-    TpmsSample sample;
-    sample.timestamp = sim_.now();
-    sample.pressure = env_.pressure(t);
-    sample.temperature = env_.temperature(t);
-    sample.accel = env_.radial_accel(t);
-    sample.supply = vdd_;
-    cpu.spi_transfer(prm_.spi_frame_bytes, [this, cb, sample] {
+    sample_.timestamp = sim_.now();
+    sample_.pressure = env_.pressure(t);
+    sample_.temperature = env_.temperature(t);
+    sample_.accel = env_.radial_accel(t);
+    sample_.supply = vdd_;
+    cpu.spi_transfer(prm_.spi_frame_bytes, [this] {
       ++samples_;
-      if (cb) cb(sample);
+      // Move out first: the callback chain may start the next measurement.
+      auto cb = std::move(done_);
+      done_ = nullptr;
+      if (cb) cb(sample_);
     });
   });
 }

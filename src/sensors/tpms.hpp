@@ -74,6 +74,9 @@ class Sp12Tpms {
   sim::EventId timer_id_ = 0;
   CurrentListener listener_;
   std::uint64_t samples_ = 0;
+  // In-flight measurement state (one outstanding measure at a time).
+  std::function<void(const TpmsSample&)> done_;
+  TpmsSample sample_{};
 };
 
 }  // namespace pico::sensors

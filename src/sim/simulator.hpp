@@ -8,13 +8,21 @@
 // Determinism: events at equal timestamps are dispatched in insertion
 // order (a monotonically increasing sequence number breaks ties), so the
 // same program always produces the same trace.
+//
+// Allocation behaviour: event bodies live in a pooled slot vector (free
+// list + per-slot generation counter, the generation folded into the
+// EventId), and the time-ordered queue is a plain binary heap over a
+// vector. Once the pools have grown to a run's working set — or were
+// `reserve()`d up front, as fleet scenarios do — scheduling an event whose
+// closure fits std::function's small-object buffer performs no heap
+// allocation at all (docs/PERFORMANCE.md, "Fleet scaling").
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/units.hpp"
 #include "obs/obs.hpp"
@@ -30,7 +38,7 @@ using EventId = std::uint64_t;
 
 class Simulator {
  public:
-  Simulator() { pending_.reserve(kPendingReserve); }
+  Simulator() { reserve(kDefaultReserve); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -48,6 +56,11 @@ class Simulator {
   // Schedule `fn` every `period`, first firing at now + period (or at
   // `first` if given). Returns the id of the *recurrence*, cancellable.
   EventId every(Duration period, EventFn fn, std::string label = {});
+
+  // Pre-size the event pools for `events` concurrently-live events. Fleet
+  // scenarios call this up front so steady-state scheduling never grows
+  // (and never re-heap-allocates) the queue.
+  void reserve(std::size_t events);
 
   // Run until the event queue is empty or `until` is reached; time advances
   // to `until` even if the queue drains earlier.
@@ -95,24 +108,43 @@ class Simulator {
     }
   };
 
-  struct Pending {
+  // Pooled event body. A slot is reused after its event fires or is
+  // cancelled; `gen` (folded into the EventId) distinguishes the slot's
+  // successive tenants so stale heap entries are recognized as tombstones.
+  struct Slot {
     EventFn fn;
-    bool cancelled = false;
+    std::uint32_t gen = 0;
+    bool live = false;       // scheduled and not cancelled
+    bool cancelled = false;  // cancelled, heap entry not yet popped
     bool recurring = false;
     Duration period{};
   };
 
-  static constexpr std::size_t kPendingReserve = 64;
+  static constexpr std::size_t kDefaultReserve = 64;
 
+  [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+  [[nodiscard]] static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFULL);
+  }
+  [[nodiscard]] static std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  // Pop the earliest (at, seq) heap entry.
+  Event pop_heap_entry();
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  // Valid live slot for `id`, or nullptr if fired/cancelled/reused.
+  Slot* find(EventId id);
   void dispatch(const Event& ev);
-  void remove_pending(std::unordered_map<EventId, Pending>::iterator it);
 
   Duration now_{0.0};
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event> queue_;
-  // Pending bodies keyed by id; erased on dispatch/cancel.
-  std::unordered_map<EventId, Pending> pending_;
+  std::vector<Event> heap_;         // binary min-heap via std::push/pop_heap
+  std::vector<Slot> slots_;         // pooled event bodies
+  std::vector<std::uint32_t> free_slots_;
   // Side map for the rare labelled event; empty when no labels are used.
   std::unordered_map<EventId, std::string> labels_;
   std::uint64_t dispatched_ = 0;

@@ -1,0 +1,294 @@
+// Tests for the sharded fleet engine: cycle-kernel calibration against the
+// scalar behavioral node, collision physics against the shared-medium
+// fleet and the ALOHA closed form, bit-identical results across shard and
+// thread counts, and the allocation-free steady-state contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/fleet.hpp"
+#include "core/node.hpp"
+#include "fleet/domain.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/kernel.hpp"
+
+// --- Global allocation counter ----------------------------------------------
+// Counts every path through the replaceable global operator new, so a test
+// can assert that a steady-state loop performs zero heap allocations.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pico::fleet {
+namespace {
+
+// --- Cycle-kernel calibration -----------------------------------------------
+
+TEST(CycleProfileTest, CalibratesSaneBeaconCycle) {
+  core::NodeConfig nc;
+  const CycleProfile p = CycleProfile::calibrate(nc);
+  // The paper's sleep floor is single-digit microwatts; the wake cycle
+  // costs microjoules (sensor + CPU + a ~1 ms OOK frame).
+  EXPECT_GT(p.sleep_power_w, 1e-7);
+  EXPECT_LT(p.sleep_power_w, 1e-4);
+  EXPECT_GT(p.cycle_energy_j, 1e-8);
+  EXPECT_LT(p.cycle_energy_j, 1e-3);
+  EXPECT_GT(p.airtime_s, 1e-5);
+  EXPECT_LT(p.airtime_s, 1e-2);
+  EXPECT_GT(p.tx_offset_s, 0.0);
+  EXPECT_LT(p.tx_offset_s, 1.0);
+  EXPECT_GT(p.frame_bytes, 0u);
+  EXPECT_GT(p.decode_bits, p.payload_bits);
+  EXPECT_GT(p.battery_budget_j, 0.0);
+}
+
+TEST(CycleProfileTest, KernelEnergyMatchesScalarNode) {
+  // One node, no harvest: kernel total = floor * T + cycles * cycle
+  // energy must track the scalar behavioral node's energy ledger.
+  core::NodeConfig nc;
+  const double kSimTime = 61.0;
+  const CycleProfile p = CycleProfile::calibrate(nc);
+
+  core::PicoCubeNode node(nc);
+  std::uint64_t frames = 0;
+  node.set_frame_listener([&](const radio::RfFrame&) { ++frames; });
+  node.run(Duration{kSimTime});
+  const double scalar_out = node.report().battery_energy_out.value();
+
+  const double kernel_out =
+      p.sleep_power_w * kSimTime + static_cast<double>(frames) * p.cycle_energy_j;
+  EXPECT_NEAR(kernel_out, scalar_out, 0.02 * scalar_out);
+}
+
+TEST(HarvestIntegralTest, ChargeMatchesWindowSums) {
+  core::NodeConfig nc;
+  const HarvestIntegral h(nc, 30.0);
+  ASSERT_FALSE(h.empty());
+  // Whole-horizon charge decomposes over any split point.
+  const double total = h.charge_between(0.0, 30.0);
+  EXPECT_GT(total, 0.0);
+  for (double split : {1.0, 7.5, 12.0, 29.0}) {
+    EXPECT_NEAR(h.charge_between(0.0, split) + h.charge_between(split, 30.0), total,
+                1e-12 * std::max(1.0, total));
+  }
+  // Out-of-range queries clamp instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.charge_between(-5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.charge_between(30.0, 40.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.charge_between(8.0, 3.0), 0.0);
+}
+
+// --- Physics against the scalar shared medium -------------------------------
+
+core::FleetConfig comparison_config(int nodes, double sim_s) {
+  core::FleetConfig cfg;
+  cfg.nodes = nodes;
+  cfg.sim_time = Duration{sim_s};
+  cfg.medium = core::FleetConfig::Medium::kShared;
+  return cfg;
+}
+
+TEST(ShardedEngineTest, MatchesSharedMediumFrameAndCollisionCounts) {
+  // Same interval draws, same firmware timing, same capture rule: the
+  // sharded engine at one domain must reproduce the shared-timeline
+  // frame/collision/delivery counts (decode draws differ, but at 1 m the
+  // bit-error rate is numerically zero).
+  const core::FleetConfig cfg = comparison_config(24, 247.0);
+  const core::FleetResult shared = core::FleetAnalysis::run(cfg);
+
+  const FleetSpec spec = spec_from_fleet_config(cfg);
+  const FleetMetrics m = ShardedFleetEngine::run(spec);
+
+  EXPECT_EQ(m.frames_on_air, shared.frames_total);
+  EXPECT_EQ(m.collided, shared.frames_collided);
+  EXPECT_EQ(m.delivered, shared.frames_delivered);
+  EXPECT_EQ(m.delivered_payload_bits, shared.delivered_payload_bits);
+  EXPECT_EQ(m.below_squelch, 0u);
+  EXPECT_EQ(m.frames_lost, 0u);
+  EXPECT_EQ(m.edge_exports, 0u);  // single domain: no boundaries
+}
+
+TEST(ShardedEngineTest, CollisionRateTracksAlohaPrediction) {
+  FleetSpec spec;
+  spec.nodes = 128;
+  spec.domains = 1;
+  spec.fixed_distance_m = 1.0;
+  spec.sim_time_s = 600.0;
+  const FleetMetrics m = ShardedFleetEngine::run(spec);
+  ASSERT_GT(m.frames_on_air, 10000u);
+  EXPECT_GT(m.collision_rate, 0.0);
+  // Statistical agreement with 1 - exp(-2 (N-1) tau / T). Periodic
+  // beacons are not Poisson arrivals — near-equal periods collide in
+  // correlated streaks — so the observed rate runs somewhat above the
+  // closed form; a factor-of-two band still catches broken physics.
+  EXPECT_GT(m.collision_rate, 0.5 * m.aloha_prediction);
+  EXPECT_LT(m.collision_rate, 2.0 * m.aloha_prediction);
+}
+
+TEST(ShardedEngineTest, CrossDomainInterferenceIsCounted) {
+  FleetSpec base;
+  base.nodes = 256;
+  base.domains = 4;
+  base.cell_m = 8.0;
+  base.sim_time_s = 120.0;
+  base.interference_margin_m = 0.0;  // domains fully isolated
+  const FleetMetrics isolated = ShardedFleetEngine::run(base);
+
+  FleetSpec coupled = base;
+  coupled.interference_margin_m = 4.0;  // every node exports to a neighbor
+  const FleetMetrics m = ShardedFleetEngine::run(coupled);
+
+  EXPECT_EQ(isolated.edge_exports, 0u);
+  EXPECT_GT(m.edge_exports, 0u);
+  // Same fleet, same frames — the margin only adds interference.
+  EXPECT_EQ(m.frames_on_air, isolated.frames_on_air);
+  EXPECT_GE(m.collided, isolated.collided);
+}
+
+// --- Determinism ------------------------------------------------------------
+
+TEST(ShardedEngineTest, BitIdenticalAcrossShardAndThreadCounts) {
+  FleetSpec spec;
+  spec.nodes = 2000;
+  spec.domains = 16;
+  spec.sim_time_s = 120.0;
+  spec.epoch_s = 17.0;  // epochs that don't divide the sim time
+  std::vector<std::uint64_t> prints;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    for (unsigned threads : {1u, 8u}) {
+      FleetSpec s = spec;
+      s.shards = shards;
+      s.threads = threads;
+      const FleetMetrics m = ShardedFleetEngine::run(s);
+      EXPECT_GT(m.delivered, 0u);
+      prints.push_back(m.fingerprint());
+    }
+  }
+  for (std::size_t i = 1; i < prints.size(); ++i) EXPECT_EQ(prints[i], prints[0]);
+}
+
+TEST(ShardedEngineTest, FingerprintSensitiveToSeed) {
+  FleetSpec spec;
+  spec.nodes = 64;
+  spec.domains = 2;
+  spec.sim_time_s = 60.0;
+  const std::uint64_t a = ShardedFleetEngine::run(spec).fingerprint();
+  spec.seed += 1;
+  const std::uint64_t b = ShardedFleetEngine::run(spec).fingerprint();
+  EXPECT_NE(a, b);
+}
+
+TEST(ShardedEngineTest, FaultSubsetStaysDeterministicAndEffective) {
+  FleetSpec spec;
+  spec.nodes = 200;
+  spec.domains = 4;
+  spec.sim_time_s = 120.0;
+  spec.attach_harvester = true;
+  spec.faults.channel_loss(30.0, 30.0, 1.0).harvester_derate(10.0, 50.0, 0.25);
+  FleetMetrics a;
+  std::uint64_t print_b = 0;
+  {
+    FleetSpec s = spec;
+    s.shards = 1;
+    s.threads = 1;
+    a = ShardedFleetEngine::run(s);
+  }
+  {
+    FleetSpec s = spec;
+    s.shards = 4;
+    s.threads = 8;
+    print_b = ShardedFleetEngine::run(s).fingerprint();
+  }
+  EXPECT_EQ(a.fingerprint(), print_b);
+  // A 30 s total fade in a 120 s run loses roughly a quarter of frames.
+  EXPECT_GT(a.frames_lost, a.frames_on_air / 8);
+  EXPECT_LT(a.frames_lost, a.frames_on_air / 2);
+  // The derate window cuts harvested energy versus the un-faulted run.
+  FleetSpec clean = spec;
+  clean.faults = {};
+  const FleetMetrics c = ShardedFleetEngine::run(clean);
+  EXPECT_GT(c.energy_in_j, a.energy_in_j);
+  EXPECT_EQ(c.frames_lost, 0u);
+}
+
+// --- Guard rails ------------------------------------------------------------
+
+TEST(ShardedEngineTest, RejectsArqAndUnsupportedFaults) {
+  FleetSpec arq;
+  arq.node.link.mode = core::NodeConfig::Link::Mode::kArq;
+  EXPECT_THROW((void)ShardedFleetEngine::run(arq), DesignError);
+
+  FleetSpec glitch;
+  glitch.nodes = 2;
+  glitch.sim_time_s = 10.0;
+  glitch.faults.supply_glitch(1.0, 0.5, 1e-3);
+  EXPECT_THROW((void)ShardedFleetEngine::run(glitch), DesignError);
+
+  core::FleetConfig cfg;
+  cfg.arq = true;
+  EXPECT_THROW((void)spec_from_fleet_config(cfg), DesignError);
+}
+
+// --- Allocation-free steady state -------------------------------------------
+
+TEST(DomainTest, SteadyStateEpochLoopDoesNotAllocate) {
+  KernelModel m;
+  m.profile.sleep_power_w = 5e-6;
+  m.profile.cycle_energy_j = 2e-6;
+  m.profile.cycle_duration_s = 0.05;
+  m.profile.tx_offset_s = 0.04;
+  m.profile.airtime_s = 1e-3;
+  m.profile.frame_bytes = 19;
+  m.profile.decode_bits = 120;
+  m.profile.payload_bits = 64;
+  m.profile.battery_ocv_v = 1.25;
+  m.profile.battery_budget_j = 50.0;
+  m.sim_time_s = 1e9;  // never truncate frames in this test
+  m.path_loss_1m = 6000.0;
+  m.eirp_gain = 2.0;
+  m.noise_w = 2e-14;
+  m.sensitivity_w = 1e-11;
+  m.max_airtime_s = m.profile.airtime_s;
+
+  Domain d;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const double interval = 0.9 + 0.01 * static_cast<double>(i);
+    d.add_node(i, interval, interval, Rng::stream(17, i), 1.0 + 0.1 * i, -1.0, -1.0);
+  }
+  d.reserve_scratch(10.0, 0.9);
+
+  // Warm up one epoch (first sort growth, lazy libstdc++ bits), then the
+  // steady-state loop must be allocation-free.
+  double t = 0.0;
+  const auto epoch = [&] {
+    d.advance(t + 10.0, m);
+    d.resolve(t + 10.0, m);
+    t += 10.0;
+  };
+  epoch();
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int k = 0; k < 20; ++k) epoch();
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_GT(d.counters().wake_cycles, 1000u);
+  EXPECT_GT(d.counters().delivered, 0u);
+}
+
+}  // namespace
+}  // namespace pico::fleet

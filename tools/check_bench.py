@@ -90,6 +90,9 @@ def main():
                          % DEFAULT_TOLERANCE)
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline entry from this run")
+    ap.add_argument("--record-missing", action="store_true",
+                    help="if the baseline entry does not exist yet, record it "
+                         "from this run and exit 0 (first-run bootstrap)")
     args = ap.parse_args()
 
     if args.bench:
@@ -122,6 +125,16 @@ def main():
         return 0
 
     if args.name not in baseline:
+        if args.record_missing:
+            entry = baseline.setdefault(args.name, {})
+            entry.setdefault("tolerance", args.tolerance or DEFAULT_TOLERANCE)
+            entry["values"] = current
+            with open(args.baseline, "w") as f:
+                json.dump(baseline, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"warning: no baseline entry '{args.name}' — recorded "
+                  f"{len(current)} value(s) from this run")
+            return 0
         print(f"error: no baseline entry '{args.name}' in {args.baseline} "
               f"(run with --update to record one)")
         return 1
