@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
     core::FleetConfig c;
     c.nodes = n;
     c.sim_time = Duration{1800.0};
+    auto sweep_span = io.span("fleet_collisions.sweep.n" + std::to_string(n));
     const auto r = fleet::ShardedFleetEngine::run(fleet::spec_from_fleet_config(c));
     scale.add_row({std::to_string(n), pct(r.collision_rate, 2), pct(r.aloha_prediction, 2)});
     xs.push_back(n);
@@ -68,7 +69,22 @@ int main(int argc, char** argv) {
   xc.sim_time = Duration{900.0};
   xc.medium = core::FleetConfig::Medium::kShared;
   const auto shared = core::FleetAnalysis::run(xc);
-  const auto sharded = fleet::ShardedFleetEngine::run(fleet::spec_from_fleet_config(xc));
+  // The telemetry-instrumented run: series/flight/sim-time spans land on
+  // the cross-validation fleet (the one whose numbers the checks gate).
+  const auto sharded =
+      fleet::ShardedFleetEngine::run(fleet::spec_from_fleet_config(xc), io.telemetry());
+
+  if (obs::TelemetrySession* s = io.telemetry()) {
+    s->manifest().set_seed(xc.seed);
+    s->manifest().set("nodes", static_cast<std::uint64_t>(xc.nodes));
+    s->manifest().set("sim_time_s", xc.sim_time.value());
+    sharded.publish_metrics(s->metrics());
+  }
+
+  io.metric("four_wheel_collision_rate", four.collision_rate);
+  io.metric("collision_rate_at_32", measured_at_32);
+  io.metric("crossval_frames_on_air", static_cast<double>(sharded.frames_on_air));
+  io.metric("crossval_collided", static_cast<double>(sharded.collided));
 
   bench::PaperCheck check("E15 / fleet collisions");
   check.add_text("four-wheel collision rate is negligible", "< 0.5%",

@@ -31,6 +31,22 @@ int main(int argc, char** argv) {
   bench::BenchIo io("fleet_scale", argc, argv);
   bench::heading("E17", "sharded fleet engine: 100k-node highway TPMS");
 
+  // --storm: open a dense burst of channel-loss windows mid-run — enough
+  // kFaultActive events inside one sim-second to trip the flight
+  // recorder's fault-storm detector (a live post-mortem demo; also what
+  // the soak lane uses to regression-test the dump path).
+  bool storm = false;
+  // --epoch=<s>: force the epoch step (default 30 s). The closed-form
+  // kernel makes any epoch longer than two airtimes exact, so this only
+  // moves the barrier cadence — useful to isolate instrumentation overhead
+  // from the extra barriers a fine --series-dt cadence implies.
+  double epoch_s = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--storm") storm = true;
+    if (a.rfind("--epoch=", 0) == 0) epoch_s = std::strtod(a.c_str() + 8, nullptr);
+  }
+
   // --- Reference: the shared-timeline medium -------------------------------
   // Same physics (every link at 1 m, beacon mode), small enough to finish:
   // its throughput in node-sim-seconds per wall second is the yardstick.
@@ -50,8 +66,23 @@ int main(int argc, char** argv) {
   spec.sim_time_s = 60.0;
   spec.domains = 1000;  // 8 km of 8 m cells, ~100 nodes per gateway
   spec.randomize_phase = true;  // mature deployment: phases decorrelated
+  if (epoch_s > 0.0) spec.epoch_s = epoch_s;
+  if (storm) {
+    // 20 overlapping loss windows opening over 0.5 s: a correlated-jam
+    // burst (16+ opens within 1 s trips the storm detector).
+    for (int w = 0; w < 20; ++w) {
+      spec.faults.channel_loss(30.0 + 0.025 * w, 10.0, 0.5);
+    }
+  }
+  if (obs::TelemetrySession* s = io.telemetry()) {
+    s->manifest().set_seed(spec.seed);
+    s->manifest().set("nodes", static_cast<std::uint64_t>(spec.nodes));
+    s->manifest().set("domains", static_cast<std::uint64_t>(spec.domains));
+    s->manifest().set("sim_time_s", spec.sim_time_s);
+    s->manifest().set("storm", storm);
+  }
   const auto t_big = std::chrono::steady_clock::now();
-  const fleet::FleetMetrics big = fleet::ShardedFleetEngine::run(spec);
+  const fleet::FleetMetrics big = fleet::ShardedFleetEngine::run(spec, io.telemetry());
   const double big_wall_s = wall_seconds_since(t_big);
   const double big_rate = static_cast<double>(spec.nodes) * spec.sim_time_s / big_wall_s;
   const double speedup = big_rate / ref_rate;
@@ -81,6 +112,10 @@ int main(int argc, char** argv) {
   t.add_note("shared timeline: one event queue, every frame through one");
   t.add_note("receiver; sharded: per-domain closed-form kernel, epoch barrier");
   t.print(std::cout);
+
+  if (obs::TelemetrySession* s = io.telemetry()) {
+    big.publish_metrics(s->metrics());
+  }
 
   io.metric("nodes", static_cast<double>(big.nodes));
   io.metric("node_sim_s_per_wall_s", big_rate);

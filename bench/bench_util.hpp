@@ -126,16 +126,19 @@ class BenchIo {
   void metric(const std::string& key, double value) { metrics_.emplace_back(key, value); }
 
   // Print the check table, write the JSON summary if requested, flush
-  // telemetry artifacts. Returns the bench exit code (diverging rows).
+  // telemetry artifacts. Returns the bench exit code: diverging rows,
+  // plus 1 if a live golden-envelope check breached during the run.
   int finish(PaperCheck& check) {
     const int diverging = check.finish();
     if (!json_path_.empty()) write_json(check);
+    int rc = diverging;
     if (session_) {
       session_->manifest().set("bench", bench_);
       session_->manifest().set("diverging", diverging);
       session_->finish();
+      rc += session_->exit_code();
     }
-    return diverging;
+    return rc;
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string_view>
 
 #include "common/error.hpp"
 
@@ -104,6 +105,16 @@ JsonWriter& JsonWriter::value(bool v) {
 JsonWriter& JsonWriter::null() {
   separate(false);
   os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json_fragment) {
+  separate(false);
+  // Trim one trailing newline so spliced sub-documents (built with their
+  // own writer + '\n') don't break the surrounding layout.
+  std::string_view v = json_fragment;
+  while (!v.empty() && (v.back() == '\n' || v.back() == '\r')) v.remove_suffix(1);
+  os_ << v;
   return *this;
 }
 

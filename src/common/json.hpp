@@ -49,6 +49,10 @@ class JsonWriter {
   JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
   JsonWriter& value(bool v);
   JsonWriter& null();
+  // Splice a pre-rendered JSON value verbatim (e.g. a sub-document built
+  // by another writer). The fragment must be one complete JSON value; the
+  // caller owns its internal formatting.
+  JsonWriter& raw(const std::string& json_fragment);
 
   template <typename T>
   JsonWriter& kv(const std::string& k, const T& v) {

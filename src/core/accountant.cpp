@@ -1,6 +1,7 @@
 #include "core/accountant.hpp"
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace pico::core {
@@ -71,7 +72,16 @@ void PowerAccountant::integrate_to_now() {
   last_time_ = now;
   if (moved.hit_empty && !empty_signaled_) {
     empty_signaled_ = true;
-    if constexpr (obs::kEnabled) ++brownouts_;
+    // The brownout count is behavioral bookkeeping (at most one event per
+    // battery death), not instrumentation — it stays live in OFF builds so
+    // brownout_events() keeps its meaning; only the flight tap is gated.
+    ++brownouts_;
+    if constexpr (obs::kEnabled) {
+      if (flight_ != nullptr) {
+        flight_->push({now, obs::FlightEventKind::kBrownout, flight_node_, 0,
+                       energy_out_ - energy_in_});
+      }
+    }
     // Brown-out: the node drops its supplies. Fired only after the books
     // for this interval close — the callback's own set_current() calls
     // re-enter integrate_to_now(), which must see dt == 0.

@@ -21,6 +21,7 @@
 
 namespace pico::obs {
 class MetricsRegistry;
+class FlightRing;
 }
 
 namespace pico::core {
@@ -92,6 +93,13 @@ class PowerAccountant {
   // counters accumulate across accountants sharing a registry. No-op when
   // observability is compiled out.
   void publish_metrics(obs::MetricsRegistry& m, const std::string& prefix = "power") const;
+  // Flight-recorder tap: a kBrownout event (a = `node_id`, v = net energy
+  // deficit [J]) is pushed the instant the battery-empty latch fires.
+  // Null detaches. No-op when observability is compiled out.
+  void set_flight(obs::FlightRing* ring, std::uint32_t node_id) {
+    flight_ = ring;
+    flight_node_ = node_id;
+  }
 
  private:
   void integrate_to_now();
@@ -124,6 +132,8 @@ class PowerAccountant {
   bool empty_signaled_ = false;
   std::uint64_t intervals_ = 0;
   std::uint64_t brownouts_ = 0;
+  obs::FlightRing* flight_ = nullptr;
+  std::uint32_t flight_node_ = 0;
 };
 
 }  // namespace pico::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace pico::core {
@@ -222,6 +223,10 @@ void PicoCubeNode::boot() {
     fault_injector_ =
         std::make_unique<fault::FaultInjector>(sim_, cfg_.faults, std::move(hooks));
     fault_injector_->arm();
+    // Re-apply a pre-boot flight attachment (the injector did not exist yet).
+    if constexpr (obs::kEnabled) {
+      if (flight_recorder_ != nullptr) fault_injector_->set_flight(flight_recorder_);
+    }
   }
 }
 
@@ -413,6 +418,20 @@ NodeReport PicoCubeNode::report() const {
   r.management_overhead = accountant_.management_overhead();
   r.power_train = train_->name();
   return r;
+}
+
+void PicoCubeNode::attach_flight(obs::FlightRecorder* recorder, std::uint32_t node_id) {
+  if constexpr (obs::kEnabled) {
+    flight_recorder_ = recorder;
+    flight_node_id_ = node_id;
+    obs::FlightRing* ring = recorder != nullptr ? &recorder->ring(0) : nullptr;
+    accountant_.set_flight(ring, node_id);
+    if (link_) link_->set_flight(ring, node_id);
+    if (fault_injector_) fault_injector_->set_flight(recorder);
+  } else {
+    (void)recorder;
+    (void)node_id;
+  }
 }
 
 void PicoCubeNode::publish_metrics(obs::MetricsRegistry& m) const {

@@ -159,6 +159,13 @@ class PicoCubeNode {
   // are only counted. Call before boot().
   int attach_to_base_station(net::BaseStation& bs);
 
+  // Wire every flight-recorder tap this node owns into `recorder`:
+  // accountant brownouts and link-layer ARQ give-ups into ring 0 (tagged
+  // with `node_id`), fault-window opens into the recorder's storm
+  // detector. Call after construction (and after any link layer exists);
+  // null detaches. No-op when observability is compiled out.
+  void attach_flight(obs::FlightRecorder* recorder, std::uint32_t node_id = 0);
+
   // Link layer / own base station (null in beacon / external-BS runs).
   [[nodiscard]] net::LinkLayer* link_layer() { return link_.get(); }
   [[nodiscard]] const net::LinkLayer* link_layer() const { return link_.get(); }
@@ -242,6 +249,11 @@ class PicoCubeNode {
   // Fault injection (armed at boot when cfg_.faults is non-empty).
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   double harvest_derate_ = 1.0;  // combined harvester amplitude factor
+
+  // Flight-recorder attachment, remembered so a pre-boot attach_flight
+  // still reaches the boot-created fault injector.
+  obs::FlightRecorder* flight_recorder_ = nullptr;
+  std::uint32_t flight_node_id_ = 0;
 
   // Device ledger handles.
   DeviceId dev_mcu_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace pico::fault {
@@ -38,6 +39,14 @@ void FaultInjector::arm() {
 
 void FaultInjector::open_window(const FaultEvent& ev) {
   ++counters_.events_fired;
+  if constexpr (obs::kEnabled) {
+    if (flight_ != nullptr) {
+      flight_->record({sim_.now().value(), obs::FlightEventKind::kFaultActive,
+                       static_cast<std::uint32_t>(ev.kind),
+                       static_cast<std::uint32_t>(counters_.events_fired),
+                       ev.magnitude});
+    }
+  }
   switch (ev.kind) {
     case FaultKind::kHarvesterDerate:
       ++counters_.harvest_derates;

@@ -20,6 +20,7 @@
 
 namespace pico::obs {
 class MetricsRegistry;
+class FlightRecorder;
 }
 
 namespace pico::fault {
@@ -74,6 +75,12 @@ class FaultInjector {
   // observability is compiled out.
   void publish_metrics(obs::MetricsRegistry& m, const std::string& prefix = "fault") const;
 
+  // Flight-recorder tap: every window open records a kFaultActive event
+  // (a = fault kind, b = events fired so far, v = magnitude) through the
+  // recorder — which also feeds its fault-storm detector. Null detaches.
+  // No-op when observability is compiled out.
+  void set_flight(obs::FlightRecorder* recorder) { flight_ = recorder; }
+
  private:
   void open_window(const FaultEvent& ev);
   void close_window(const FaultEvent& ev);
@@ -83,6 +90,7 @@ class FaultInjector {
   FaultPlan plan_;
   FaultHooks hooks_;
   Counters counters_;
+  obs::FlightRecorder* flight_ = nullptr;
   bool armed_ = false;
   // Active window magnitudes per composable kind.
   std::vector<double> active_harvest_;

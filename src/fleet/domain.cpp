@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 
 namespace pico::fleet {
 
@@ -67,7 +68,8 @@ void Domain::reserve_scratch(double epoch_s, double min_interval_s) {
   inbox_.reserve(2 * frames);
 }
 
-void Domain::advance(double epoch_end_s, const KernelModel& m) {
+void Domain::advance(double epoch_end_s, const KernelModel& m,
+                     obs::FlightRing* flight) {
   outbox_left_.clear();
   outbox_right_.clear();
   const std::size_t n = nodes();
@@ -79,6 +81,7 @@ void Domain::advance(double epoch_end_s, const KernelModel& m) {
       ++cycles_[i];
       ++c_.wake_cycles;
       cycle_energy_j_[i] += m.profile.cycle_energy_j;
+      c_.cycle_energy_j += m.profile.cycle_energy_j;
 
       const double start = wake + m.profile.tx_offset_s;
       const double end = start + m.profile.airtime_s;
@@ -98,9 +101,18 @@ void Domain::advance(double epoch_end_s, const KernelModel& m) {
       const auto sq = seq_[i]++;
       if (start > m.sim_time_s) continue;  // run ends before the PA fires
 
-      pending_.push_back(Frame{start, end, m.rx_power_w(dist_own_m_[i]) * shadow, u,
-                               static_cast<std::uint32_t>(i), sq, lost});
+      const double p_rx = m.rx_power_w(dist_own_m_[i]) * shadow;
+      pending_.push_back(
+          Frame{start, end, p_rx, u, static_cast<std::uint32_t>(i), sq, lost});
       ++c_.frames_on_air;
+      if constexpr (obs::kEnabled) {
+        // Sampled on the cumulative count (frame 1, 1+N, 1+2N, ...): the
+        // subset is a pure function of the domain's frame sequence.
+        if (flight != nullptr &&
+            ((c_.frames_on_air - 1) & flight_tx_mask_) == 0) {
+          flight->push({start, obs::FlightEventKind::kFrameTx, global_id_[i], sq, p_rx});
+        }
+      }
       c_.airtime_s += m.profile.airtime_s;
       if (lost) ++c_.frames_lost;
       if (dist_left_m_[i] >= 0.0) {
@@ -117,7 +129,8 @@ void Domain::advance(double epoch_end_s, const KernelModel& m) {
   }
 }
 
-void Domain::resolve(double epoch_end_s, const KernelModel& m) {
+void Domain::resolve(double epoch_end_s, const KernelModel& m,
+                     obs::FlightRing* flight) {
   // Assemble this epoch's air picture: carried boundary records, every
   // pending own frame (lost frames still jam), and the imported edges.
   records_.clear();
@@ -160,6 +173,12 @@ void Domain::resolve(double epoch_end_s, const KernelModel& m) {
     if (interference_w > 0.0) {
       if (f.p_rx_w < interference_w * m.capture_ratio) {
         ++c_.collided;
+        if constexpr (obs::kEnabled) {
+          if (flight != nullptr) {
+            flight->push(
+                {f.end_s, obs::FlightEventKind::kCollision, gid, f.seq, interference_w});
+          }
+        }
         continue;
       }
       ++c_.captured;
@@ -206,7 +225,7 @@ void Domain::resolve(double epoch_end_s, const KernelModel& m) {
   inbox_.clear();
 }
 
-void Domain::finalize(const KernelModel& m) {
+void Domain::finalize(const KernelModel& m, obs::FlightRing* flight) {
   const std::size_t n = nodes();
   for (std::size_t i = 0; i < n; ++i) {
     const double t = m.sim_time_s;
@@ -217,6 +236,11 @@ void Domain::finalize(const KernelModel& m) {
     if (out - in > m.profile.battery_budget_j) {
       alive_[i] = 0;
       ++c_.nodes_dead;
+      if constexpr (obs::kEnabled) {
+        if (flight != nullptr) {
+          flight->push({t, obs::FlightEventKind::kBrownout, global_id_[i], 0, out - in});
+        }
+      }
     }
   }
 }

@@ -34,6 +34,10 @@
 #include "common/rng.hpp"
 #include "fleet/kernel.hpp"
 
+namespace pico::obs {
+class FlightRing;
+}
+
 namespace pico::fleet {
 
 // Constants shared by every domain: the calibrated cycle, the radio link
@@ -95,6 +99,9 @@ struct DomainCounters {
   double airtime_s = 0.0;
   double energy_out_j = 0.0;
   double energy_in_j = 0.0;
+  // Wake-cycle energy billed so far (advance-time view of energy_out_j,
+  // which is only final after finalize()): feeds the telemetry series.
+  double cycle_energy_j = 0.0;
 };
 
 class Domain {
@@ -118,12 +125,28 @@ class Domain {
   void reserve_scratch(double epoch_s, double min_interval_s);
 
   // Phase A: generate frames and bill cycle energy through `epoch_end_s`.
-  void advance(double epoch_end_s, const KernelModel& m);
-  // Phase B: resolve every own frame ending inside the epoch.
-  void resolve(double epoch_end_s, const KernelModel& m);
+  // `flight` (optional, single-writer: this domain's own ring) records
+  // kFrameTx events; events are a pure function of the simulation, so
+  // flight content is shard/thread-invariant too.
+  void advance(double epoch_end_s, const KernelModel& m,
+               obs::FlightRing* flight = nullptr);
+  // Record every 2^shift-th transmit into the flight ring (default every
+  // one). Sampling is keyed on the domain's cumulative frame count, so the
+  // recorded subset is itself shard/thread-invariant; rare, high-value
+  // events (collision, brownout) are never sampled. At 100k-node scale a
+  // per-frame event stream is the single largest telemetry cost, and a
+  // fixed-capacity ring holding 1-in-8 frames covers an 8x longer window.
+  void set_flight_tx_sample_shift(std::uint32_t shift) {
+    flight_tx_mask_ = (1u << shift) - 1u;
+  }
+  // Phase B: resolve every own frame ending inside the epoch (kCollision
+  // events into `flight`).
+  void resolve(double epoch_end_s, const KernelModel& m,
+               obs::FlightRing* flight = nullptr);
   // After the last epoch: bill sleep-floor and harvest energy, mark dead
-  // nodes. Deterministic per node; called once.
-  void finalize(const KernelModel& m);
+  // nodes (kBrownout events into `flight`). Deterministic per node;
+  // called once.
+  void finalize(const KernelModel& m, obs::FlightRing* flight = nullptr);
 
   [[nodiscard]] std::size_t nodes() const { return interval_s_.size(); }
   [[nodiscard]] const DomainCounters& counters() const { return c_; }
@@ -172,6 +195,7 @@ class Domain {
   std::vector<EdgeFrame> inbox_;
 
   DomainCounters c_;
+  std::uint32_t flight_tx_mask_ = 0;  // record tx when (count & mask) == 0
 };
 
 }  // namespace pico::fleet

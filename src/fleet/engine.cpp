@@ -6,7 +6,11 @@
 
 #include "common/error.hpp"
 #include "core/fleet.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/series.hpp"
+#include "obs/session.hpp"
+#include "obs/tracer.hpp"
 #include "radio/antenna.hpp"
 #include "runtime/parallel.hpp"
 
@@ -72,6 +76,22 @@ void FleetMetrics::publish_metrics(obs::MetricsRegistry& m,
 }
 
 FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec) {
+  return run(spec, FleetObsHooks{});
+}
+
+FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
+                                     obs::TelemetrySession* session) {
+  FleetObsHooks hooks;
+  if (session != nullptr) {
+    hooks.series = session->series();
+    hooks.flight = session->flight();
+    hooks.tracer = &session->tracer();
+  }
+  return run(spec, hooks);
+}
+
+FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
+                                     const FleetObsHooks& hooks) {
   PICO_REQUIRE(spec.nodes >= 1, "fleet needs at least one node");
   PICO_REQUIRE(spec.sim_time_s > 0.0, "simulation time must be positive");
   PICO_REQUIRE(spec.domains >= 1, "need at least one collision domain");
@@ -106,6 +126,19 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec) {
   m.max_airtime_s = m.profile.airtime_s;
   PICO_REQUIRE(spec.epoch_s > 2.0 * m.max_airtime_s,
                "epoch must exceed two frame airtimes");
+
+  // With a series recorder attached, clamp the epoch step down to the
+  // sampling cadence so every sample tick lands on an epoch barrier. Any
+  // epoch longer than two airtimes is exact, so this cannot change
+  // results — only how often the loop synchronizes.
+  double epoch_step_s = spec.epoch_s;
+  if constexpr (obs::kEnabled) {
+    if (hooks.series != nullptr) {
+      PICO_REQUIRE(hooks.series->initial_dt_s() > 2.0 * m.max_airtime_s,
+                   "series cadence must exceed two frame airtimes");
+      epoch_step_s = std::min(epoch_step_s, hooks.series->initial_dt_s());
+    }
+  }
 
   HarvestIntegral harvest;
   if (spec.attach_harvester) {
@@ -185,13 +218,83 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec) {
     return std::pair<std::size_t, std::size_t>{lo, hi};
   };
   runtime::ParallelRunner runner(spec.threads);
+
+  // --- Observability taps ---------------------------------------------------
+  // Ring d+1 belongs to domain d (single-writer inside the parallel
+  // phases); ring 0 to this host loop. All setup happens before the first
+  // epoch so the steady-state loop stays allocation-free.
+  const auto domain_ring = [&](std::size_t d) -> obs::FlightRing* {
+    if constexpr (obs::kEnabled) {
+      return hooks.flight != nullptr ? &hooks.flight->ring(d + 1) : nullptr;
+    } else {
+      (void)d;
+      return nullptr;
+    }
+  };
+  struct SeriesIds {
+    std::uint32_t wake_cycles, frames_on_air, collided, delivered, frames_lost,
+        delivered_per_s, collision_rate, energy_cycle_j;
+  };
+  SeriesIds sid{};
+  // Fault windows sorted by open time; kFaultActive is recorded when the
+  // epoch loop crosses each open (feeding the storm detector).
+  struct FaultOpen {
+    double at_s;
+    std::uint32_t kind;
+    std::uint32_t index;
+    double magnitude;
+  };
+  std::vector<FaultOpen> fault_opens;
+  std::size_t next_fault = 0;
+  double prev_sample_t = 0.0;
+  std::uint64_t prev_delivered = 0;
+  if constexpr (obs::kEnabled) {
+    if (hooks.flight != nullptr) {
+      hooks.flight->configure_rings(kDomains + 1);
+      for (Domain& d : domains) {
+        d.set_flight_tx_sample_shift(hooks.flight_tx_sample_shift);
+      }
+    }
+    if (hooks.series != nullptr) {
+      sid.wake_cycles = hooks.series->series("fleet.wake_cycles");
+      sid.frames_on_air = hooks.series->series("fleet.frames_on_air");
+      sid.collided = hooks.series->series("fleet.collided");
+      sid.delivered = hooks.series->series("fleet.delivered");
+      sid.frames_lost = hooks.series->series("fleet.frames_lost");
+      sid.delivered_per_s = hooks.series->series("fleet.delivered_per_s");
+      sid.collision_rate = hooks.series->series("fleet.collision_rate");
+      sid.energy_cycle_j = hooks.series->series("fleet.energy_cycle_j");
+    }
+    if (hooks.flight != nullptr) {
+      const auto& evs = spec.faults.events();
+      fault_opens.reserve(evs.size());
+      for (std::size_t i = 0; i < evs.size(); ++i) {
+        fault_opens.push_back({evs[i].at_s, static_cast<std::uint32_t>(evs[i].kind),
+                               static_cast<std::uint32_t>(i), evs[i].magnitude});
+      }
+      std::sort(fault_opens.begin(), fault_opens.end(),
+                [](const FaultOpen& a, const FaultOpen& b) {
+                  return a.at_s != b.at_s ? a.at_s < b.at_s : a.index < b.index;
+                });
+    }
+  }
+
   double t = 0.0;
+  std::uint32_t epoch_index = 0;
+  if constexpr (obs::kEnabled) {
+    if (hooks.tracer != nullptr) {
+      hooks.tracer->set_sim_clock([&t] { return t; });
+      hooks.tracer->instant("fleet.run.begin");
+    }
+  }
   while (t < spec.sim_time_s) {
-    const double epoch_end = std::min(t + spec.epoch_s, spec.sim_time_s);
+    const double epoch_end = std::min(t + epoch_step_s, spec.sim_time_s);
     // Phase A: frame generation + energy billing, per domain in parallel.
     runner.run_trials(kShards, [&](std::size_t s) {
       const auto [lo, hi] = shard_range(s);
-      for (std::size_t d = lo; d < hi; ++d) domains[d].advance(epoch_end, m);
+      for (std::size_t d = lo; d < hi; ++d) {
+        domains[d].advance(epoch_end, m, domain_ring(d));
+      }
     });
     // Barrier reached: exchange boundary frames in domain order. The
     // inbox receives the left neighbor's rightbound frames first, then
@@ -211,11 +314,65 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec) {
     // Phase B: capture/collision/decode resolution, per domain in parallel.
     runner.run_trials(kShards, [&](std::size_t s) {
       const auto [lo, hi] = shard_range(s);
-      for (std::size_t d = lo; d < hi; ++d) domains[d].resolve(epoch_end, m);
+      for (std::size_t d = lo; d < hi; ++d) {
+        domains[d].resolve(epoch_end, m, domain_ring(d));
+      }
     });
     t = epoch_end;
+    ++epoch_index;
+
+    if constexpr (obs::kEnabled) {
+      if (hooks.flight != nullptr) {
+        while (next_fault < fault_opens.size() &&
+               fault_opens[next_fault].at_s <= epoch_end) {
+          const FaultOpen& fo = fault_opens[next_fault++];
+          hooks.flight->record({fo.at_s, obs::FlightEventKind::kFaultActive, fo.kind,
+                                fo.index, fo.magnitude});
+        }
+        hooks.flight->record({epoch_end, obs::FlightEventKind::kEpochBarrier,
+                              epoch_index, static_cast<std::uint32_t>(kDomains), 0.0});
+      }
+      if (hooks.series != nullptr && hooks.series->due(epoch_end)) {
+        std::uint64_t wake = 0, on_air = 0, coll = 0, deliv = 0, lost = 0;
+        double cycle_j = 0.0;
+        for (const Domain& d : domains) {
+          const DomainCounters& c = d.counters();
+          wake += c.wake_cycles;
+          on_air += c.frames_on_air;
+          coll += c.collided;
+          deliv += c.delivered;
+          lost += c.frames_lost;
+          cycle_j += c.cycle_energy_j;
+        }
+        hooks.series->begin_row(epoch_end);
+        hooks.series->set(sid.wake_cycles, static_cast<double>(wake));
+        hooks.series->set(sid.frames_on_air, static_cast<double>(on_air));
+        hooks.series->set(sid.collided, static_cast<double>(coll));
+        hooks.series->set(sid.delivered, static_cast<double>(deliv));
+        hooks.series->set(sid.frames_lost, static_cast<double>(lost));
+        const double dt = epoch_end - prev_sample_t;
+        if (dt > 0.0) {
+          hooks.series->set(sid.delivered_per_s,
+                            static_cast<double>(deliv - prev_delivered) / dt);
+        }
+        if (on_air > 0) {
+          hooks.series->set(sid.collision_rate,
+                            static_cast<double>(coll) / static_cast<double>(on_air));
+        }
+        hooks.series->set(sid.energy_cycle_j, cycle_j);
+        hooks.series->commit_row();
+        prev_sample_t = epoch_end;
+        prev_delivered = deliv;
+      }
+    }
   }
-  for (Domain& d : domains) d.finalize(m);
+  if constexpr (obs::kEnabled) {
+    if (hooks.tracer != nullptr) {
+      hooks.tracer->instant("fleet.run.end");
+      hooks.tracer->set_sim_clock({});
+    }
+  }
+  for (std::size_t d = 0; d < kDomains; ++d) domains[d].finalize(m, domain_ring(d));
 
   // --- Reduction (domain order: part of the determinism contract) -----------
   FleetMetrics out;

@@ -30,6 +30,10 @@
 
 namespace pico::obs {
 class MetricsRegistry;
+class TimeSeriesRecorder;
+class FlightRecorder;
+class Tracer;
+class TelemetrySession;
 }
 namespace pico::core {
 struct FleetConfig;
@@ -127,11 +131,47 @@ struct FleetMetrics {
   void publish_metrics(obs::MetricsRegistry& m, const std::string& prefix = "fleet") const;
 };
 
+// Optional observability taps for a fleet run. All null by default; every
+// hook site is behind `if constexpr (obs::kEnabled)`, so an OFF build
+// carries no instrumentation instructions at all.
+//
+//   series   sampled at its own cadence with the fleet.* series
+//            (cumulative counters plus windowed delivered_per_s). The
+//            engine clamps its epoch step down to the series cadence —
+//            harmless, because any epoch longer than two airtimes is
+//            exact, so results stay bit-identical.
+//   flight   given one ring per domain (ring d+1) plus ring 0 for the
+//            engine itself (kEpochBarrier, kFaultActive at window opens);
+//            the merged event list and its fingerprint are
+//            shard/thread-invariant like FleetMetrics::fingerprint().
+//   tracer   gets a sim-time clock for the duration of the run, so spans
+//            and instants opened inside it carry sim_t_s.
+struct FleetObsHooks {
+  obs::TimeSeriesRecorder* series = nullptr;
+  obs::FlightRecorder* flight = nullptr;
+  obs::Tracer* tracer = nullptr;
+  // Record every 2^shift-th kFrameTx per domain (0 = every frame). Frame
+  // transmits dominate the event volume at fleet scale — ~9 events per
+  // node-minute — and recording them all costs ~10% of engine throughput
+  // (bench_fleet_obs_overhead measures it); 1-in-32 keeps the steady-state
+  // tax under the 5% budget and stretches each ring's retained window 32x.
+  // Collision/brownout/fault events are always recorded. The sampled
+  // subset is keyed on per-domain cumulative counts, so flight
+  // fingerprints stay shard/thread-invariant.
+  std::uint32_t flight_tx_sample_shift = 5;
+};
+
 class ShardedFleetEngine {
  public:
   // Run the spec to completion. Deterministic: a pure function of the
   // spec (shards/threads excluded — see the contract above).
   [[nodiscard]] static FleetMetrics run(const FleetSpec& spec);
+  [[nodiscard]] static FleetMetrics run(const FleetSpec& spec,
+                                        const FleetObsHooks& hooks);
+  // Convenience: pull series/flight/tracer out of a (possibly null)
+  // telemetry session.
+  [[nodiscard]] static FleetMetrics run(const FleetSpec& spec,
+                                        obs::TelemetrySession* session);
 };
 
 // Map a core::FleetConfig onto the sharded engine with kShared-comparable

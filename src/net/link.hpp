@@ -37,6 +37,10 @@
 #include "radio/wakeup.hpp"
 #include "sim/simulator.hpp"
 
+namespace pico::obs {
+class FlightRing;
+}
+
 namespace pico::net {
 
 struct ArqParams {
@@ -96,6 +100,14 @@ class LinkLayer {
   // net.* metric family (tx_attempts, retries, acked, ...).
   void publish_metrics(obs::MetricsRegistry& m) const;
 
+  // Flight-recorder tap: a kArqExhausted event (a = `node_id`, b =
+  // attempts made) is pushed when a frame burns its whole retry budget.
+  // Null detaches. No-op when observability is compiled out.
+  void set_flight(obs::FlightRing* ring, std::uint32_t node_id) {
+    flight_ = ring;
+    flight_node_ = node_id;
+  }
+
  private:
   void attempt();
   void open_listen();
@@ -117,6 +129,8 @@ class LinkLayer {
   int attempt_ = 0;  // attempts made for the in-flight frame
   double listen_opened_at_ = 0.0;
   sim::EventId timeout_event_{};
+  obs::FlightRing* flight_ = nullptr;
+  std::uint32_t flight_node_ = 0;
   Counters c_;
 };
 

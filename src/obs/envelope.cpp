@@ -1,0 +1,83 @@
+#include "obs/envelope.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace pico::obs {
+
+EnvelopeWatch EnvelopeWatch::load(const std::string& path) {
+  std::ifstream is(path);
+  PICO_REQUIRE(is.good(), "cannot open envelope file: " + path);
+  EnvelopeWatch w;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string series;
+    if (!(ls >> series)) continue;  // blank / comment-only line
+    double lo = 0.0, hi = 0.0;
+    PICO_REQUIRE(static_cast<bool>(ls >> lo >> hi),
+                 "envelope " + path + ":" + std::to_string(lineno) +
+                     ": expected '<series> <lo> <hi>'");
+    w.add_rule(series, lo, hi);
+  }
+  return w;
+}
+
+void EnvelopeWatch::add_rule(const std::string& series, double lo, double hi) {
+  PICO_REQUIRE(hi >= lo, "envelope rule needs hi >= lo: " + series);
+  rules_.push_back(EnvelopeRule{series, lo, hi, 0});
+}
+
+bool EnvelopeWatch::check(const std::string& series, double t_s, double value) {
+  bool ok = true;
+  for (EnvelopeRule& r : rules_) {
+    if (r.series != series) continue;
+    ++r.checks;
+    if (value >= r.lo && value <= r.hi) continue;
+    ok = false;
+    breaches_.push_back(Breach{series, t_s, value, r.lo, r.hi});
+    if (breaches_.size() == 1 && on_breach_) on_breach_(breaches_.front());
+  }
+  return ok;
+}
+
+void EnvelopeWatch::write_summary(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("breached", breached());
+  w.key("rules").begin_array();
+  for (const EnvelopeRule& r : rules_) {
+    w.begin_object();
+    w.kv("series", r.series);
+    w.kv("lo", r.lo).kv("hi", r.hi);
+    w.kv("checks", r.checks);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("breaches").begin_array();
+  for (const Breach& b : breaches_) {
+    w.begin_object();
+    w.kv("series", b.series);
+    w.kv("t_s", b.t_s);
+    w.kv("value", b.value);
+    w.kv("lo", b.lo).kv("hi", b.hi);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string EnvelopeWatch::summary_json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_summary(w);
+  return os.str();
+}
+
+}  // namespace pico::obs

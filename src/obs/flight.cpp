@@ -1,0 +1,169 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace pico::obs {
+
+namespace {
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer over a running hash (same digest discipline as
+  // FleetMetrics::fingerprint): any single-bit difference avalanches.
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+}  // namespace
+
+const char* to_string(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kFrameTx: return "frame_tx";
+    case FlightEventKind::kCollision: return "collision";
+    case FlightEventKind::kFaultActive: return "fault_active";
+    case FlightEventKind::kBrownout: return "brownout";
+    case FlightEventKind::kArqExhausted: return "arq_exhausted";
+    case FlightEventKind::kEpochBarrier: return "epoch_barrier";
+    case FlightEventKind::kEnvelopeBreach: return "envelope_breach";
+  }
+  return "unknown";
+}
+
+void FlightRing::reset(std::size_t capacity) {
+  PICO_REQUIRE(capacity >= 1, "flight ring needs capacity >= 1");
+  buf_.assign(capacity, FlightEvent{});
+  head_ = 0;
+  recorded_ = 0;
+}
+
+void FlightRing::append_to(std::vector<FlightEvent>& out) const {
+  const std::size_t n = std::min<std::uint64_t>(recorded_, buf_.size());
+  // Oldest retained event sits at head_ when the ring has wrapped.
+  const std::size_t start = recorded_ > buf_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  }
+}
+
+FlightRecorder::FlightRecorder(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity) {
+  configure_rings(1);
+  storm_times_.assign(storm_count_, -1.0);
+}
+
+void FlightRecorder::configure_rings(std::size_t n) {
+  while (rings_.size() < n) {
+    auto r = std::make_unique<FlightRing>();
+    r->reset(ring_capacity_);
+    rings_.push_back(std::move(r));
+  }
+}
+
+void FlightRecorder::record(const FlightEvent& ev) {
+  ring(0).push(ev);
+  if (ev.kind != FlightEventKind::kFaultActive) return;
+  storm_times_[storm_head_] = ev.t_s;
+  storm_head_ = storm_head_ + 1 == storm_times_.size() ? 0 : storm_head_ + 1;
+  ++storm_seen_;
+  if (storm_seen_ < storm_count_) return;
+  double lo = ev.t_s, hi = ev.t_s;
+  for (const double t : storm_times_) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  if (hi - lo <= storm_window_s_) trigger_dump("fault-storm");
+}
+
+void FlightRecorder::set_storm_threshold(std::size_t count, double window_s) {
+  PICO_REQUIRE(count >= 2, "storm threshold needs at least two events");
+  PICO_REQUIRE(window_s > 0.0, "storm window must be positive");
+  storm_count_ = count;
+  storm_window_s_ = window_s;
+  storm_times_.assign(storm_count_, -1.0);
+  storm_head_ = 0;
+  storm_seen_ = 0;
+}
+
+void FlightRecorder::set_dump_hook(std::function<void(const std::string&)> hook) {
+  dump_hook_ = std::move(hook);
+}
+
+void FlightRecorder::trigger_dump(const std::string& reason) {
+  if (dumped_) return;
+  dumped_ = true;
+  dump_reason_ = reason;
+  if (dump_hook_) dump_hook_(reason);
+}
+
+std::vector<FlightRecorder::MergedEvent> FlightRecorder::merged() const {
+  std::vector<MergedEvent> out;
+  std::vector<FlightEvent> scratch;
+  std::size_t total = 0;
+  for (const auto& r : rings_) {
+    total += static_cast<std::size_t>(std::min<std::uint64_t>(r->recorded(), r->capacity()));
+  }
+  out.reserve(total);
+  for (std::uint32_t ri = 0; ri < rings_.size(); ++ri) {
+    scratch.clear();
+    rings_[ri]->append_to(scratch);
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      out.push_back(MergedEvent{scratch[i], ri, static_cast<std::uint64_t>(i)});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const MergedEvent& a, const MergedEvent& b) {
+    if (a.ev.t_s != b.ev.t_s) return a.ev.t_s < b.ev.t_s;
+    if (a.ring != b.ring) return a.ring < b.ring;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+std::uint64_t FlightRecorder::fingerprint() const {
+  std::uint64_t h = 0xF117F117F117F117ULL;
+  for (const MergedEvent& e : merged()) {
+    h = mix(h, std::bit_cast<std::uint64_t>(e.ev.t_s));
+    h = mix(h, static_cast<std::uint64_t>(e.ev.kind));
+    h = mix(h, (static_cast<std::uint64_t>(e.ev.a) << 32) | e.ev.b);
+    h = mix(h, std::bit_cast<std::uint64_t>(e.ev.v));
+    h = mix(h, e.ring);
+  }
+  return h;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->recorded();
+  return n;
+}
+
+std::uint64_t FlightRecorder::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->dropped();
+  return n;
+}
+
+void FlightRecorder::write_jsonl(const std::string& path) const {
+  std::ofstream os(path);
+  PICO_REQUIRE(os.good(), "cannot open flight-recorder output: " + path);
+  for (const MergedEvent& e : merged()) {
+    JsonWriter w(os, 0);
+    w.begin_object();
+    w.kv("t_s", e.ev.t_s);
+    w.kv("ring", e.ring);
+    w.kv("kind", to_string(e.ev.kind));
+    w.kv("a", e.ev.a);
+    w.kv("b", e.ev.b);
+    w.kv("v", e.ev.v);
+    w.end_object();
+    os << '\n';
+  }
+}
+
+}  // namespace pico::obs

@@ -76,6 +76,16 @@ void RunManifest::set(const std::string& key, bool value) {
   e.boolean = value;
 }
 
+void RunManifest::set_section(const std::string& key, std::string json) {
+  for (auto& [k, v] : sections_) {
+    if (k == key) {
+      v = std::move(json);
+      return;
+    }
+  }
+  sections_.emplace_back(key, std::move(json));
+}
+
 std::string RunManifest::to_json() const {
   std::ostringstream os;
   JsonWriter w(os);
@@ -110,6 +120,8 @@ std::string RunManifest::to_json() const {
     }
   }
   w.end_object();
+
+  for (const auto& [key, json] : sections_) w.key(key).raw(json);
 
   if (metrics_) {
     w.key("metrics");

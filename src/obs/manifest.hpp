@@ -50,6 +50,11 @@ class RunManifest {
   // Final metric snapshot for the run (usually registry.snapshot()).
   void set_metrics(MetricsSnapshot snapshot) { metrics_ = std::move(snapshot); }
 
+  // Attach a pre-rendered JSON sub-document under a top-level key (the
+  // telemetry-series / flight-recorder / envelope summaries). Same key
+  // overwrites; emitted after "config" in insertion order.
+  void set_section(const std::string& key, std::string json);
+
   [[nodiscard]] const std::string& tool() const { return tool_; }
   [[nodiscard]] std::string to_json() const;
   void write(const std::string& path) const;
@@ -72,6 +77,7 @@ class RunManifest {
   std::string created_utc_;
   std::optional<std::uint64_t> seed_;
   std::vector<Entry> config_;
+  std::vector<std::pair<std::string, std::string>> sections_;  // key -> raw JSON
   std::optional<MetricsSnapshot> metrics_;
 };
 

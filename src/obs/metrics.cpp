@@ -193,6 +193,27 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return out;
 }
 
+double HistogramSnapshot::quantile(double p) const {
+  if (count == 0) return 0.0;
+  if (p <= 0.0) return min;
+  if (p >= 1.0) return max;
+  // Rank in [0, count): the sample index the quantile falls on.
+  const double rank = p * static_cast<double>(count);
+  const double width = (hi - lo) / static_cast<double>(buckets.size());
+  double cum = static_cast<double>(underflow);  // underflow mass sits at min
+  if (rank < cum) return min;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (in_bucket > 0.0 && rank < cum + in_bucket) {
+      const double frac = (rank - cum) / in_bucket;
+      const double v = lo + (static_cast<double>(b) + frac) * width;
+      return std::min(std::max(v, min), max);
+    }
+    cum += in_bucket;
+  }
+  return max;  // overflow mass (and p == 1-eps rounding) sits at max
+}
+
 bool MetricsSnapshot::has(const std::string& name) const {
   for (const auto& s : scalars) {
     if (s.name == name) return true;
@@ -221,7 +242,10 @@ void MetricsSnapshot::write_json(JsonWriter& w) const {
     w.key(h.name).begin_object();
     w.kv("lo", h.lo).kv("hi", h.hi);
     w.kv("count", h.count).kv("sum", h.sum);
-    if (h.count > 0) w.kv("min", h.min).kv("max", h.max).kv("mean", h.mean());
+    if (h.count > 0) {
+      w.kv("min", h.min).kv("max", h.max).kv("mean", h.mean());
+      w.kv("p50", h.quantile(0.50)).kv("p99", h.quantile(0.99));
+    }
     w.kv("underflow", h.underflow).kv("overflow", h.overflow);
     w.key("buckets").begin_array();
     for (const std::uint64_t b : h.buckets) w.value(b);

@@ -54,7 +54,16 @@ struct HistogramSnapshot {
   double min = 0.0;  // valid only when count > 0
   double max = 0.0;
   [[nodiscard]] double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  // Interpolated quantile from the bucket histogram: walk the cumulative
+  // counts to the bucket holding rank p*count, interpolate linearly inside
+  // it, clamp to the observed [min, max]. Underflow mass sits at min,
+  // overflow mass at max. Depends only on the merged bucket counts, so it
+  // is invariant to shard merge order. p in [0, 1]; 0 with no samples.
+  [[nodiscard]] double quantile(double p) const;
 };
+
+// Short alias used throughout tooling docs (p50/p99 per series).
+using HistSnapshot = HistogramSnapshot;
 
 struct ScalarSnapshot {
   std::string name;

@@ -1,6 +1,12 @@
 #include "obs/session.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace pico::obs {
 
@@ -18,28 +24,132 @@ TelemetrySession::~TelemetrySession() {
 std::unique_ptr<TelemetrySession> TelemetrySession::from_args(int argc, char** argv,
                                                               const std::string& tool) {
   std::string prefix;
+  double series_dt = 0.0;
+  bool flight = false;
+  std::size_t flight_cap = FlightRecorder::kDefaultRingCapacity;
+  std::string envelope_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--telemetry=", 0) == 0) {
       prefix = a.substr(12);
-    } else if (a == "--telemetry" && i + 1 < argc) {
-      prefix = argv[i + 1];
+    } else if (a == "--telemetry") {
+      // Bare --telemetry writes artifacts under the tool's own name; a
+      // following non-flag argument overrides the prefix.
+      prefix = tool;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        prefix = argv[i + 1];
+      }
+    } else if (a.rfind("--series-dt=", 0) == 0) {
+      series_dt = std::strtod(a.c_str() + 12, nullptr);
+    } else if (a == "--series-dt" && i + 1 < argc) {
+      series_dt = std::strtod(argv[i + 1], nullptr);
+    } else if (a == "--flight-recorder") {
+      flight = true;
+    } else if (a.rfind("--flight-recorder=", 0) == 0) {
+      flight = true;
+      flight_cap = static_cast<std::size_t>(std::strtoull(a.c_str() + 18, nullptr, 10));
+      PICO_REQUIRE(flight_cap > 0, "--flight-recorder capacity must be > 0");
+    } else if (a.rfind("--envelope=", 0) == 0) {
+      envelope_path = a.substr(11);
+    } else if (a == "--envelope" && i + 1 < argc) {
+      envelope_path = argv[i + 1];
     }
   }
-  if (prefix.empty()) return nullptr;
-  return std::make_unique<TelemetrySession>(tool, prefix);
+  if (prefix.empty()) {
+    PICO_REQUIRE(series_dt == 0.0 && !flight && envelope_path.empty(),
+                 "--series-dt/--flight-recorder/--envelope require --telemetry=<prefix>");
+    return nullptr;
+  }
+  auto session = std::make_unique<TelemetrySession>(tool, prefix);
+  if (series_dt > 0.0) session->enable_series(series_dt);
+  if (flight) session->enable_flight(flight_cap);
+  if (!envelope_path.empty()) session->load_envelope(envelope_path);
+  return session;
+}
+
+void TelemetrySession::enable_series(double dt_s, std::size_t max_rows) {
+  PICO_REQUIRE(dt_s > 0.0, "series dt must be > 0");
+  series_ = std::make_unique<TimeSeriesRecorder>(dt_s, max_rows);
+  wire();
+}
+
+void TelemetrySession::enable_flight(std::size_t ring_capacity) {
+  flight_ = std::make_unique<FlightRecorder>(ring_capacity);
+  wire();
+}
+
+void TelemetrySession::load_envelope(const std::string& path) {
+  envelope_ = std::make_unique<EnvelopeWatch>(EnvelopeWatch::load(path));
+  manifest_.set("envelope_file", path);
+  wire();
+}
+
+void TelemetrySession::wire() {
+  if (series_) series_->set_watch(envelope_.get());
+  if (flight_) {
+    flight_->set_dump_hook([this](const std::string& reason) { dump_flight(reason); });
+  }
+  if (envelope_) {
+    envelope_->set_on_breach([this](const EnvelopeWatch::Breach& b) {
+      if (flight_) {
+        FlightEvent ev;
+        ev.t_s = b.t_s;
+        ev.kind = FlightEventKind::kEnvelopeBreach;
+        ev.v = b.value;
+        flight_->record(ev);
+        flight_->trigger_dump("envelope");
+      }
+    });
+  }
+}
+
+void TelemetrySession::dump_flight(const std::string& reason) {
+  if (!flight_ || flight_written_) return;
+  flight_written_ = true;
+  flight_->write_jsonl(prefix_ + ".flight.jsonl");
+  std::cout << "flight recorder dump (" << reason << "): " << prefix_ << ".flight.jsonl\n";
 }
 
 void TelemetrySession::finish(bool announce) {
   if (finished_) return;
   finished_ = true;
   manifest_.set_metrics(metrics_.snapshot());
+  if (series_) {
+    series_->write_jsonl(prefix_ + ".series.jsonl");
+    series_->write_csv(prefix_ + ".series.csv");
+    manifest_.set_section("series", series_->summary_json());
+  }
+  if (flight_) {
+    // A clean run still leaves the tail of events behind for inspection.
+    if (!flight_->dumped()) flight_->trigger_dump("finish");
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("rings", static_cast<std::uint64_t>(flight_->rings()));
+    w.kv("recorded", flight_->total_recorded());
+    w.kv("dropped", flight_->total_dropped());
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(flight_->fingerprint()));
+    w.kv("fingerprint", std::string(fp));
+    w.kv("dump_reason", flight_->dump_reason());
+    w.end_object();
+    manifest_.set_section("flight", os.str());
+  }
+  if (envelope_) manifest_.set_section("envelope", envelope_->summary_json());
   manifest_.write(prefix_ + ".manifest.json");
   tracer_.write_chrome_trace(prefix_ + ".trace.json");
   tracer_.write_csv(prefix_ + ".spans.csv");
   if (announce) {
     std::cout << "telemetry: " << prefix_ << ".manifest.json, " << prefix_ << ".trace.json, "
-              << prefix_ << ".spans.csv\n";
+              << prefix_ << ".spans.csv";
+    if (series_) std::cout << ", " << prefix_ << ".series.jsonl";
+    if (flight_) std::cout << ", " << prefix_ << ".flight.jsonl";
+    std::cout << "\n";
+    if (envelope_breached()) {
+      std::cout << "telemetry: ENVELOPE BREACH (" << envelope_->breaches().size()
+                << " samples outside golden bounds)\n";
+    }
   }
 }
 

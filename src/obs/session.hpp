@@ -1,23 +1,41 @@
 // session.hpp — one-stop telemetry bundle for a tool run.
 //
 // A TelemetrySession owns the MetricsRegistry + Tracer + RunManifest for
-// one process invocation and writes the three artifacts on finish():
+// one process invocation — plus, when requested, the time-dimension
+// artifacts: a TimeSeriesRecorder, a FlightRecorder, and an
+// EnvelopeWatch. finish() writes everything that was enabled:
 //
-//   <prefix>.manifest.json   run manifest (config, seeds, build, metrics)
+//   <prefix>.manifest.json   run manifest (config, seeds, build, metrics,
+//                            series/flight/envelope summaries)
 //   <prefix>.trace.json      Chrome trace-event JSON (chrome://tracing)
 //   <prefix>.spans.csv       the same span records as a flat table
+//   <prefix>.series.jsonl    sim-time telemetry series (+ .series.csv)
+//   <prefix>.flight.jsonl    merged flight-recorder events
 //
 // Benches and examples construct it from the `--telemetry <path>` /
 // `--telemetry=<path>` CLI flag via `from_args`; a null session means the
-// flag was absent and every hook degrades to a no-op (Span accepts a null
-// tracer, publish_metrics is simply not called).
+// flag was absent and every hook degrades to a no-op. The time-dimension
+// pieces ride on additional flags (all requiring --telemetry):
+//
+//   --series-dt=<sim_s>       enable the series recorder at that cadence
+//   --flight-recorder[=<cap>] enable the flight recorder (per-ring cap)
+//   --envelope=<file>         live golden-envelope checks on the series
+//
+// An envelope breach (or a fault storm) dumps the flight recorder at the
+// moment it happens; exit_code() reports 1 so soak lanes fail loudly. An
+// assert that unwinds through the session destructor still writes every
+// artifact — finish() runs from ~TelemetrySession — so a crashed soak
+// leaves its post-mortem behind.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "obs/envelope.hpp"
+#include "obs/flight.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/series.hpp"
 #include "obs/tracer.hpp"
 
 namespace pico::obs {
@@ -29,8 +47,9 @@ class TelemetrySession {
   TelemetrySession(const TelemetrySession&) = delete;
   TelemetrySession& operator=(const TelemetrySession&) = delete;
 
-  // Scan argv for `--telemetry=<prefix>` or `--telemetry <prefix>`;
-  // returns null when the flag is absent.
+  // Scan argv for `--telemetry=<prefix>` or `--telemetry <prefix>` (plus
+  // the --series-dt / --flight-recorder / --envelope flags above);
+  // returns null when --telemetry is absent.
   static std::unique_ptr<TelemetrySession> from_args(int argc, char** argv,
                                                      const std::string& tool);
 
@@ -39,16 +58,40 @@ class TelemetrySession {
   [[nodiscard]] RunManifest& manifest() { return manifest_; }
   [[nodiscard]] const std::string& prefix() const { return prefix_; }
 
+  // --- Time-dimension components (null unless enabled) -----------------------
+  [[nodiscard]] TimeSeriesRecorder* series() { return series_.get(); }
+  [[nodiscard]] FlightRecorder* flight() { return flight_.get(); }
+  [[nodiscard]] EnvelopeWatch* envelope() { return envelope_.get(); }
+
+  void enable_series(double dt_s, std::size_t max_rows = 4096);
+  void enable_flight(std::size_t ring_capacity = FlightRecorder::kDefaultRingCapacity);
+  void load_envelope(const std::string& path);
+
+  [[nodiscard]] bool envelope_breached() const {
+    return envelope_ && envelope_->breached();
+  }
+  // 1 after an envelope breach, else 0 — benches add it to their exit code
+  // so a live breach fails the run, not just the post-hoc diff.
+  [[nodiscard]] int exit_code() const { return envelope_breached() ? 1 : 0; }
+
   // Snapshot metrics into the manifest and write all artifacts. Called by
   // the destructor if not called explicitly; the explicit call reports the
   // output paths on stdout.
   void finish(bool announce = true);
 
  private:
+  // (Re)arm the series->envelope->flight-dump wiring after any enable.
+  void wire();
+  void dump_flight(const std::string& reason);
+
   std::string prefix_;
   MetricsRegistry metrics_;
   Tracer tracer_;
   RunManifest manifest_;
+  std::unique_ptr<TimeSeriesRecorder> series_;
+  std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<EnvelopeWatch> envelope_;
+  bool flight_written_ = false;
   bool finished_ = false;
 };
 

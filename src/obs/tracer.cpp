@@ -41,6 +41,10 @@ Tracer::Buffer& Tracer::local_buffer() {
   return *p;
 }
 
+void Tracer::set_sim_clock(std::function<double()> clock) {
+  sim_clock_ = std::move(clock);
+}
+
 void Tracer::instant(std::string name) {
   Buffer& buf = local_buffer();
   Event ev;
@@ -49,6 +53,10 @@ void Tracer::instant(std::string name) {
   ev.tid = buf.tid;
   ev.depth = buf.depth;
   ev.instant = true;
+  if (sim_clock_) {
+    ev.sim_t_s = sim_clock_();
+    ev.has_sim = true;
+  }
   std::lock_guard<std::mutex> lk(buf.m);
   buf.events.push_back(std::move(ev));
 }
@@ -82,7 +90,9 @@ void Tracer::write_chrome_trace(const std::string& path) const {
     if (!ev.instant) w.kv("dur", ev.dur_us);
     if (ev.instant) w.kv("s", "t");  // thread-scoped instant
     w.kv("pid", 1).kv("tid", ev.tid);
-    w.key("args").begin_object().kv("depth", ev.depth).end_object();
+    w.key("args").begin_object().kv("depth", ev.depth);
+    if (ev.has_sim) w.kv("sim_t_s", ev.sim_t_s);
+    w.end_object();
     w.end_object();
   }
   w.end_array();
@@ -92,12 +102,21 @@ void Tracer::write_chrome_trace(const std::string& path) const {
 }
 
 void Tracer::write_csv(const std::string& path) const {
+  const std::vector<Event> evs = events();
+  // The sim-time column appears only when at least one event carries a sim
+  // stamp — wall-clock-only traces keep the exact pre-existing schema.
+  bool any_sim = false;
+  for (const Event& ev : evs) any_sim = any_sim || ev.has_sim;
   CsvWriter csv(path);
-  csv.write_header({"name", "tid", "depth", "ts_us", "dur_us", "instant"});
-  for (const Event& ev : events()) {
-    csv.write_row({ev.name, std::to_string(ev.tid), std::to_string(ev.depth),
-                   std::to_string(ev.ts_us), std::to_string(ev.dur_us),
-                   ev.instant ? "1" : "0"});
+  std::vector<std::string> header{"name", "tid", "depth", "ts_us", "dur_us", "instant"};
+  if (any_sim) header.push_back("sim_t_s");
+  csv.write_header(header);
+  for (const Event& ev : evs) {
+    std::vector<std::string> row{ev.name, std::to_string(ev.tid), std::to_string(ev.depth),
+                                 std::to_string(ev.ts_us), std::to_string(ev.dur_us),
+                                 ev.instant ? "1" : "0"};
+    if (any_sim) row.push_back(ev.has_sim ? std::to_string(ev.sim_t_s) : std::string{});
+    csv.write_row(row);
   }
 }
 
@@ -106,6 +125,10 @@ Span::Span(Tracer* tracer, std::string name) : tracer_(tracer) {
   buf_ = &tracer_->local_buffer();
   name_ = std::move(name);
   depth_ = buf_->depth++;
+  if (tracer_->sim_clock_) {
+    sim_t_s_ = tracer_->sim_clock_();
+    has_sim_ = true;
+  }
   start_us_ = tracer_->now_us();
 }
 
@@ -114,7 +137,9 @@ Span::Span(Span&& other) noexcept
       buf_(other.buf_),
       name_(std::move(other.name_)),
       start_us_(other.start_us_),
-      depth_(other.depth_) {
+      sim_t_s_(other.sim_t_s_),
+      depth_(other.depth_),
+      has_sim_(other.has_sim_) {
   other.tracer_ = nullptr;
   other.buf_ = nullptr;
 }
@@ -126,7 +151,9 @@ Span& Span::operator=(Span&& other) noexcept {
     buf_ = other.buf_;
     name_ = std::move(other.name_);
     start_us_ = other.start_us_;
+    sim_t_s_ = other.sim_t_s_;
     depth_ = other.depth_;
+    has_sim_ = other.has_sim_;
     other.tracer_ = nullptr;
     other.buf_ = nullptr;
   }
@@ -139,6 +166,8 @@ void Span::end() {
   ev.name = std::move(name_);
   ev.ts_us = start_us_;
   ev.dur_us = tracer_->now_us() - start_us_;
+  ev.sim_t_s = sim_t_s_;
+  ev.has_sim = has_sim_;
   ev.tid = buf_->tid;
   ev.depth = depth_;
   --buf_->depth;

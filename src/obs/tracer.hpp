@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,9 +33,11 @@ class Tracer {
     std::string name;
     double ts_us = 0.0;   // start, microseconds since tracer construction
     double dur_us = 0.0;  // 0 for instant events
+    double sim_t_s = 0.0; // simulation time at span open (when has_sim)
     unsigned tid = 0;     // per-tracer thread index (creation order)
     int depth = 0;        // nesting level at the time the span opened
     bool instant = false;
+    bool has_sim = false; // a sim clock was installed when the event opened
   };
 
   Tracer();
@@ -44,6 +47,16 @@ class Tracer {
 
   // Mark a point in time (Chrome "instant" event).
   void instant(std::string name);
+
+  // Optional simulation clock. While installed, every span/instant opened
+  // on the installing thread is additionally stamped with the clock's
+  // sim time, exported as an `sim_t_s` arg in the Chrome trace and an
+  // extra CSV column — so a fleet trace aligns with the telemetry-series
+  // timeline. Install/clear from the thread that opens the stamped spans
+  // (not thread-safe against concurrent span opens); pass {} to clear.
+  // Without a clock the export formats are byte-identical to before.
+  void set_sim_clock(std::function<double()> clock);
+  [[nodiscard]] bool has_sim_clock() const { return static_cast<bool>(sim_clock_); }
 
   // All completed events, merged across threads and sorted by start time.
   [[nodiscard]] std::vector<Event> events() const;
@@ -68,6 +81,7 @@ class Tracer {
 
   const std::uint64_t uid_;
   std::chrono::steady_clock::time_point origin_;
+  std::function<double()> sim_clock_;  // empty: wall-clock-only (default)
   mutable std::mutex m_;
   std::vector<std::unique_ptr<Buffer>> buffers_;
 };
@@ -92,7 +106,9 @@ class Span {
   Tracer::Buffer* buf_ = nullptr;
   std::string name_;
   double start_us_ = 0.0;
+  double sim_t_s_ = 0.0;
   int depth_ = 0;
+  bool has_sim_ = false;
 };
 
 }  // namespace pico::obs

@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "core/node.hpp"
 #include "fault/scenarios.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace pico {
@@ -163,6 +164,62 @@ TEST(FaultScenario, LossyChannelArqRetriesRecoverDelivery) {
   EXPECT_TRUE(wakeup_billed);
 }
 
+TEST(FaultScenario, FlightRecorderCapturesArqGiveUpsAndFaultOpens) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  // The scalar node's flight taps: every ARQ give-up lands in ring 0 with
+  // the attempt count, and every fault-window open is recorded by the
+  // injector — so a post-mortem dump shows *which* frames died and *when*
+  // the fade opened, not just the final failure total.
+  const fault::Scenario s = fault::make_scenario("lossy_channel_arq");
+  core::PicoCubeNode node(s.config);
+  obs::FlightRecorder flight;
+  node.attach_flight(&flight, 42);
+  node.run(s.sim_time);
+  ASSERT_NE(node.link_layer(), nullptr);
+  const auto& link = node.link_layer()->counters();
+  ASSERT_GT(link.failed, 0u);  // the 70 % fade defeats 4 attempts sometimes
+
+  std::uint64_t exhausted = 0, fault_opens = 0;
+  for (const auto& e : flight.merged()) {
+    if (e.ev.kind == obs::FlightEventKind::kArqExhausted) {
+      ++exhausted;
+      EXPECT_EQ(e.ev.a, 42u);  // tagged with the node id we attached
+      EXPECT_EQ(e.ev.b, 4u);   // first attempt + max_retries(3)
+    } else if (e.ev.kind == obs::FlightEventKind::kFaultActive) {
+      ++fault_opens;
+    }
+  }
+  EXPECT_EQ(exhausted, link.failed);
+  ASSERT_NE(node.fault_injector(), nullptr);
+  EXPECT_EQ(fault_opens, node.fault_injector()->counters().events_fired);
+  EXPECT_EQ(fault_opens, 2u);  // channel fade + converter degradation
+}
+
+TEST(FaultScenario, FlightRecorderCapturesBrownout) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  const fault::Scenario s = fault::make_scenario("cold_soak_nimh");
+  core::PicoCubeNode node(s.config);
+  obs::FlightRecorder flight;
+  node.attach_flight(&flight, 7);
+  node.run(s.sim_time);
+  ASSERT_TRUE(node.accountant().battery_died());
+
+  std::uint64_t brownouts = 0;
+  double t_brown = -1.0;
+  for (const auto& e : flight.merged()) {
+    if (e.ev.kind == obs::FlightEventKind::kBrownout) {
+      ++brownouts;
+      t_brown = e.ev.t_s;
+      EXPECT_EQ(e.ev.a, 7u);
+      EXPECT_GT(e.ev.v, 0.0);  // deficit: the drained store covered out - in
+    }
+  }
+  EXPECT_EQ(brownouts, node.accountant().brownout_events());
+  EXPECT_EQ(brownouts, 1u);  // the latch fires exactly once
+  EXPECT_GT(t_brown, 0.0);
+  EXPECT_LE(t_brown, s.sim_time.value());
+}
+
 TEST(FaultScenario, ColdSoakBrownoutDropsGlitchLoad) {
   const fault::Scenario s = fault::make_scenario("cold_soak_nimh");
   core::PicoCubeNode node(s.config);
@@ -191,6 +248,7 @@ TEST(FaultScenario, LibraryNamesAreStableAndLookupsWork) {
 }
 
 TEST(FaultScenario, MetricsCarryFaultCounters) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
   const fault::Scenario s = fault::make_scenario("tire_stop_and_go");
   core::PicoCubeNode node(s.config);
   node.run(s.sim_time);

@@ -17,6 +17,9 @@
 #include "fleet/domain.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/kernel.hpp"
+#include "obs/envelope.hpp"
+#include "obs/flight.hpp"
+#include "obs/series.hpp"
 
 // --- Global allocation counter ----------------------------------------------
 // Counts every path through the replaceable global operator new, so a test
@@ -183,6 +186,46 @@ TEST(ShardedEngineTest, BitIdenticalAcrossShardAndThreadCounts) {
   for (std::size_t i = 1; i < prints.size(); ++i) EXPECT_EQ(prints[i], prints[0]);
 }
 
+TEST(ShardedEngineTest, FlightFingerprintBitIdenticalAcrossShardAndThreadCounts) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  // The lossy_channel fade (70 % loss for 100 s) run in beacon mode: the
+  // fault open feeds the host ring, frame/collision events the per-domain
+  // rings. The flight stream also carries per-epoch barrier events, so the
+  // series cadence — which clamps the epoch step — must stay fixed across
+  // the sweep; shard and thread counts are the only things allowed to vary.
+  FleetSpec spec;
+  spec.nodes = 1000;
+  spec.domains = 16;
+  spec.sim_time_s = 120.0;
+  spec.epoch_s = 17.0;
+  spec.faults.channel_loss(10.0, 100.0, 0.7);
+  std::vector<std::uint64_t> prints;
+  std::vector<std::uint64_t> recorded;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    for (unsigned threads : {1u, 8u}) {
+      FleetSpec s = spec;
+      s.shards = shards;
+      s.threads = threads;
+      obs::FlightRecorder flight;
+      obs::TimeSeriesRecorder series(0.5, 512);
+      FleetObsHooks hooks;
+      hooks.flight = &flight;
+      hooks.series = &series;
+      const FleetMetrics m = ShardedFleetEngine::run(s, hooks);
+      EXPECT_GT(m.delivered, 0u);
+      EXPECT_GT(m.frames_lost, 0u);  // the fade actually bit
+      EXPECT_EQ(flight.rings(), spec.domains + 1);
+      EXPECT_GT(flight.total_recorded(), 0u);
+      prints.push_back(flight.fingerprint());
+      recorded.push_back(flight.total_recorded());
+    }
+  }
+  for (std::size_t i = 1; i < prints.size(); ++i) {
+    EXPECT_EQ(prints[i], prints[0]) << "sweep index " << i;
+    EXPECT_EQ(recorded[i], recorded[0]) << "sweep index " << i;
+  }
+}
+
 TEST(ShardedEngineTest, FingerprintSensitiveToSeed) {
   FleetSpec spec;
   spec.nodes = 64;
@@ -288,6 +331,71 @@ TEST(DomainTest, SteadyStateEpochLoopDoesNotAllocate) {
   EXPECT_EQ(after - before, 0u);
   EXPECT_GT(d.counters().wake_cycles, 1000u);
   EXPECT_GT(d.counters().delivered, 0u);
+}
+
+TEST(DomainTest, SteadyStateWithTelemetryArmedDoesNotAllocate) {
+  // The full time-dimension tap — flight ring on the domain, series rows
+  // with an envelope watch, including the in-place decimation path — must
+  // add zero heap allocations to the steady-state epoch loop.
+  KernelModel m;
+  m.profile.sleep_power_w = 5e-6;
+  m.profile.cycle_energy_j = 2e-6;
+  m.profile.cycle_duration_s = 0.05;
+  m.profile.tx_offset_s = 0.04;
+  m.profile.airtime_s = 1e-3;
+  m.profile.frame_bytes = 19;
+  m.profile.decode_bits = 120;
+  m.profile.payload_bits = 64;
+  m.profile.battery_ocv_v = 1.25;
+  m.profile.battery_budget_j = 50.0;
+  m.sim_time_s = 1e9;
+  m.path_loss_1m = 6000.0;
+  m.eirp_gain = 2.0;
+  m.noise_w = 2e-14;
+  m.sensitivity_w = 1e-11;
+  m.max_airtime_s = m.profile.airtime_s;
+
+  Domain d;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const double interval = 0.9 + 0.01 * static_cast<double>(i);
+    d.add_node(i, interval, interval, Rng::stream(23, i), 1.0 + 0.1 * i, -1.0, -1.0);
+  }
+  d.reserve_scratch(10.0, 0.9);
+
+  obs::FlightRing ring;
+  ring.reset(256);
+  obs::TimeSeriesRecorder rec(10.0, 8);  // tiny cap: decimation every 8 rows
+  obs::EnvelopeWatch watch;
+  watch.add_rule("fleet.wake_cycles", 0.0, 1e18);  // generous: never breaches
+  rec.set_watch(&watch);
+  const auto cycles = rec.series("fleet.wake_cycles");
+  const auto energy = rec.series("fleet.energy_cycle_j");
+
+  double t = 0.0;
+  const auto epoch = [&] {
+    d.advance(t + 10.0, m, &ring);
+    d.resolve(t + 10.0, m, &ring);
+    t += 10.0;
+    if (rec.due(t)) {
+      rec.begin_row(t);
+      rec.set(cycles, static_cast<double>(d.counters().wake_cycles));
+      rec.set(energy, d.counters().cycle_energy_j);
+      rec.commit_row();
+    }
+  };
+  epoch();
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int k = 0; k < 40; ++k) epoch();
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_GT(rec.decimations(), 0u);        // the cap was hit and halved in place
+  EXPECT_GT(watch.rules()[0].checks, 0u);  // envelope checks actually ran
+  EXPECT_FALSE(watch.breached());
+  if (obs::kEnabled) {
+    EXPECT_GT(ring.recorded(), 0u);  // frame-tx events landed in the ring
+  } else {
+    EXPECT_EQ(ring.recorded(), 0u);  // hooks compiled out entirely
+  }
 }
 
 }  // namespace

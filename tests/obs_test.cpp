@@ -15,8 +15,11 @@
 #include "circuits/circuit.hpp"
 #include "circuits/components.hpp"
 #include "circuits/transient.hpp"
+#include "obs/envelope.hpp"
+#include "obs/flight.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/series.hpp"
 #include "obs/session.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/parallel.hpp"
@@ -236,6 +239,73 @@ TEST(Metrics, HistogramBucketsAndMoments) {
   EXPECT_DOUBLE_EQ(hs->min, -1.0);
   EXPECT_DOUBLE_EQ(hs->max, 10.0);
   EXPECT_DOUBLE_EQ(hs->mean(), 19.9 / 5.0);
+}
+
+TEST(Metrics, HistogramQuantileInterpolates) {
+  MetricsRegistry m;
+  const MetricId h = m.histogram("t.q", 0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) m.observe(h, static_cast<double>(i) / 10.0);
+  const MetricsSnapshot snap = m.snapshot();
+  const HistogramSnapshot* hs = snap.histogram("t.q");
+  ASSERT_NE(hs, nullptr);
+  // Uniform mass on [0, 100): quantiles track p to within one bucket width.
+  EXPECT_DOUBLE_EQ(hs->quantile(0.0), hs->min);
+  EXPECT_DOUBLE_EQ(hs->quantile(1.0), hs->max);
+  EXPECT_NEAR(hs->quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(hs->quantile(0.99), 99.0, 1.0);
+  // Monotone in p, clamped to the observed range.
+  double prev = hs->quantile(0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double q = hs->quantile(p);
+    EXPECT_GE(q, prev);
+    EXPECT_GE(q, hs->min);
+    EXPECT_LE(q, hs->max);
+    prev = q;
+  }
+  // Edge cases: empty histogram, mass entirely in under/overflow.
+  MetricsRegistry m2;
+  const MetricId e = m2.histogram("t.empty", 0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(m2.snapshot().histogram("t.empty")->quantile(0.5), 0.0);
+  m2.observe(e, -3.0);
+  m2.observe(e, 7.0);
+  const MetricsSnapshot snap2 = m2.snapshot();
+  const HistogramSnapshot* es = snap2.histogram("t.empty");
+  EXPECT_DOUBLE_EQ(es->quantile(0.25), -3.0);  // underflow mass sits at min
+  EXPECT_DOUBLE_EQ(es->quantile(0.99), 7.0);   // overflow mass sits at max
+}
+
+TEST(Metrics, HistogramQuantileIsMergeOrderInvariant) {
+  // The same sample multiset observed in ascending order on one thread,
+  // descending order on one thread, and scattered across runner workers
+  // must produce identical quantiles: the estimate depends only on the
+  // merged bucket counts, never on shard merge order.
+  constexpr int kSamples = 4096;
+  const auto sample = [](int i) {
+    return static_cast<double>((i * 37) % kSamples) / 40.0;
+  };
+  MetricsRegistry asc, desc, scattered;
+  const MetricId ha = asc.histogram("q", 0.0, 100.0, 64);
+  const MetricId hd = desc.histogram("q", 0.0, 100.0, 64);
+  const MetricId hs = scattered.histogram("q", 0.0, 100.0, 64);
+  for (int i = 0; i < kSamples; ++i) asc.observe(ha, sample(i));
+  for (int i = kSamples - 1; i >= 0; --i) desc.observe(hd, sample(i));
+  runtime::ParallelRunner runner(4);
+  runner.run_trials(kSamples, [&](std::size_t i) {
+    scattered.observe(hs, sample(static_cast<int>(i)));
+  });
+  const MetricsSnapshot asc_snap = asc.snapshot();
+  const MetricsSnapshot desc_snap = desc.snapshot();
+  const MetricsSnapshot scat_snap = scattered.snapshot();
+  const HistogramSnapshot* a = asc_snap.histogram("q");
+  const HistogramSnapshot* d = desc_snap.histogram("q");
+  const HistogramSnapshot* s = scat_snap.histogram("q");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(s, nullptr);
+  for (double p : {0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a->quantile(p), d->quantile(p)) << "p=" << p;
+    EXPECT_DOUBLE_EQ(a->quantile(p), s->quantile(p)) << "p=" << p;
+  }
 }
 
 TEST(Metrics, SnapshotMissingNameFallsBack) {
@@ -462,6 +532,379 @@ TEST(Session, FinishWritesAllThreeArtifacts) {
   std::ifstream csv(prefix + ".spans.csv");
   EXPECT_TRUE(csv.is_open());
   for (const char* ext : {".manifest.json", ".trace.json", ".spans.csv"}) {
+    std::remove((prefix + ext).c_str());
+  }
+}
+
+// --- time-series recorder ----------------------------------------------------
+
+TEST(Series, RegistersSamplesAndBackfillsLateSeries) {
+  TimeSeriesRecorder rec(1.0, 16);
+  const auto a = rec.series("a");
+  EXPECT_EQ(rec.series("a"), a);  // same name, same id
+  rec.begin_row(0.0);
+  rec.set(a, 10.0);
+  rec.commit_row();
+  rec.begin_row(1.0);
+  rec.commit_row();  // 'a' unset this row: stays NaN
+  const auto b = rec.series("b");  // late registration back-fills NaN
+  rec.begin_row(2.0);
+  rec.set(a, 30.0);
+  rec.set(b, 3.0);
+  rec.commit_row();
+
+  ASSERT_EQ(rec.rows(), 3u);
+  EXPECT_DOUBLE_EQ(rec.column(a)[0], 10.0);
+  EXPECT_TRUE(std::isnan(rec.column(a)[1]));
+  EXPECT_TRUE(std::isnan(rec.column(b)[0]));
+  EXPECT_TRUE(std::isnan(rec.column(b)[1]));
+  EXPECT_DOUBLE_EQ(rec.column(b)[2], 3.0);
+
+  // JSONL: one object per row, NaN exported as null.
+  const std::string jsonl = "/tmp/pico_obs_series_test.jsonl";
+  rec.write_jsonl(jsonl);
+  std::ifstream in(jsonl);
+  std::string line;
+  std::vector<JVal> rows;
+  while (std::getline(in, line)) rows.push_back(JParser(line).parse());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].at("t_s").num, 0.0);
+  EXPECT_DOUBLE_EQ(rows[0].at("a").num, 10.0);
+  EXPECT_EQ(rows[1].at("a").kind, JVal::kNull);
+  EXPECT_EQ(rows[0].at("b").kind, JVal::kNull);
+  EXPECT_DOUBLE_EQ(rows[2].at("b").num, 3.0);
+  std::remove(jsonl.c_str());
+
+  // CSV: header row, empty cells for NaN.
+  const std::string csv_path = "/tmp/pico_obs_series_test.csv";
+  rec.write_csv(csv_path);
+  std::ifstream csv(csv_path);
+  std::string header;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_EQ(header, "t_s,a,b");
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line.find("0.0"), 0u);
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line.back(), ',');  // both series NaN on row 1
+  std::remove(csv_path.c_str());
+
+  // Manifest summary carries per-series order statistics.
+  const JVal sum = JParser(rec.summary_json()).parse();
+  EXPECT_DOUBLE_EQ(sum.at("rows").num, 3.0);
+  const JVal& sa = sum.at("series").at("a");
+  EXPECT_DOUBLE_EQ(sa.at("n").num, 2.0);
+  EXPECT_DOUBLE_EQ(sa.at("min").num, 10.0);
+  EXPECT_DOUBLE_EQ(sa.at("max").num, 30.0);
+  EXPECT_DOUBLE_EQ(sa.at("last").num, 30.0);
+  EXPECT_DOUBLE_EQ(sa.at("p50").num, 20.0);
+  EXPECT_GT(sa.at("p99").num, sa.at("p50").num);
+}
+
+TEST(Series, DecimatesInPlaceAtRowCapAndDoublesCadence) {
+  TimeSeriesRecorder rec(1.0, 8);
+  const auto id = rec.series("v");
+  std::size_t committed = 0;
+  for (double t = 0.0; t < 16.0; t += 0.25) {
+    if (!rec.due(t)) continue;
+    rec.begin_row(t);
+    rec.set(id, t);
+    rec.commit_row();
+    ++committed;
+  }
+  // 0..7 at dt 1 fills the cap and decimates to {0,2,4,6} at dt 2; then
+  // 8,10,12,14 fill it again and decimate to {0,4,8,12} at dt 4.
+  EXPECT_EQ(committed, 12u);
+  EXPECT_EQ(rec.decimations(), 2u);
+  EXPECT_DOUBLE_EQ(rec.dt_s(), 4.0);
+  EXPECT_DOUBLE_EQ(rec.initial_dt_s(), 1.0);
+  ASSERT_EQ(rec.rows(), 4u);
+  const std::vector<double> expect_t{0.0, 4.0, 8.0, 12.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(rec.times()[i], expect_t[i]);
+    EXPECT_DOUBLE_EQ(rec.column(id)[i], expect_t[i]);  // columns track rows
+  }
+}
+
+// --- envelope watch ----------------------------------------------------------
+
+TEST(Envelope, LoadsRulesChecksSamplesAndFiresCallbackOnce) {
+  const std::string path = "/tmp/pico_obs_envelope_test.env";
+  {
+    std::ofstream os(path);
+    os << "# series  lo  hi\n";
+    os << "fleet.rate   0    0.25\n";
+    os << "\n";
+    os << "fleet.count  10   1e6   # trailing comment\n";
+  }
+  EnvelopeWatch w = EnvelopeWatch::load(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(w.rules().size(), 2u);
+  EXPECT_EQ(w.rules()[0].series, "fleet.rate");
+  EXPECT_DOUBLE_EQ(w.rules()[1].lo, 10.0);
+
+  int fired = 0;
+  w.set_on_breach([&](const EnvelopeWatch::Breach& b) {
+    ++fired;
+    EXPECT_EQ(b.series, "fleet.rate");
+    EXPECT_DOUBLE_EQ(b.value, 0.5);
+    EXPECT_DOUBLE_EQ(b.t_s, 3.0);
+  });
+  EXPECT_TRUE(w.check("fleet.rate", 1.0, 0.1));    // in envelope
+  EXPECT_TRUE(w.check("fleet.other", 2.0, 999.0)); // unruled: never breaches
+  EXPECT_FALSE(w.breached());
+  EXPECT_FALSE(w.check("fleet.rate", 3.0, 0.5));   // breach: callback fires
+  EXPECT_FALSE(w.check("fleet.count", 4.0, 2.0));  // second breach: recorded only
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(w.breached());
+  ASSERT_EQ(w.breaches().size(), 2u);
+  EXPECT_EQ(w.rules()[0].checks, 2u);
+
+  const JVal sum = JParser(w.summary_json()).parse();
+  EXPECT_TRUE(sum.at("breached").b);
+  EXPECT_EQ(sum.at("breaches").arr.size(), 2u);
+}
+
+TEST(Envelope, RecorderSkipsNaNSamplesAndChecksOnCommit) {
+  EnvelopeWatch w;
+  w.add_rule("x", 0.0, 1.0);
+  TimeSeriesRecorder rec(1.0, 16);
+  const auto x = rec.series("x");
+  rec.series("y");  // no rule, never checked against one
+  rec.set_watch(&w);
+  rec.begin_row(0.0);
+  rec.commit_row();  // x is NaN: not checked
+  EXPECT_EQ(w.rules()[0].checks, 0u);
+  rec.begin_row(1.0);
+  rec.set(x, 0.5);
+  rec.commit_row();
+  EXPECT_EQ(w.rules()[0].checks, 1u);
+  EXPECT_FALSE(w.breached());
+  rec.begin_row(2.0);
+  rec.set(x, 2.0);
+  rec.commit_row();
+  EXPECT_TRUE(w.breached());
+}
+
+// --- flight recorder ---------------------------------------------------------
+
+TEST(Flight, RingWrapsKeepsNewestAndCountsDropped) {
+  FlightRing ring;
+  ring.reset(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.push({static_cast<double>(i), FlightEventKind::kFrameTx,
+               static_cast<std::uint32_t>(i), 0, 0.0});
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  std::vector<FlightEvent> out;
+  ring.append_to(out);
+  ASSERT_EQ(out.size(), 4u);  // newest four, oldest first
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(out[i].t_s, 6.0 + static_cast<double>(i));
+}
+
+TEST(Flight, MergedOrdersByTimeRingSeqAndFingerprintIsContentPure) {
+  const auto fill = [](FlightRecorder& r, bool host_first) {
+    r.configure_rings(3);
+    const FlightEvent host{5.0, FlightEventKind::kEpochBarrier, 1, 2, 0.0};
+    const FlightEvent d0a{2.0, FlightEventKind::kFrameTx, 7, 1, 1e-9};
+    const FlightEvent d0b{5.0, FlightEventKind::kCollision, 7, 2, 2e-9};
+    const FlightEvent d1{5.0, FlightEventKind::kFrameTx, 9, 1, 3e-9};
+    // Same per-ring content either way; only the interleaving differs.
+    if (host_first) r.record(host);
+    r.ring(1).push(d0a);
+    r.ring(2).push(d1);
+    r.ring(1).push(d0b);
+    if (!host_first) r.record(host);
+  };
+  FlightRecorder a, b;
+  fill(a, true);
+  fill(b, false);
+  const auto m = a.merged();
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m[0].ev.t_s, 2.0);  // time first
+  EXPECT_EQ(m[1].ring, 0u);            // then ring (host barrier at t=5)
+  EXPECT_EQ(m[2].ring, 1u);
+  EXPECT_EQ(m[3].ring, 2u);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.total_recorded(), 4u);
+  // Any content difference avalanches.
+  b.ring(2).push({6.0, FlightEventKind::kBrownout, 3, 0, -1e-6});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Flight, FaultStormTripsDumpHookExactlyOnce) {
+  FlightRecorder r;
+  r.set_storm_threshold(4, 1.0);
+  int dumps = 0;
+  r.set_dump_hook([&](const std::string& reason) {
+    ++dumps;
+    EXPECT_EQ(reason, "fault-storm");
+  });
+  // Three opens within the window: below threshold.
+  for (double t : {10.0, 10.2, 10.4}) {
+    r.record({t, FlightEventKind::kFaultActive, 0, 0, 0.5});
+  }
+  EXPECT_FALSE(r.dumped());
+  // An open far outside the window keeps the spread too wide...
+  r.record({20.0, FlightEventKind::kFaultActive, 0, 0, 0.5});
+  EXPECT_FALSE(r.dumped());
+  // ...but four opens inside one sim-second trip it.
+  for (double t : {30.0, 30.1, 30.2, 30.3}) {
+    r.record({t, FlightEventKind::kFaultActive, 0, 0, 0.5});
+  }
+  EXPECT_TRUE(r.dumped());
+  EXPECT_EQ(r.dump_reason(), "fault-storm");
+  r.trigger_dump("later");  // second trigger: no re-fire, reason sticks
+  EXPECT_EQ(dumps, 1);
+  EXPECT_EQ(r.dump_reason(), "fault-storm");
+}
+
+TEST(Flight, JsonlDumpRoundTrips) {
+  FlightRecorder r;
+  r.record({1.5, FlightEventKind::kArqExhausted, 42, 4, 0.0});
+  const std::string path = "/tmp/pico_obs_flight_test.jsonl";
+  r.write_jsonl(path);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const JVal ev = JParser(line).parse();
+  EXPECT_DOUBLE_EQ(ev.at("t_s").num, 1.5);
+  EXPECT_EQ(ev.at("kind").str, "arq_exhausted");
+  EXPECT_DOUBLE_EQ(ev.at("a").num, 42.0);
+  EXPECT_DOUBLE_EQ(ev.at("b").num, 4.0);
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+// --- tracer sim-time stamping ------------------------------------------------
+
+TEST(Tracer, SimClockStampsSpansAndInstants) {
+  Tracer tr;
+  double sim_t = 0.0;
+  tr.set_sim_clock([&] { return sim_t; });
+  ASSERT_TRUE(tr.has_sim_clock());
+  sim_t = 1.5;
+  tr.instant("mark");
+  sim_t = 2.5;
+  { Span s(tr, "work"); }
+  tr.set_sim_clock({});  // detached: later events are wall-only again
+  tr.instant("after");
+
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(events[0].has_sim);
+  EXPECT_DOUBLE_EQ(events[0].sim_t_s, 1.5);
+  EXPECT_TRUE(events[1].has_sim);
+  EXPECT_DOUBLE_EQ(events[1].sim_t_s, 2.5);
+  EXPECT_FALSE(events[2].has_sim);
+
+  // Chrome trace carries sim_t_s only for stamped events; the CSV gains a
+  // sim_t_s column with empty cells for unstamped rows.
+  const std::string json_path = "/tmp/pico_obs_simclock_trace.json";
+  tr.write_chrome_trace(json_path);
+  const JVal doc = parse_file(json_path);
+  EXPECT_DOUBLE_EQ(doc.at("traceEvents").arr[0].at("args").at("sim_t_s").num, 1.5);
+  EXPECT_FALSE(doc.at("traceEvents").arr[2].at("args").has("sim_t_s"));
+  std::remove(json_path.c_str());
+  const std::string csv_path = "/tmp/pico_obs_simclock_spans.csv";
+  tr.write_csv(csv_path);
+  std::ifstream csv(csv_path);
+  std::string header;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_NE(header.find("sim_t_s"), std::string::npos);
+  std::remove(csv_path.c_str());
+}
+
+TEST(Tracer, WallOnlyOutputsUnchangedWithoutSimClock) {
+  // Regression for the default behavior: a tracer that never had a sim
+  // clock must not grow a sim_t_s column or trace arg.
+  Tracer tr;
+  EXPECT_FALSE(tr.has_sim_clock());
+  { Span s(tr, "plain"); }
+  const std::string json_path = "/tmp/pico_obs_wallonly_trace.json";
+  tr.write_chrome_trace(json_path);
+  const JVal doc = parse_file(json_path);
+  EXPECT_FALSE(doc.at("traceEvents").arr[0].at("args").has("sim_t_s"));
+  std::remove(json_path.c_str());
+  const std::string csv_path = "/tmp/pico_obs_wallonly_spans.csv";
+  tr.write_csv(csv_path);
+  std::ifstream csv(csv_path);
+  std::string header;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_EQ(header.find("sim_t_s"), std::string::npos);
+  std::remove(csv_path.c_str());
+}
+
+// --- session time-dimension wiring -------------------------------------------
+
+TEST(Session, FromArgsParsesTimeDimensionFlags) {
+  const std::string env_path = "/tmp/pico_obs_session_env.env";
+  {
+    std::ofstream os(env_path);
+    os << "x 0 1\n";
+  }
+  const std::string prefix = "/tmp/pico_obs_session_flags";
+  const std::string tele = "--telemetry=" + prefix;
+  const std::string env_flag = "--envelope=" + env_path;
+  const char* argv[] = {"tool", tele.c_str(), "--series-dt=0.25",
+                        "--flight-recorder=64", env_flag.c_str()};
+  auto s = TelemetrySession::from_args(5, const_cast<char**>(argv), "tool");
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(s->series(), nullptr);
+  EXPECT_DOUBLE_EQ(s->series()->initial_dt_s(), 0.25);
+  ASSERT_NE(s->flight(), nullptr);
+  EXPECT_EQ(s->flight()->ring(0).capacity(), 64u);
+  ASSERT_NE(s->envelope(), nullptr);
+  EXPECT_EQ(s->envelope()->rules().size(), 1u);
+  EXPECT_EQ(s->exit_code(), 0);
+  s->finish(false);
+  for (const char* ext : {".manifest.json", ".trace.json", ".spans.csv",
+                          ".series.jsonl", ".series.csv", ".flight.jsonl"}) {
+    const std::string p = prefix + ext;
+    std::ifstream in(p);
+    EXPECT_TRUE(in.is_open()) << p;
+    in.close();
+    std::remove(p.c_str());
+  }
+  std::remove(env_path.c_str());
+}
+
+TEST(Session, EnvelopeBreachDumpsFlightAtBreachTimeAndFailsExitCode) {
+  const std::string prefix = "/tmp/pico_obs_session_breach";
+  {
+    TelemetrySession s("obs_test", prefix);
+    s.enable_series(1.0);
+    s.enable_flight();
+    s.load_envelope("/dev/null");  // empty file: no rules yet
+    s.envelope()->add_rule("x", 0.0, 1.0);
+    const auto x = s.series()->series("x");
+    s.flight()->record({0.5, FlightEventKind::kFrameTx, 1, 1, 0.0});
+    s.series()->begin_row(1.0);
+    s.series()->set(x, 5.0);  // outside [0, 1]
+    s.series()->commit_row();
+
+    // The breach dumped the flight rings immediately — not at finish —
+    // and recorded itself as a flight event.
+    EXPECT_TRUE(s.envelope_breached());
+    EXPECT_EQ(s.exit_code(), 1);
+    EXPECT_TRUE(s.flight()->dumped());
+    EXPECT_EQ(s.flight()->dump_reason(), "envelope");
+    std::ifstream dump(prefix + ".flight.jsonl");
+    ASSERT_TRUE(dump.is_open());
+    std::string line;
+    bool breach_event = false;
+    while (std::getline(dump, line)) {
+      if (JParser(line).parse().at("kind").str == "envelope_breach") breach_event = true;
+    }
+    EXPECT_TRUE(breach_event);
+    s.finish(false);
+  }
+  const JVal man = parse_file(prefix + ".manifest.json");
+  EXPECT_TRUE(man.at("envelope").at("breached").b);
+  EXPECT_EQ(man.at("flight").at("dump_reason").str, "envelope");
+  EXPECT_DOUBLE_EQ(man.at("series").at("rows").num, 1.0);
+  for (const char* ext : {".manifest.json", ".trace.json", ".spans.csv",
+                          ".series.jsonl", ".series.csv", ".flight.jsonl"}) {
     std::remove((prefix + ext).c_str());
   }
 }

@@ -27,8 +27,13 @@ Usage:
     check_bench.py --bench ./bench_engine_perf --baseline BENCH_BASELINE.json \
         --name engine_perf [--tolerance 0.5] [--update]
     check_bench.py --current BENCH_storage.json --baseline ... --name storage
+    check_bench.py --validate-series out/run.series.jsonl
 
 --update rewrites the named entry from the current run instead of checking.
+--validate-series is a standalone mode: it checks a telemetry-series JSONL
+file (one object per sample row) for schema sanity — numeric strictly
+increasing ``t_s``, one consistent key set across rows, every value numeric
+or null — and ignores the baseline arguments.
 Exit code: 0 on success, 1 on divergence or missing values, 2 on usage error.
 """
 
@@ -78,13 +83,68 @@ def run_bench(binary):
         os.unlink(path)
 
 
+def validate_series(path):
+    """Schema-check a TimeSeriesRecorder JSONL export; returns error count."""
+    errors = 0
+    keys = None
+    prev_t = None
+    rows = 0
+    try:
+        f = open(path)
+    except OSError as e:
+        print(f"error: cannot open {path}: {e}")
+        return 1
+    with f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"{path}:{lineno}: not valid JSON: {e}")
+                errors += 1
+                continue
+            if not isinstance(row, dict):
+                print(f"{path}:{lineno}: row is not an object")
+                errors += 1
+                continue
+            rows += 1
+            if not isinstance(row.get("t_s"), (int, float)):
+                print(f"{path}:{lineno}: missing numeric 't_s'")
+                errors += 1
+            else:
+                if prev_t is not None and row["t_s"] <= prev_t:
+                    print(f"{path}:{lineno}: t_s {row['t_s']} not after {prev_t}")
+                    errors += 1
+                prev_t = row["t_s"]
+            if keys is None:
+                keys = set(row)
+            elif set(row) != keys:
+                print(f"{path}:{lineno}: key set changed "
+                      f"(+{sorted(set(row) - keys)} -{sorted(keys - set(row))})")
+                errors += 1
+            for key, val in row.items():
+                if val is not None and not isinstance(val, (int, float)):
+                    print(f"{path}:{lineno}: '{key}' is neither numeric nor null")
+                    errors += 1
+    if rows == 0:
+        print(f"{path}: no sample rows")
+        errors += 1
+    if errors == 0:
+        print(f"{path}: {rows} row(s), {len(keys) - 1} series, schema ok")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    src = ap.add_mutually_exclusive_group(required=True)
+    src = ap.add_mutually_exclusive_group()
     src.add_argument("--bench", help="bench binary to run with --json")
     src.add_argument("--current", help="already-written bench JSON report")
-    ap.add_argument("--baseline", required=True, help="BENCH_BASELINE.json path")
-    ap.add_argument("--name", required=True, help="baseline entry name")
+    ap.add_argument("--validate-series", metavar="JSONL",
+                    help="standalone mode: schema-check a series JSONL export")
+    ap.add_argument("--baseline", help="BENCH_BASELINE.json path")
+    ap.add_argument("--name", help="baseline entry name")
     ap.add_argument("--tolerance", type=float, default=None,
                     help="relative tolerance override (default: entry's, else %.2f)"
                          % DEFAULT_TOLERANCE)
@@ -94,6 +154,12 @@ def main():
                     help="if the baseline entry does not exist yet, record it "
                          "from this run and exit 0 (first-run bootstrap)")
     args = ap.parse_args()
+
+    if args.validate_series:
+        return 1 if validate_series(args.validate_series) else 0
+    if not (args.bench or args.current) or not args.baseline or not args.name:
+        ap.error("--bench/--current, --baseline and --name are required "
+                 "unless --validate-series is used")
 
     if args.bench:
         doc = run_bench(args.bench)

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Run the fleet soak corpus and aggregate its telemetry into one report.
+
+For each scenario this tool runs ``bench_fleet_soak`` with the full
+time-dimension telemetry armed (``--telemetry --series-dt --flight-recorder``
+and optionally ``--envelope``), schema-checks the series JSONL it emits,
+and distills the run's artifacts — manifest series summary (p50/p99 per
+series), flight-recorder fingerprint and dump reason, envelope verdict,
+headline counters — into one JSON report.
+
+Every field in the report is a pure function of the simulation (counters,
+sim-time quantiles, event fingerprints): no wall-clock rates, no
+timestamps. That is what makes the report diffable against a checked-in
+golden across machines:
+
+    soak_report.py --bench build/bench/bench_fleet_soak --out /tmp/soak \
+        --envelope tests/golden/fleet_soak.envelope \
+        --golden tests/golden/soak_report.golden
+
+    soak_report.py ... --update-golden   # rewrite the golden from this run
+
+Exit code: 0 when all scenarios ran, their artifacts validated, and (if
+--golden was given) the report matches; 1 otherwise; 2 on usage error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from check_bench import validate_series  # noqa: E402
+
+SCENARIOS = ["beacon_nominal", "beacon_fault_storm"]
+# A scenario's bench exit code folds in live envelope breaches; the storm
+# scenario is *expected* to stay inside the envelope too (its golden bounds
+# are written around the faulted behavior).
+REL_TOL = 1e-12
+
+
+def run_scenario(args, scenario):
+    prefix = os.path.join(args.out, scenario)
+    cmd = [
+        args.bench,
+        f"--scenario={scenario}",
+        f"--nodes={args.nodes}",
+        f"--sim-time={args.sim_time}",
+        f"--telemetry={prefix}",
+        f"--series-dt={args.series_dt}",
+        "--flight-recorder",
+        f"--json={prefix}.json",
+    ]
+    if args.envelope:
+        cmd.append(f"--envelope={args.envelope}")
+    proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+    return prefix, proc.returncode
+
+
+def summarize(prefix, exit_code):
+    """Distill one scenario's artifacts into deterministic report fields."""
+    with open(prefix + ".json") as f:
+        bench = json.load(f)
+    with open(prefix + ".manifest.json") as f:
+        manifest = json.load(f)
+
+    entry = {
+        "exit_code": exit_code,
+        "metrics": {k: v for k, v in sorted(bench.get("metrics", {}).items())},
+        "checks_diverging": bench.get("diverging", 0),
+    }
+    series = manifest.get("series", {})
+    entry["series"] = {
+        name: {q: s[q] for q in ("n", "min", "max", "last", "p50", "p99")}
+        for name, s in sorted(series.get("series", {}).items())
+    }
+    entry["series_rows"] = series.get("rows", 0)
+    entry["series_decimations"] = series.get("decimations", 0)
+    flight = manifest.get("flight", {})
+    entry["flight"] = {
+        "rings": flight.get("rings", 0),
+        "recorded": flight.get("recorded", 0),
+        "dropped": flight.get("dropped", 0),
+        "fingerprint": flight.get("fingerprint", ""),
+        "dump_reason": flight.get("dump_reason", ""),
+    }
+    envelope = manifest.get("envelope")
+    if envelope is not None:
+        entry["envelope"] = {
+            "breached": envelope.get("breached", False),
+            "breaches": len(envelope.get("breaches", [])),
+        }
+    return entry
+
+
+def values_match(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        try:
+            a, b = float(a), float(b)
+        except (TypeError, ValueError):
+            return False
+        if a == b:
+            return True
+        scale = max(abs(a), abs(b))
+        return abs(a - b) <= REL_TOL * scale
+    return a == b
+
+
+def diff_report(golden, current, path=""):
+    """Recursive diff; returns a list of human-readable mismatch lines."""
+    mismatches = []
+    if isinstance(golden, dict) and isinstance(current, dict):
+        for key in sorted(set(golden) | set(current)):
+            sub = f"{path}.{key}" if path else key
+            if key not in golden:
+                mismatches.append(f"NEW       {sub} = {current[key]!r}")
+            elif key not in current:
+                mismatches.append(f"MISSING   {sub} (golden {golden[key]!r})")
+            else:
+                mismatches += diff_report(golden[key], current[key], sub)
+    elif not values_match(golden, current):
+        mismatches.append(f"DIFFERS   {path}: golden {golden!r}, current {current!r}")
+    return mismatches
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", required=True, help="bench_fleet_soak binary")
+    ap.add_argument("--out", required=True, help="directory for run artifacts")
+    ap.add_argument("--nodes", type=int, default=2000)
+    ap.add_argument("--sim-time", type=float, default=60.0)
+    ap.add_argument("--series-dt", type=float, default=0.5)
+    ap.add_argument("--envelope", help="golden envelope file passed to every run")
+    ap.add_argument("--golden", help="golden report to diff against")
+    ap.add_argument("--update-golden", action="store_true",
+                    help="rewrite --golden from this run instead of diffing")
+    ap.add_argument("--report", help="also write the aggregated report here")
+    args = ap.parse_args()
+
+    if args.update_golden and not args.golden:
+        ap.error("--update-golden requires --golden")
+    os.makedirs(args.out, exist_ok=True)
+
+    failures = 0
+    report = {
+        "nodes": args.nodes,
+        "sim_time_s": args.sim_time,
+        "series_dt_s": args.series_dt,
+        "scenarios": {},
+    }
+    for scenario in SCENARIOS:
+        prefix, exit_code = run_scenario(args, scenario)
+        if not os.path.exists(prefix + ".manifest.json"):
+            print(f"error: {scenario}: bench produced no manifest "
+                  f"(exit {exit_code})")
+            failures += 1
+            continue
+        if exit_code != 0:
+            print(f"error: {scenario}: bench exited {exit_code} "
+                  f"(diverging checks or envelope breach)")
+            failures += 1
+        if validate_series(prefix + ".series.jsonl"):
+            failures += 1
+        report["scenarios"][scenario] = summarize(prefix, exit_code)
+        fp = report["scenarios"][scenario]["flight"]["fingerprint"]
+        print(f"{scenario}: exit {exit_code}, flight fingerprint {fp}")
+
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.report}")
+
+    if args.golden:
+        if args.update_golden:
+            with open(args.golden, "w") as f:
+                json.dump(report, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"updated golden {args.golden}")
+        elif not os.path.exists(args.golden):
+            print(f"error: golden {args.golden} does not exist "
+                  f"(run with --update-golden to record it)")
+            failures += 1
+        else:
+            with open(args.golden) as f:
+                golden = json.load(f)
+            mismatches = diff_report(golden, report)
+            for line in mismatches:
+                print(line)
+            if mismatches:
+                print(f"\n{len(mismatches)} field(s) differ from {args.golden}")
+                failures += 1
+            else:
+                print(f"report matches golden {args.golden}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
