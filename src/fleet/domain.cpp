@@ -54,6 +54,7 @@ void Domain::add_node(std::uint32_t global_id, double interval_s, double first_w
   alive_.push_back(1);
   cycles_.push_back(0);
   cycle_energy_j_.push_back(0.0);
+  heap_.invalidate();
 }
 
 void Domain::reserve_scratch(double epoch_s, double min_interval_s) {
@@ -66,10 +67,309 @@ void Domain::reserve_scratch(double epoch_s, double min_interval_s) {
   outbox_left_.reserve(frames);
   outbox_right_.reserve(frames);
   inbox_.reserve(2 * frames);
+  tx_order_.reserve(frames);
+  collision_notes_.reserve(frames);
 }
 
 void Domain::advance(double epoch_end_s, const KernelModel& m,
                      obs::FlightRing* flight) {
+  if (path_ == EpochPath::kLegacy) {
+    advance_legacy(epoch_end_s, m, flight);
+  } else {
+    advance_active(epoch_end_s, m, flight);
+  }
+}
+
+void Domain::resolve(double epoch_end_s, const KernelModel& m,
+                     obs::FlightRing* flight) {
+  if (path_ == EpochPath::kLegacy) {
+    resolve_legacy(epoch_end_s, m, flight);
+  } else {
+    resolve_active(epoch_end_s, m, flight);
+  }
+}
+
+// --- Active path: wake calendar + merge resolve ------------------------------
+
+void Domain::advance_active(double epoch_end_s, const KernelModel& m,
+                            obs::FlightRing* flight) {
+  outbox_left_.clear();
+  outbox_right_.clear();
+  if (!heap_.built()) heap_.build(next_wake_s_);
+  const std::size_t first_new = pending_.size();
+  // Pop wakes in global (time, id) order: the per-node draw sequence is
+  // the same as the legacy node-major scan (each node's wakes still fire
+  // in its own time order, and randomness is per-node), while pending_
+  // and the outboxes come out (start, id)-sorted by construction.
+  // Counter accumulation commutes bit-for-bit: every += adds the same
+  // constant, so the running sums are order-invariant.
+  //
+  // The calendar ignores alive_ — during a run every node is alive
+  // (finalize() is terminal), which is the only time advance runs.
+  while (!heap_.empty()) {
+    const std::uint32_t i = heap_.top();
+    const double wake = next_wake_s_[i];
+    if (wake > epoch_end_s) break;
+    next_wake_s_[i] += interval_s_[i];
+    heap_.sift_top(next_wake_s_);
+    ++cycles_[i];
+    ++c_.wake_cycles;
+    cycle_energy_j_[i] += m.profile.cycle_energy_j;
+    c_.cycle_energy_j += m.profile.cycle_energy_j;
+
+    const double start = wake + m.profile.tx_offset_s;
+    const double end = start + m.profile.airtime_s;
+    // Per-frame draws in a fixed order — loss, shadowing, decode — so
+    // the per-node stream is identical no matter how epochs or shards
+    // slice the run. Conditional draws follow the scalar discipline:
+    // nominal runs consume no fault randomness.
+    Rng& rng = rng_[i];
+    bool lost = false;
+    const double lp = m.loss_probability(end);
+    if (lp > 0.0) lost = rng.chance(lp);
+    double shadow = 1.0;
+    if (m.shadowing_sigma_db > 0.0) {
+      shadow = db_to_ratio(rng.normal(0.0, m.shadowing_sigma_db));
+    }
+    const double u = rng.uniform();
+    const auto sq = seq_[i]++;
+    if (start > m.sim_time_s) continue;  // run ends before the PA fires
+
+    const double p_rx = m.rx_power_w(dist_own_m_[i]) * shadow;
+    pending_.push_back(Frame{start, end, p_rx, u, 0, i, sq, lost});
+    ++c_.frames_on_air;
+    c_.airtime_s += m.profile.airtime_s;
+    if (lost) ++c_.frames_lost;
+    if (dist_left_m_[i] >= 0.0) {
+      outbox_left_.push_back(
+          {start, end, m.rx_power_w(dist_left_m_[i]) * shadow, global_id_[i]});
+      ++c_.edge_exports;
+    }
+    if (dist_right_m_[i] >= 0.0) {
+      outbox_right_.push_back(
+          {start, end, m.rx_power_w(dist_right_m_[i]) * shadow, global_id_[i]});
+      ++c_.edge_exports;
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    if (flight != nullptr) emit_tx_flight(first_new, flight);
+  }
+}
+
+void Domain::emit_tx_flight(std::size_t first_new, obs::FlightRing* flight) {
+  // Replay this epoch's new frames in node-major (node, seq) order — the
+  // legacy generation order — so ring content, retention, and the
+  // cumulative-count tx sampling all match the legacy path bit for bit.
+  // Stamps gen_rank on every new frame for the kCollision post-pass.
+  const std::size_t total = pending_.size();
+  if (first_new >= total) return;
+  const std::uint64_t base =
+      c_.frames_on_air - static_cast<std::uint64_t>(total - first_new);
+  // (node << 32 | pending index) orders exactly like (node, seq): within
+  // one epoch a node's frames pop off the calendar in time order, so for
+  // equal nodes index order *is* seq order. Packed keys compare in a
+  // register instead of chasing two Frame loads, and the runs are tiny
+  // (a handful of wakes per domain-epoch), so insertion sort with its
+  // sorted-input early exit beats the introsort dispatch.
+  tx_order_.clear();
+  for (std::size_t k = first_new; k < total; ++k) {
+    tx_order_.push_back(static_cast<std::uint64_t>(pending_[k].node) << 32 |
+                        static_cast<std::uint64_t>(k));
+  }
+  if (tx_order_.size() <= 32) {
+    for (std::size_t a = 1; a < tx_order_.size(); ++a) {
+      const std::uint64_t v = tx_order_[a];
+      std::size_t b = a;
+      for (; b > 0 && tx_order_[b - 1] > v; --b) tx_order_[b] = tx_order_[b - 1];
+      tx_order_[b] = v;
+    }
+  } else {
+    std::sort(tx_order_.begin(), tx_order_.end());
+  }
+  std::uint64_t rank = base;
+  for (const std::uint64_t key : tx_order_) {
+    Frame& f = pending_[static_cast<std::uint32_t>(key)];
+    f.gen_rank = rank;
+    // Sampled on the cumulative count (frame 1, 1+N, 1+2N, ...): the
+    // subset is a pure function of the domain's frame sequence.
+    if ((rank & flight_tx_mask_) == 0) {
+      flight->push({f.start_s, obs::FlightEventKind::kFrameTx,
+                    global_id_[f.node], f.seq, f.p_rx_w});
+    }
+    ++rank;
+  }
+}
+
+void Domain::resolve_active(double epoch_end_s, const KernelModel& m,
+                            obs::FlightRing* flight) {
+  // Assemble this epoch's air picture by merging three already-sorted
+  // runs — carried records, pending own frames (lost frames still jam),
+  // and the routed inbox — instead of sorting from scratch. All three are
+  // (start, id)-sorted: pending by calendar construction, the inbox by
+  // route_inbox's merge, and carry because it filters last epoch's sorted
+  // records. Keys are globally unique (a frame enters the air picture
+  // exactly once), so the merge output is byte-identical to what the
+  // legacy sort produces.
+  records_.clear();
+  if (carry_.empty() && inbox_.empty()) {
+    // Sparse-fleet common case: nothing carried, nothing imported — the
+    // air picture is the pending run projected verbatim (same records,
+    // same order as the merge below would emit).
+    for (const Frame& f : pending_) {
+      records_.push_back({f.start_s, f.end_s, f.p_rx_w, global_id_[f.node]});
+    }
+  } else {
+    const std::size_t nc = carry_.size();
+    const std::size_t np = pending_.size();
+    const std::size_t ni = inbox_.size();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    std::size_t k = 0;
+    const auto less = [](double as, std::uint32_t an, double bs, std::uint32_t bn) {
+      return as != bs ? as < bs : an < bn;
+    };
+    while (i < nc || j < np || k < ni) {
+      int pick = -1;
+      double bs = 0.0;
+      std::uint32_t bn = 0;
+      if (i < nc) {
+        pick = 0;
+        bs = carry_[i].start_s;
+        bn = carry_[i].global_node;
+      }
+      if (j < np) {
+        const double s = pending_[j].start_s;
+        const std::uint32_t g = global_id_[pending_[j].node];
+        if (pick < 0 || less(s, g, bs, bn)) {
+          pick = 1;
+          bs = s;
+          bn = g;
+        }
+      }
+      if (k < ni && (pick < 0 || less(inbox_[k].start_s, inbox_[k].node, bs, bn))) {
+        pick = 2;
+      }
+      if (pick == 0) {
+        records_.push_back(carry_[i++]);
+      } else if (pick == 1) {
+        const Frame& f = pending_[j++];
+        records_.push_back({f.start_s, f.end_s, f.p_rx_w, global_id_[f.node]});
+      } else {
+        const EdgeFrame& e = inbox_[k++];
+        records_.push_back({e.start_s, e.end_s, e.p_rx_w, e.node});
+      }
+    }
+  }
+
+  // Resolve own frames ending inside the epoch; keep the rest pending.
+  // pending_ is start-ordered, so the overlap window's left edge only
+  // moves forward: a monotone cursor replaces the per-frame binary
+  // search, visiting the same first index std::lower_bound would.
+  std::size_t keep = 0;
+  std::size_t lo = 0;
+  const std::size_t nrec = records_.size();
+  for (Frame& f : pending_) {
+    if (f.end_s > epoch_end_s) {
+      pending_[keep++] = f;
+      continue;
+    }
+    if (f.lost) continue;  // burned the energy, never reached the gateway
+    ++c_.frames_completed;
+
+    const std::uint32_t gid = global_id_[f.node];
+    double interference_w = 0.0;
+    const double win = f.start_s - m.max_airtime_s;
+    while (lo < nrec && records_[lo].start_s < win) ++lo;
+    for (std::size_t r = lo; r < nrec && records_[r].start_s < f.end_s; ++r) {
+      if (records_[r].global_node == gid) continue;
+      if (records_[r].end_s > f.start_s) interference_w += records_[r].p_rx_w;
+    }
+
+    double snr = f.p_rx_w / m.noise_w;
+    if (interference_w > 0.0) {
+      if (f.p_rx_w < interference_w * m.capture_ratio) {
+        ++c_.collided;
+        if constexpr (obs::kEnabled) {
+          // Buffered, not pushed: emitted below in gen_rank (legacy
+          // node-major) order so ring bytes match the legacy path.
+          if (flight != nullptr) {
+            collision_notes_.push_back(
+                {f.gen_rank, f.end_s, gid, f.seq, interference_w});
+          }
+        }
+        continue;
+      }
+      ++c_.captured;
+      snr = f.p_rx_w / (m.noise_w + interference_w);
+    }
+    if (f.p_rx_w < m.sensitivity_w) {
+      ++c_.below_squelch;
+      continue;
+    }
+    // Noncoherent OOK: a frame decodes iff no post-preamble bit flips.
+    const double ber = 0.5 * std::exp(-snr / 2.0);
+    const double p_ok =
+        std::pow(1.0 - ber, static_cast<double>(m.profile.decode_bits));
+    if (f.u_decode < p_ok) {
+      ++c_.delivered;
+      c_.delivered_payload_bits += m.profile.payload_bits;
+    } else {
+      ++c_.crc_rejected;
+    }
+  }
+  pending_.resize(keep);
+  rebuild_carry(epoch_end_s, m, keep);
+  if constexpr (obs::kEnabled) {
+    if (flight != nullptr && !collision_notes_.empty()) {
+      std::sort(collision_notes_.begin(), collision_notes_.end(),
+                [](const CollisionNote& a, const CollisionNote& b) {
+                  return a.rank < b.rank;
+                });
+      for (const CollisionNote& n : collision_notes_) {
+        flight->push(
+            {n.t_s, obs::FlightEventKind::kCollision, n.gid, n.seq, n.interference_w});
+      }
+      collision_notes_.clear();
+    }
+  }
+  inbox_.clear();
+}
+
+bool Domain::route_inbox(const std::vector<EdgeFrame>* from_left,
+                         const std::vector<EdgeFrame>* from_right) {
+  // Writes only this domain's inbox and reads only neighbor outboxes,
+  // which are immutable once Phase A drains — every domain can route
+  // concurrently. Merge order is fixed by (start, id), which for sorted
+  // outboxes is exactly the order the legacy serial splice + sort ends
+  // up with (the node sets are disjoint, so keys never tie).
+  inbox_.clear();
+  const std::size_t nl = from_left != nullptr ? from_left->size() : 0;
+  const std::size_t nr = from_right != nullptr ? from_right->size() : 0;
+  if (nl + nr == 0) return false;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < nl && j < nr) {
+    const EdgeFrame& a = (*from_left)[i];
+    const EdgeFrame& b = (*from_right)[j];
+    const bool take_a =
+        a.start_s != b.start_s ? a.start_s < b.start_s : a.node < b.node;
+    if (take_a) {
+      inbox_.push_back(a);
+      ++i;
+    } else {
+      inbox_.push_back(b);
+      ++j;
+    }
+  }
+  while (i < nl) inbox_.push_back((*from_left)[i++]);
+  while (j < nr) inbox_.push_back((*from_right)[j++]);
+  return true;
+}
+
+// --- Legacy path: node-major scan + per-epoch sort ---------------------------
+
+void Domain::advance_legacy(double epoch_end_s, const KernelModel& m,
+                            obs::FlightRing* flight) {
   outbox_left_.clear();
   outbox_right_.clear();
   const std::size_t n = nodes();
@@ -103,7 +403,7 @@ void Domain::advance(double epoch_end_s, const KernelModel& m,
 
       const double p_rx = m.rx_power_w(dist_own_m_[i]) * shadow;
       pending_.push_back(
-          Frame{start, end, p_rx, u, static_cast<std::uint32_t>(i), sq, lost});
+          Frame{start, end, p_rx, u, 0, static_cast<std::uint32_t>(i), sq, lost});
       ++c_.frames_on_air;
       if constexpr (obs::kEnabled) {
         // Sampled on the cumulative count (frame 1, 1+N, 1+2N, ...): the
@@ -129,8 +429,8 @@ void Domain::advance(double epoch_end_s, const KernelModel& m,
   }
 }
 
-void Domain::resolve(double epoch_end_s, const KernelModel& m,
-                     obs::FlightRing* flight) {
+void Domain::resolve_legacy(double epoch_end_s, const KernelModel& m,
+                            obs::FlightRing* flight) {
   // Assemble this epoch's air picture: carried boundary records, every
   // pending own frame (lost frames still jam), and the imported edges.
   records_.clear();
@@ -200,9 +500,15 @@ void Domain::resolve(double epoch_end_s, const KernelModel& m,
     }
   }
   pending_.resize(keep);
+  rebuild_carry(epoch_end_s, m, keep);
+  inbox_.clear();
+}
 
+void Domain::rebuild_carry(double epoch_end_s, const KernelModel& m,
+                           std::size_t keep) {
   // Carry boundary-spanning records — except own frames still pending,
-  // which re-enter via pending_ next epoch.
+  // which re-enter via pending_ next epoch. records_ is sorted, so the
+  // filter leaves carry_ sorted for the next epoch's merge.
   carry_.clear();
   const double horizon = epoch_end_s - m.max_airtime_s;
   for (std::size_t k = 0; k < records_.size(); ++k) {
@@ -222,7 +528,6 @@ void Domain::resolve(double epoch_end_s, const KernelModel& m,
     }
     if (!is_pending_own) carry_.push_back(r);
   }
-  inbox_.clear();
 }
 
 void Domain::finalize(const KernelModel& m, obs::FlightRing* flight) {

@@ -10,17 +10,41 @@
 //
 // Each epoch runs in two phases (ShardedFleetEngine drives them):
 //
-//   Phase A (parallel)  advance(): step every node's wake timer through
-//     the epoch, draw the frame's RNG in a fixed order (loss, shadowing,
-//     decode), bill the cycle energy, and append the frame to the local
-//     list plus any boundary outboxes. Beacon-mode frame generation is
-//     independent of collision outcomes, so this phase needs no
-//     cross-domain data at all.
-//   barrier + exchange  the engine moves every outbox into the neighbor's
-//     inbox in domain order.
-//   Phase B (parallel)  resolve(): sort the domain's air records, resolve
-//     capture/collision/squelch/decode for every own frame that ends
-//     inside the epoch, and carry boundary-spanning records forward.
+//   Phase A (parallel)  advance(): step wake timers through the epoch,
+//     draw the frame's RNG in a fixed order (loss, shadowing, decode),
+//     bill the cycle energy, and append the frame to the local list plus
+//     any boundary outboxes. Beacon-mode frame generation is independent
+//     of collision outcomes, so this phase needs no cross-domain data.
+//   barrier + exchange  every neighbor outbox is immutable once Phase A
+//     drains, so each domain's inbox can be filled concurrently
+//     (route_inbox) with the same fixed left-then-right merge order the
+//     old serial splice used.
+//   Phase B (parallel)  resolve(): order the domain's air records,
+//     resolve capture/collision/squelch/decode for every own frame that
+//     ends inside the epoch, and carry boundary-spanning records forward.
+//
+// Two epoch paths produce bit-identical outcomes (EpochPath):
+//
+//   kActive (default)  a WakeHeap wake calendar fires wakes in global
+//     (time, id) order, so pending/outboxes are sorted by construction;
+//     resolve() replaces the per-epoch std::sort with a 3-way merge of
+//     the sorted carry/pending/inbox runs and walks the interference
+//     window with a monotone cursor instead of a per-frame binary
+//     search. A domain with no wake due and no air records is O(1) to
+//     skip — per-epoch cost scales with *activity*, not population.
+//   kLegacy  the pre-calendar engine: node-major timer scan + full sort
+//     per epoch. Kept as the cross-validation and benchmark reference
+//     (bench_fleet_scale E19 measures the active path against it).
+//
+// Flight-ring parity: the legacy path emits kFrameTx at generation and
+// kCollision at resolution, both in node-major order, and the 1-in-2^k tx
+// sampling is keyed on that node-major cumulative count. The active path
+// generates in time order, so it restores the exact legacy ring content
+// with two post-passes: advance() re-walks the epoch's new frames in
+// (node, seq) order to emit/sample kFrameTx and stamp each frame's
+// node-major `gen_rank`, and resolve() buffers collision outcomes and
+// emits them sorted by gen_rank. Ring bytes — and therefore retention,
+// sampling, and fingerprints — match the legacy path bit for bit.
 //
 // Nothing in a domain depends on which shard ran it or on thread count:
 // all randomness is per-node (Rng::stream), all ordering is by (start,
@@ -29,6 +53,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -104,6 +129,13 @@ struct DomainCounters {
   double cycle_energy_j = 0.0;
 };
 
+// Which epoch algorithm a Domain runs. Outcomes (counters, energies,
+// flight rings) are bit-identical between the two; only cost differs.
+enum class EpochPath : std::uint8_t {
+  kActive,  // wake-calendar advance + merge-based resolve (default)
+  kLegacy,  // node-major scan + per-epoch std::sort (reference)
+};
+
 class Domain {
  public:
   // An interference-only record exported across a boundary.
@@ -124,12 +156,52 @@ class Domain {
   // steady-state loop never allocates.
   void reserve_scratch(double epoch_s, double min_interval_s);
 
+  // Select the epoch algorithm (before the first advance of a run).
+  void set_path(EpochPath path) { path_ = path; }
+  [[nodiscard]] EpochPath path() const { return path_; }
+
   // Phase A: generate frames and bill cycle energy through `epoch_end_s`.
   // `flight` (optional, single-writer: this domain's own ring) records
   // kFrameTx events; events are a pure function of the simulation, so
   // flight content is shard/thread-invariant too.
   void advance(double epoch_end_s, const KernelModel& m,
                obs::FlightRing* flight = nullptr);
+  // O(1) active-set test: does any node wake at or before `t`? (Active
+  // path only; the legacy scan has no calendar, so it reports true.)
+  // When false, the engine may skip advance() after clear_outboxes().
+  [[nodiscard]] bool has_wake_before(double t) const {
+    if (path_ == EpochPath::kLegacy || !heap_.built()) return true;
+    return !heap_.empty() && heap_.top_key(next_wake_s_) <= t;
+  }
+  // The earliest pending wake, for the engine's dense active-set index
+  // (cheaper to probe per epoch than this object's heap): +inf when no
+  // node ever wakes again, -inf before the calendar exists — i.e. before
+  // the first advance (which builds it) and always on the legacy path,
+  // which has no calendar and must scan every epoch.
+  [[nodiscard]] double next_wake_hint() const {
+    if (!heap_.built()) return -std::numeric_limits<double>::infinity();
+    if (heap_.empty()) return std::numeric_limits<double>::infinity();
+    return next_wake_s_[heap_.top()];
+  }
+  // Drop last epoch's outboxes without advancing — required when advance
+  // is skipped, so neighbors never re-import stale boundary frames.
+  void clear_outboxes() {
+    outbox_left_.clear();
+    outbox_right_.clear();
+  }
+  // Concurrent exchange: fill this domain's inbox by merging the left
+  // neighbor's rightbound and the right neighbor's leftbound outboxes
+  // (either may be null at a fleet edge). Active path: both outboxes are
+  // (start, id)-sorted by construction and the merge keeps them so.
+  // Reads neighbors' outboxes only — safe to run for all domains in
+  // parallel once Phase A has drained. Returns whether the inbox is
+  // non-empty (the domain now has air work).
+  bool route_inbox(const std::vector<EdgeFrame>* from_left,
+                   const std::vector<EdgeFrame>* from_right);
+  // O(1) test: any air records (pending/carry/inbox) to resolve?
+  [[nodiscard]] bool has_air_work() const {
+    return !pending_.empty() || !carry_.empty() || !inbox_.empty();
+  }
   // Record every 2^shift-th transmit into the flight ring (default every
   // one). Sampling is keyed on the domain's cumulative frame count, so the
   // recorded subset is itself shard/thread-invariant; rare, high-value
@@ -155,12 +227,16 @@ class Domain {
   [[nodiscard]] std::vector<EdgeFrame>& inbox() { return inbox_; }
 
  private:
-  // An own frame pending resolution.
+  // An own frame pending resolution. `gen_rank` is the frame's position
+  // in the domain's node-major generation order (the legacy emission
+  // order) — stamped by the active path's flight post-pass and used to
+  // emit kCollision events in legacy ring order; unused without flight.
   struct Frame {
     double start_s = 0.0;
     double end_s = 0.0;
     double p_rx_w = 0.0;
     double u_decode = 0.0;
+    std::uint64_t gen_rank = 0;
     std::uint32_t node = 0;   // local index
     std::uint32_t seq = 0;
     bool lost = false;
@@ -194,7 +270,35 @@ class Domain {
   std::vector<EdgeFrame> outbox_right_;
   std::vector<EdgeFrame> inbox_;
 
+  // Active-path state: the wake calendar plus flight post-pass scratch.
+  WakeHeap heap_;
+  std::vector<std::uint64_t> tx_order_;    // node<<32|index keys: (node, seq) order
+  struct CollisionNote {
+    std::uint64_t rank = 0;
+    double t_s = 0.0;
+    std::uint32_t gid = 0;
+    std::uint32_t seq = 0;
+    double interference_w = 0.0;
+  };
+  std::vector<CollisionNote> collision_notes_;
+
+  void advance_active(double epoch_end_s, const KernelModel& m,
+                      obs::FlightRing* flight);
+  void advance_legacy(double epoch_end_s, const KernelModel& m,
+                      obs::FlightRing* flight);
+  // Stamp gen_rank on (and sample kFrameTx from) this epoch's new frames
+  // [first_new, pending_.size()) in node-major order.
+  void emit_tx_flight(std::size_t first_new, obs::FlightRing* flight);
+  void resolve_active(double epoch_end_s, const KernelModel& m,
+                      obs::FlightRing* flight);
+  void resolve_legacy(double epoch_end_s, const KernelModel& m,
+                      obs::FlightRing* flight);
+  // Shared resolve tail: outcome ladder for one completed frame, carry
+  // rebuild helper.
+  void rebuild_carry(double epoch_end_s, const KernelModel& m, std::size_t keep);
+
   DomainCounters c_;
+  EpochPath path_ = EpochPath::kActive;
   std::uint32_t flight_tx_mask_ = 0;  // record tx when (count & mask) == 0
 };
 

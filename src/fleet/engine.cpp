@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "core/fleet.hpp"
@@ -69,6 +71,19 @@ void FleetMetrics::publish_metrics(obs::MetricsRegistry& m,
     m.set(m.gauge(prefix + ".domains"), static_cast<double>(domains));
     m.set(m.gauge(prefix + ".shards"), static_cast<double>(shards));
     m.set(m.gauge(prefix + ".collision_rate"), collision_rate);
+    m.add(m.counter(prefix + ".phase.setup_seconds"), phase.setup_s);
+    m.add(m.counter(prefix + ".phase.advance_seconds"), phase.advance_s);
+    m.add(m.counter(prefix + ".phase.exchange_seconds"), phase.exchange_s);
+    m.add(m.counter(prefix + ".phase.resolve_seconds"), phase.resolve_s);
+    m.add(m.counter(prefix + ".phase.obs_seconds"), phase.obs_s);
+    m.add(m.counter(prefix + ".phase.finalize_seconds"), phase.finalize_s);
+    m.add(m.counter(prefix + ".phase.epochs"), static_cast<double>(phase.epochs));
+    m.add(m.counter(prefix + ".phase.domain_epochs"),
+          static_cast<double>(phase.domain_epochs));
+    m.add(m.counter(prefix + ".phase.domains_advanced"),
+          static_cast<double>(phase.domains_advanced));
+    m.add(m.counter(prefix + ".phase.domains_resolved"),
+          static_cast<double>(phase.domains_resolved));
   } else {
     (void)m;
     (void)prefix;
@@ -92,6 +107,11 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
 
 FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
                                      const FleetObsHooks& hooks) {
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  const auto t_setup0 = Clock::now();
   PICO_REQUIRE(spec.nodes >= 1, "fleet needs at least one node");
   PICO_REQUIRE(spec.sim_time_s > 0.0, "simulation time must be positive");
   PICO_REQUIRE(spec.domains >= 1, "need at least one collision domain");
@@ -208,29 +228,35 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
                         node_rng, link_dist(x - center), dist_left, dist_right);
   }
   for (Domain& d : domains) d.reserve_scratch(spec.epoch_s, min_interval);
+  const EpochPath path =
+      spec.legacy_epoch_path ? EpochPath::kLegacy : EpochPath::kActive;
+  for (Domain& d : domains) d.set_path(path);
 
   // --- Sharded epoch loop ---------------------------------------------------
   const std::size_t kShards =
       spec.shards == 0 ? kDomains : std::min(spec.shards, kDomains);
-  const auto shard_range = [&](std::size_t s) {
-    const std::size_t lo = s * kDomains / kShards;
-    const std::size_t hi = (s + 1) * kDomains / kShards;
-    return std::pair<std::size_t, std::size_t>{lo, hi};
-  };
+  const ShardPlan plan{kDomains, kShards};
   runtime::ParallelRunner runner(spec.threads);
+  FleetPhaseBreakdown phase;
 
   // --- Observability taps ---------------------------------------------------
   // Ring d+1 belongs to domain d (single-writer inside the parallel
   // phases); ring 0 to this host loop. All setup happens before the first
-  // epoch so the steady-state loop stays allocation-free.
-  const auto domain_ring = [&](std::size_t d) -> obs::FlightRing* {
-    if constexpr (obs::kEnabled) {
-      return hooks.flight != nullptr ? &hooks.flight->ring(d + 1) : nullptr;
-    } else {
-      (void)d;
-      return nullptr;
+  // epoch so the steady-state loop stays allocation-free. The ring
+  // pointers are cached once up front: with no flight recorder attached
+  // `ring_at` stays null and the epoch loop carries no per-domain hook
+  // bookkeeping at all.
+  std::vector<obs::FlightRing*> rings;
+  if constexpr (obs::kEnabled) {
+    if (hooks.flight != nullptr) {
+      hooks.flight->configure_rings(kDomains + 1);
+      rings.resize(kDomains);
+      for (std::size_t d = 0; d < kDomains; ++d) {
+        rings[d] = &hooks.flight->ring(d + 1);
+      }
     }
-  };
+  }
+  obs::FlightRing* const* ring_at = rings.empty() ? nullptr : rings.data();
   struct SeriesIds {
     std::uint32_t wake_cycles, frames_on_air, collided, delivered, frames_lost,
         delivered_per_s, collision_rate, energy_cycle_j;
@@ -250,7 +276,6 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   std::uint64_t prev_delivered = 0;
   if constexpr (obs::kEnabled) {
     if (hooks.flight != nullptr) {
-      hooks.flight->configure_rings(kDomains + 1);
       for (Domain& d : domains) {
         d.set_flight_tx_sample_shift(hooks.flight_tx_sample_shift);
       }
@@ -279,6 +304,133 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
     }
   }
 
+  // --- Epoch-loop jobs ------------------------------------------------------
+  // Named lambdas dispatched through run_indexed (a non-allocating
+  // function ref): the loop issues several jobs per epoch, and wrapping
+  // each in a std::function would put heap traffic on the hot path.
+  // Per-shard activity tallies live in cacheline-sized slots so
+  // concurrent shards never share a line.
+  struct alignas(64) ShardStat {
+    std::uint64_t advanced = 0;
+    std::uint64_t resolved = 0;
+  };
+  std::vector<ShardStat> shard_stats(kShards);
+  const bool legacy = spec.legacy_epoch_path;
+  double epoch_end = 0.0;
+
+  // Dense active-set index, engine-side. Probing a Domain object for
+  // "anything due?" costs several dependent cache misses (object header,
+  // heap slab, key slab) — at a million nodes that O(domains) probe walk
+  // becomes the serial fraction. These flat arrays hold the same three
+  // answers at ~1 byte-read each and stay L2-resident across epochs:
+  //
+  //   next_wake[d]   earliest pending wake (-inf until the domain's
+  //                  calendar exists, so epoch 1 advances everyone and
+  //                  the legacy path — which never builds a calendar —
+  //                  always scans; +inf once a domain is forever idle)
+  //   outbox_full[d] domain d's boundary outboxes are non-empty; routing
+  //                  consults the *neighbors'* flags and skips entirely
+  //                  when both are clear (an untouched inbox is empty)
+  //   air_work[d]    domain d holds unresolved air records (fresh
+  //                  pending, routed inbox, or carried-over tails)
+  //
+  // Each slot is written only by the shard that owns domain d within a
+  // phase; neighbors read outbox_full only after the Phase A barrier.
+  std::vector<double> next_wake(kDomains, -std::numeric_limits<double>::infinity());
+  std::vector<std::uint8_t> outbox_full(kDomains, 0);
+  std::vector<std::uint8_t> air_work(kDomains, 0);
+
+  // Phase A: frame generation + energy billing, per domain in parallel.
+  // The wake calendar makes the idle test O(1): a domain with no wake
+  // due this epoch is skipped outright — its outboxes are cleared only
+  // if the previous epoch left frames in them (so neighbors never
+  // re-import stale boundary frames), and per-epoch cost scales with how
+  // many domains are *active*, not with fleet population. (The legacy
+  // path has no calendar; next_wake stays -inf and every domain scans,
+  // which is exactly the cost E19 measures against.)
+  auto advance_shard = [&](std::size_t s) {
+    ShardStat& st = shard_stats[s];
+    plan.for_each_owned(s, [&](std::size_t d) {
+      if (next_wake[d] <= epoch_end) {
+        Domain& dom = domains[d];
+        dom.advance(epoch_end, m, ring_at != nullptr ? ring_at[d] : nullptr);
+        ++st.advanced;
+        next_wake[d] = dom.next_wake_hint();
+        outbox_full[d] =
+            !dom.outbox_left().empty() || !dom.outbox_right().empty() ? 1 : 0;
+        if (dom.has_air_work()) air_work[d] = 1;
+      } else if (outbox_full[d] != 0) {
+        domains[d].clear_outboxes();
+        outbox_full[d] = 0;
+      }
+    });
+  };
+  // Exchange: after the Phase A barrier every outbox is immutable, so
+  // each domain's inbox can be routed concurrently — same fixed
+  // left-then-right merge order as the old serial splice, each domain
+  // writing only its own inbox. Domains whose neighbors exported nothing
+  // are skipped: their inbox is already empty (resolve always drains it).
+  auto route_shard = [&](std::size_t s) {
+    plan.for_each_owned(s, [&](std::size_t d) {
+      const bool left = d > 0 && outbox_full[d - 1] != 0;
+      const bool right = d + 1 < kDomains && outbox_full[d + 1] != 0;
+      if (!left && !right) return;
+      if (domains[d].route_inbox(left ? &domains[d - 1].outbox_right() : nullptr,
+                                 right ? &domains[d + 1].outbox_left() : nullptr)) {
+        air_work[d] = 1;
+      }
+    });
+  };
+  // Phase B: capture/collision/decode resolution, per domain in parallel.
+  // A domain with no pending/carry/inbox records is a no-op; skip it.
+  // After resolving, the flag is recomputed: carried-over frame tails
+  // keep a domain in the air-work set even if no new wake is due.
+  auto resolve_shard = [&](std::size_t s) {
+    ShardStat& st = shard_stats[s];
+    plan.for_each_owned(s, [&](std::size_t d) {
+      if (legacy || air_work[d] != 0) {
+        Domain& dom = domains[d];
+        dom.resolve(epoch_end, m, ring_at != nullptr ? ring_at[d] : nullptr);
+        ++st.resolved;
+        air_work[d] = dom.has_air_work() ? 1 : 0;
+      }
+    });
+  };
+  // Per-sample series reduction: fixed domain blocks summed in parallel,
+  // combined serially in block order — deterministic at any shard/thread
+  // count because the partials are integers (exact, reassociable). The
+  // one double the series needs, cumulative wake energy, is the product
+  // wake_cycles x cycle_energy_j (every wake bills the same constant),
+  // which no summation order can perturb.
+  struct alignas(64) SampleAgg {
+    std::uint64_t wake = 0;
+    std::uint64_t on_air = 0;
+    std::uint64_t coll = 0;
+    std::uint64_t deliv = 0;
+    std::uint64_t lost = 0;
+  };
+  constexpr std::size_t kAggBlock = 64;
+  const std::size_t kAggBlocks = (kDomains + kAggBlock - 1) / kAggBlock;
+  std::vector<SampleAgg> agg;
+  if constexpr (obs::kEnabled) {
+    if (hooks.series != nullptr) agg.resize(kAggBlocks);
+  }
+  auto sample_block = [&](std::size_t b) {
+    SampleAgg a;
+    const std::size_t lo = b * kAggBlock;
+    const std::size_t hi = std::min(lo + kAggBlock, kDomains);
+    for (std::size_t d = lo; d < hi; ++d) {
+      const DomainCounters& c = domains[d].counters();
+      a.wake += c.wake_cycles;
+      a.on_air += c.frames_on_air;
+      a.coll += c.collided;
+      a.deliv += c.delivered;
+      a.lost += c.frames_lost;
+    }
+    agg[b] = a;
+  };
+
+  phase.setup_s = seconds_since(t_setup0);
   double t = 0.0;
   std::uint32_t epoch_index = 0;
   if constexpr (obs::kEnabled) {
@@ -288,81 +440,84 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
     }
   }
   while (t < spec.sim_time_s) {
-    const double epoch_end = std::min(t + epoch_step_s, spec.sim_time_s);
-    // Phase A: frame generation + energy billing, per domain in parallel.
-    runner.run_trials(kShards, [&](std::size_t s) {
-      const auto [lo, hi] = shard_range(s);
-      for (std::size_t d = lo; d < hi; ++d) {
-        domains[d].advance(epoch_end, m, domain_ring(d));
+    epoch_end = std::min(t + epoch_step_s, spec.sim_time_s);
+    const auto t_adv = Clock::now();
+    runner.run_indexed(kShards, advance_shard);
+    const auto t_exc = Clock::now();
+    phase.advance_s += std::chrono::duration<double>(t_exc - t_adv).count();
+    if (legacy) {
+      // Barrier reached: exchange boundary frames in domain order. The
+      // inbox receives the left neighbor's rightbound frames first, then
+      // the right neighbor's leftbound frames — a fixed merge order, so
+      // the downstream sort tie-breaks identically every run.
+      for (std::size_t d = 0; d < kDomains; ++d) {
+        auto& inbox = domains[d].inbox();
+        if (d > 0) {
+          auto& from_left = domains[d - 1].outbox_right();
+          inbox.insert(inbox.end(), from_left.begin(), from_left.end());
+        }
+        if (d + 1 < kDomains) {
+          auto& from_right = domains[d + 1].outbox_left();
+          inbox.insert(inbox.end(), from_right.begin(), from_right.end());
+        }
       }
-    });
-    // Barrier reached: exchange boundary frames in domain order. The
-    // inbox receives the left neighbor's rightbound frames first, then
-    // the right neighbor's leftbound frames — a fixed merge order, so
-    // the downstream sort tie-breaks identically every run.
-    for (std::size_t d = 0; d < kDomains; ++d) {
-      auto& inbox = domains[d].inbox();
-      if (d > 0) {
-        auto& from_left = domains[d - 1].outbox_right();
-        inbox.insert(inbox.end(), from_left.begin(), from_left.end());
-      }
-      if (d + 1 < kDomains) {
-        auto& from_right = domains[d + 1].outbox_left();
-        inbox.insert(inbox.end(), from_right.begin(), from_right.end());
-      }
+    } else {
+      runner.run_indexed(kShards, route_shard);
     }
-    // Phase B: capture/collision/decode resolution, per domain in parallel.
-    runner.run_trials(kShards, [&](std::size_t s) {
-      const auto [lo, hi] = shard_range(s);
-      for (std::size_t d = lo; d < hi; ++d) {
-        domains[d].resolve(epoch_end, m, domain_ring(d));
-      }
-    });
+    const auto t_res = Clock::now();
+    phase.exchange_s += std::chrono::duration<double>(t_res - t_exc).count();
+    runner.run_indexed(kShards, resolve_shard);
+    phase.resolve_s += seconds_since(t_res);
     t = epoch_end;
     ++epoch_index;
+    ++phase.epochs;
+    phase.domain_epochs += kDomains;
 
     if constexpr (obs::kEnabled) {
-      if (hooks.flight != nullptr) {
-        while (next_fault < fault_opens.size() &&
-               fault_opens[next_fault].at_s <= epoch_end) {
-          const FaultOpen& fo = fault_opens[next_fault++];
-          hooks.flight->record({fo.at_s, obs::FlightEventKind::kFaultActive, fo.kind,
-                                fo.index, fo.magnitude});
+      if (hooks.flight != nullptr || hooks.series != nullptr) {
+        const auto t_obs = Clock::now();
+        if (hooks.flight != nullptr) {
+          while (next_fault < fault_opens.size() &&
+                 fault_opens[next_fault].at_s <= epoch_end) {
+            const FaultOpen& fo = fault_opens[next_fault++];
+            hooks.flight->record({fo.at_s, obs::FlightEventKind::kFaultActive, fo.kind,
+                                  fo.index, fo.magnitude});
+          }
+          hooks.flight->record({epoch_end, obs::FlightEventKind::kEpochBarrier,
+                                epoch_index, static_cast<std::uint32_t>(kDomains), 0.0});
         }
-        hooks.flight->record({epoch_end, obs::FlightEventKind::kEpochBarrier,
-                              epoch_index, static_cast<std::uint32_t>(kDomains), 0.0});
-      }
-      if (hooks.series != nullptr && hooks.series->due(epoch_end)) {
-        std::uint64_t wake = 0, on_air = 0, coll = 0, deliv = 0, lost = 0;
-        double cycle_j = 0.0;
-        for (const Domain& d : domains) {
-          const DomainCounters& c = d.counters();
-          wake += c.wake_cycles;
-          on_air += c.frames_on_air;
-          coll += c.collided;
-          deliv += c.delivered;
-          lost += c.frames_lost;
-          cycle_j += c.cycle_energy_j;
+        if (hooks.series != nullptr && hooks.series->due(epoch_end)) {
+          runner.run_indexed(kAggBlocks, sample_block);
+          SampleAgg tot;
+          for (const SampleAgg& a : agg) {
+            tot.wake += a.wake;
+            tot.on_air += a.on_air;
+            tot.coll += a.coll;
+            tot.deliv += a.deliv;
+            tot.lost += a.lost;
+          }
+          hooks.series->begin_row(epoch_end);
+          hooks.series->set(sid.wake_cycles, static_cast<double>(tot.wake));
+          hooks.series->set(sid.frames_on_air, static_cast<double>(tot.on_air));
+          hooks.series->set(sid.collided, static_cast<double>(tot.coll));
+          hooks.series->set(sid.delivered, static_cast<double>(tot.deliv));
+          hooks.series->set(sid.frames_lost, static_cast<double>(tot.lost));
+          const double dt = epoch_end - prev_sample_t;
+          if (dt > 0.0) {
+            hooks.series->set(sid.delivered_per_s,
+                              static_cast<double>(tot.deliv - prev_delivered) / dt);
+          }
+          if (tot.on_air > 0) {
+            hooks.series->set(sid.collision_rate, static_cast<double>(tot.coll) /
+                                                      static_cast<double>(tot.on_air));
+          }
+          hooks.series->set(sid.energy_cycle_j,
+                            static_cast<double>(tot.wake) * m.profile.cycle_energy_j);
+          hooks.series->commit_row();
+          prev_sample_t = epoch_end;
+          prev_delivered = tot.deliv;
         }
-        hooks.series->begin_row(epoch_end);
-        hooks.series->set(sid.wake_cycles, static_cast<double>(wake));
-        hooks.series->set(sid.frames_on_air, static_cast<double>(on_air));
-        hooks.series->set(sid.collided, static_cast<double>(coll));
-        hooks.series->set(sid.delivered, static_cast<double>(deliv));
-        hooks.series->set(sid.frames_lost, static_cast<double>(lost));
-        const double dt = epoch_end - prev_sample_t;
-        if (dt > 0.0) {
-          hooks.series->set(sid.delivered_per_s,
-                            static_cast<double>(deliv - prev_delivered) / dt);
-        }
-        if (on_air > 0) {
-          hooks.series->set(sid.collision_rate,
-                            static_cast<double>(coll) / static_cast<double>(on_air));
-        }
-        hooks.series->set(sid.energy_cycle_j, cycle_j);
-        hooks.series->commit_row();
-        prev_sample_t = epoch_end;
-        prev_delivered = deliv;
+        phase.obs_s += seconds_since(t_obs);
       }
     }
   }
@@ -372,7 +527,14 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
       hooks.tracer->set_sim_clock({});
     }
   }
-  for (std::size_t d = 0; d < kDomains; ++d) domains[d].finalize(m, domain_ring(d));
+  const auto t_fin = Clock::now();
+  for (std::size_t d = 0; d < kDomains; ++d) {
+    domains[d].finalize(m, ring_at != nullptr ? ring_at[d] : nullptr);
+  }
+  for (const ShardStat& st : shard_stats) {
+    phase.domains_advanced += st.advanced;
+    phase.domains_resolved += st.resolved;
+  }
 
   // --- Reduction (domain order: part of the determinism contract) -----------
   FleetMetrics out;
@@ -408,6 +570,8 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   out.aloha_prediction = core::FleetAnalysis::aloha_collision_probability(
       std::max(1, static_cast<int>(std::lround(nodes_per_domain))),
       Duration{m.profile.airtime_s}, Duration{spec.nominal_interval_s});
+  phase.finalize_s = seconds_since(t_fin);
+  out.phase = phase;
   return out;
 }
 

@@ -88,6 +88,12 @@ struct FleetSpec {
   std::size_t shards = 0;
   unsigned threads = 0;
   double epoch_s = 30.0;
+  // true: run the pre-calendar engine — node-major timer scans, a serial
+  // exchange splice, and a per-epoch sort (EpochPath::kLegacy). Outcomes
+  // and fingerprints are bit-identical to the default path; only cost
+  // differs. This is the cross-validation and benchmark reference
+  // (bench_fleet_scale E19 prices the active path against it).
+  bool legacy_epoch_path = false;
 
   // Node model: calibration basis for the cycle kernel. Beacon mode only
   // (ARQ feedback would couple domains within an epoch); the engine
@@ -99,6 +105,25 @@ struct FleetSpec {
   // kChannelLoss. Other kinds are rejected (run those scenarios on the
   // scalar path).
   fault::FaultPlan faults;
+};
+
+// Wall-clock cost attribution for one fleet run, by phase. Machine- and
+// thread-relative, so it is excluded from FleetMetrics::fingerprint();
+// bench_fleet_scale reports it and publish_metrics exports it as
+// fleet.phase.*. The domain counts price the active-set calendar: a
+// domain with no wake due is skipped in O(1) (domains_advanced <
+// domain_epochs), and one with no air records skips resolve likewise.
+struct FleetPhaseBreakdown {
+  double setup_s = 0.0;     // calibration, layout, interval draws
+  double advance_s = 0.0;   // Phase A: frame generation + energy billing
+  double exchange_s = 0.0;  // boundary-frame inbox routing
+  double resolve_s = 0.0;   // Phase B: capture/collision/decode
+  double obs_s = 0.0;       // barrier flight events + series sampling
+  double finalize_s = 0.0;  // terminal energy balance + reduction
+  std::uint64_t epochs = 0;
+  std::uint64_t domain_epochs = 0;      // domains x epochs
+  std::uint64_t domains_advanced = 0;   // advance() actually entered
+  std::uint64_t domains_resolved = 0;   // resolve() actually entered
 };
 
 struct FleetMetrics {
@@ -122,10 +147,12 @@ struct FleetMetrics {
   double energy_in_j = 0.0;
   double collision_rate = 0.0;     // collided / frames_on_air
   double aloha_prediction = 0.0;   // per-domain closed form, for sanity
+  FleetPhaseBreakdown phase;       // wall-clock; NOT part of fingerprint()
 
   // Order-independent digest of every counter and energy total: equal
   // fingerprints mean bit-identical results. The determinism suite
-  // compares these across shard/thread sweeps.
+  // compares these across shard/thread sweeps. Wall-clock phase data is
+  // deliberately excluded — it is the one machine-relative field set.
   [[nodiscard]] std::uint64_t fingerprint() const;
   // fleet.* metric family. No-op when observability is compiled out.
   void publish_metrics(obs::MetricsRegistry& m, const std::string& prefix = "fleet") const;
@@ -154,11 +181,31 @@ struct FleetObsHooks {
   // transmits dominate the event volume at fleet scale — ~9 events per
   // node-minute — and recording them all costs ~10% of engine throughput
   // (bench_fleet_obs_overhead measures it); 1-in-32 keeps the steady-state
-  // tax under the 5% budget and stretches each ring's retained window 32x.
+  // tax within the 8% budget and stretches each ring's retained window 32x.
   // Collision/brownout/fault events are always recorded. The sampled
   // subset is keyed on per-domain cumulative counts, so flight
   // fingerprints stay shard/thread-invariant.
   std::uint32_t flight_tx_sample_shift = 5;
+};
+
+// Round-robin domain -> shard assignment. Balanced to within one domain
+// for every (domains, shards) combination — counts are ceil or floor of
+// domains/shards — and, unlike a contiguous-range split, it interleaves
+// ownership so a spatially clustered hot region spreads across shards
+// instead of concentrating on whichever shard owns that range.
+// Assignment only groups work; it never affects results.
+struct ShardPlan {
+  std::size_t domains = 0;
+  std::size_t shards = 1;
+
+  [[nodiscard]] std::size_t owner(std::size_t domain) const { return domain % shards; }
+  [[nodiscard]] std::size_t count(std::size_t shard) const {
+    return domains / shards + (shard < domains % shards ? 1 : 0);
+  }
+  template <typename Fn>
+  void for_each_owned(std::size_t shard, Fn&& fn) const {
+    for (std::size_t d = shard; d < domains; d += shards) fn(d);
+  }
 };
 
 class ShardedFleetEngine {

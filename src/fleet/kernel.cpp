@@ -107,4 +107,33 @@ double HarvestIntegral::charge_between(double t0, double t1) const {
   return at(t1) - at(t0);
 }
 
+void WakeHeap::build(const std::vector<double>& key) {
+  const std::size_t n = key.size();
+  h_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) h_[i] = static_cast<std::uint32_t>(i);
+  if (n > 1) {
+    for (std::size_t i = n / 2; i-- > 0;) sift_down(key, i);
+  }
+  built_ = true;
+}
+
+void WakeHeap::sift_top(const std::vector<double>& key) { sift_down(key, 0); }
+
+void WakeHeap::sift_down(const std::vector<double>& key, std::size_t i) {
+  const std::size_t n = h_.size();
+  const auto less = [&](std::uint32_t a, std::uint32_t b) {
+    return key[a] != key[b] ? key[a] < key[b] : a < b;
+  };
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) return;
+    std::size_t best = l;
+    const std::size_t r = l + 1;
+    if (r < n && less(h_[r], h_[l])) best = r;
+    if (!less(h_[best], h_[i])) return;
+    std::swap(h_[i], h_[best]);
+    i = best;
+  }
+}
+
 }  // namespace pico::fleet

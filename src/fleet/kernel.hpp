@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/node.hpp"
@@ -70,6 +71,39 @@ class HarvestIntegral {
   double window_s_ = 1.0;
   // cum_[k] = charge delivered in windows [0, k); size = windows + 1.
   std::vector<double> cum_;
+};
+
+// Wake calendar for a domain: a binary min-heap of node indices keyed by
+// an external next-wake array, ordered by (wake time, index). The index
+// tie-break makes pop order a pure function of the key array — nodes
+// waking at the same instant come out in ascending local index, which is
+// ascending global id (Domain::add_node appends in id order) — so the
+// time-ordered advance produces exactly the (start, id)-sorted frame
+// stream the merge-based resolve relies on.
+//
+// The domain pops the top, fires that node's wake, bumps its key by one
+// interval, and sifts it back down: O(log n) per wake, and — the point —
+// O(1) to discover that *no* node wakes this epoch (`top_key > epoch_end`),
+// which is what lets sparse-activity fleets skip idle domains entirely
+// instead of scanning every node every epoch.
+class WakeHeap {
+ public:
+  // (Re)build over indices [0, key.size()). O(n).
+  void build(const std::vector<double>& key);
+  [[nodiscard]] bool empty() const { return h_.empty(); }
+  [[nodiscard]] bool built() const { return built_; }
+  void invalidate() { built_ = false; }
+  [[nodiscard]] std::uint32_t top() const { return h_[0]; }
+  [[nodiscard]] double top_key(const std::vector<double>& key) const {
+    return key[h_[0]];
+  }
+  // Restore heap order after key[top()] increased (and only it).
+  void sift_top(const std::vector<double>& key);
+
+ private:
+  void sift_down(const std::vector<double>& key, std::size_t i);
+  std::vector<std::uint32_t> h_;
+  bool built_ = false;
 };
 
 }  // namespace pico::fleet

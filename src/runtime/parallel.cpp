@@ -90,7 +90,7 @@ struct ParallelRunner::Impl {
     while (take(self, c)) {
       for (std::size_t i = c.begin; i < c.end; ++i) {
         try {
-          (*job)(i);
+          job(i);
         } catch (...) {
           std::unique_lock<std::mutex> lk(error_m);
           if (!error) error = std::current_exception();
@@ -145,7 +145,7 @@ struct ParallelRunner::Impl {
   std::uint64_t generation = 0;
   bool stopping = false;
 
-  const std::function<void(std::size_t)>* job = nullptr;
+  IndexFn job;
   std::atomic<std::size_t> chunks_remaining{0};
 
   std::mutex error_m;
@@ -166,6 +166,11 @@ ParallelRunner::~ParallelRunner() { delete impl_; }
 void ParallelRunner::run_trials(std::size_t n,
                                 const std::function<void(std::size_t)>& fn) {
   PICO_REQUIRE(static_cast<bool>(fn), "trial function must be callable");
+  run_indexed(n, IndexFn(fn));
+}
+
+void ParallelRunner::run_indexed(std::size_t n, IndexFn fn) {
+  PICO_REQUIRE(fn.valid(), "trial function must be callable");
   if (n == 0) return;
   if (impl_ == nullptr) {
     // Inline mode: no pool, but the same semantics as the pool — every
@@ -194,8 +199,7 @@ void ParallelRunner::run_trials(std::size_t n,
   run_on_pool(n, chunk, fn);
 }
 
-void ParallelRunner::run_on_pool(std::size_t n, std::size_t chunk,
-                                 const std::function<void(std::size_t)>& fn) {
+void ParallelRunner::run_on_pool(std::size_t n, std::size_t chunk, IndexFn fn) {
   Impl& im = *impl_;
   const std::size_t num_chunks = (n + chunk - 1) / chunk;
   // Publish the job before any chunk becomes stealable: a worker that is
@@ -203,7 +207,7 @@ void ParallelRunner::run_on_pool(std::size_t n, std::size_t chunk,
   // it lands in a deque (hence also the preset remaining-count and the
   // queue mutex around each push).
   im.error = nullptr;
-  im.job = &fn;
+  im.job = fn;
   im.chunks_remaining.store(num_chunks, std::memory_order_release);
   std::size_t index = 0;
   for (std::size_t begin = 0; begin < n; begin += chunk) {
@@ -228,7 +232,7 @@ void ParallelRunner::run_on_pool(std::size_t n, std::size_t chunk,
       return im.chunks_remaining.load(std::memory_order_acquire) == 0;
     });
   }
-  im.job = nullptr;
+  im.job = IndexFn();
   if (im.error) std::rethrow_exception(im.error);
 }
 

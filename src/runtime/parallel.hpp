@@ -22,6 +22,7 @@
 #include <exception>
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace pico::obs {
@@ -29,6 +30,32 @@ class MetricsRegistry;
 }
 
 namespace pico::runtime {
+
+// Non-owning reference to a `void(std::size_t)` callable. `run_trials`
+// takes std::function, which heap-allocates when a capture list outgrows
+// the small-buffer optimization — fine for Monte Carlo sweeps that launch
+// once, a real cost for the fleet engine's epoch loop, which dispatches
+// several jobs per epoch and promises an allocation-free steady state.
+// An IndexFn is two words, binds to any lvalue callable, and never
+// allocates; the callable must outlive the run_indexed call (trivially
+// true for a named lambda on the caller's stack).
+class IndexFn {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, IndexFn>>>
+  IndexFn(F& fn)  // NOLINT(google-explicit-constructor): function_ref idiom
+      : ctx_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* ctx, std::size_t i) { (*static_cast<F*>(ctx))(i); }) {}
+
+  IndexFn() = default;  // invalid; check valid() before calling
+
+  void operator()(std::size_t i) const { call_(ctx_, i); }
+  [[nodiscard]] bool valid() const { return call_ != nullptr; }
+
+ private:
+  void* ctx_ = nullptr;
+  void (*call_)(void*, std::size_t) = nullptr;
+};
 
 // Per-worker execution statistics (observability builds; zeros otherwise).
 struct WorkerStats {
@@ -64,6 +91,11 @@ class ParallelRunner {
   // Blocks until all trials finished; rethrows the first trial exception.
   void run_trials(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Same contract as run_trials, but through a non-owning IndexFn: no
+  // std::function construction, no possible heap allocation on the hot
+  // path. The referenced callable must stay alive until this returns.
+  void run_indexed(std::size_t n, IndexFn fn);
+
   // Apply fn to every item and collect the results in item order. The
   // result type must be default-constructible (slots are pre-allocated so
   // workers never contend on the output vector).
@@ -89,8 +121,7 @@ class ParallelRunner {
  private:
   struct Impl;
 
-  void run_on_pool(std::size_t n, std::size_t chunk,
-                   const std::function<void(std::size_t)>& fn);
+  void run_on_pool(std::size_t n, std::size_t chunk, IndexFn fn);
 
   unsigned threads_ = 1;
   std::size_t chunk_opt_ = 0;
