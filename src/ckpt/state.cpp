@@ -1,0 +1,258 @@
+#include "ckpt/state.hpp"
+
+namespace pico::ckpt {
+
+namespace {
+constexpr std::uint32_t kSeries = tag("SERS");
+constexpr std::uint32_t kFlight = tag("FLIT");
+constexpr std::uint32_t kSim = tag("SIMC");
+constexpr std::uint32_t kPower = tag("PWRA");
+constexpr std::uint32_t kFaults = tag("FLTI");
+constexpr std::uint32_t kNode = tag("NODE");
+
+void write_flight_event(Writer& w, const obs::FlightEvent& ev) {
+  w.f64(ev.t_s);
+  w.u16(static_cast<std::uint16_t>(ev.kind));
+  w.u32(ev.a);
+  w.u32(ev.b);
+  w.f64(ev.v);
+}
+
+obs::FlightEvent read_flight_event(Reader& r) {
+  obs::FlightEvent ev;
+  ev.t_s = r.f64();
+  ev.kind = static_cast<obs::FlightEventKind>(r.u16());
+  ev.a = r.u32();
+  ev.b = r.u32();
+  ev.v = r.f64();
+  return ev;
+}
+}  // namespace
+
+void write_rng(Writer& w, const Rng::State& st) {
+  for (std::uint64_t s : st.s) w.u64(s);
+  w.f64(st.cached_normal);
+  w.b(st.has_cached_normal);
+}
+
+Rng::State read_rng(Reader& r) {
+  Rng::State st;
+  for (auto& s : st.s) s = r.u64();
+  st.cached_normal = r.f64();
+  st.has_cached_normal = r.b();
+  return st;
+}
+
+void write_series(Writer& w, const obs::TimeSeriesRecorder::CheckpointState& st) {
+  w.begin_section(kSeries, 1);
+  w.f64(st.dt0_s);
+  w.f64(st.dt_s);
+  w.f64(st.next_t_s);
+  w.u64(st.max_rows);
+  w.u64(st.decimations);
+  w.f64v(st.t);
+  w.u64(st.names.size());
+  for (std::size_t i = 0; i < st.names.size(); ++i) {
+    w.str(st.names[i]);
+    w.f64v(st.cols[i]);
+  }
+  w.end_section();
+}
+
+obs::TimeSeriesRecorder::CheckpointState read_series(Reader& r) {
+  r.enter_section(kSeries);
+  obs::TimeSeriesRecorder::CheckpointState st;
+  st.dt0_s = r.f64();
+  st.dt_s = r.f64();
+  st.next_t_s = r.f64();
+  st.max_rows = r.u64();
+  st.decimations = r.u64();
+  st.t = r.f64v();
+  const std::uint64_t n = r.u64();
+  st.names.reserve(n);
+  st.cols.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    st.names.push_back(r.str());
+    st.cols.push_back(r.f64v());
+  }
+  r.leave_section();
+  return st;
+}
+
+void write_flight(Writer& w, const obs::FlightRecorder::CheckpointState& st) {
+  w.begin_section(kFlight, 1);
+  w.u64(st.ring_capacity);
+  w.b(st.dumped);
+  w.str(st.dump_reason);
+  w.u64(st.storm_count);
+  w.f64(st.storm_window_s);
+  w.f64v(st.storm_times);
+  w.u64(st.storm_head);
+  w.u64(st.storm_seen);
+  w.u64(st.rings.size());
+  for (const auto& ring : st.rings) {
+    w.u64(ring.recorded);
+    w.u64(ring.retained.size());
+    for (const obs::FlightEvent& ev : ring.retained) write_flight_event(w, ev);
+  }
+  w.end_section();
+}
+
+obs::FlightRecorder::CheckpointState read_flight(Reader& r) {
+  r.enter_section(kFlight);
+  obs::FlightRecorder::CheckpointState st;
+  st.ring_capacity = r.u64();
+  st.dumped = r.b();
+  st.dump_reason = r.str();
+  st.storm_count = r.u64();
+  st.storm_window_s = r.f64();
+  st.storm_times = r.f64v();
+  st.storm_head = r.u64();
+  st.storm_seen = r.u64();
+  const std::uint64_t rings = r.u64();
+  st.rings.reserve(rings);
+  for (std::uint64_t i = 0; i < rings; ++i) {
+    obs::FlightRecorder::CheckpointState::Ring ring;
+    ring.recorded = r.u64();
+    const std::uint64_t n = r.u64();
+    ring.retained.reserve(n);
+    for (std::uint64_t j = 0; j < n; ++j) ring.retained.push_back(read_flight_event(r));
+    st.rings.push_back(std::move(ring));
+  }
+  r.leave_section();
+  return st;
+}
+
+void write_sim(Writer& w, const sim::Simulator::CheckpointState& st) {
+  w.begin_section(kSim, 1);
+  w.f64(st.now_s);
+  w.u64(st.next_seq);
+  w.u64(st.dispatched);
+  w.u64(st.queue_peak);
+  w.end_section();
+}
+
+sim::Simulator::CheckpointState read_sim(Reader& r) {
+  r.enter_section(kSim);
+  sim::Simulator::CheckpointState st;
+  st.now_s = r.f64();
+  st.next_seq = r.u64();
+  st.dispatched = r.u64();
+  st.queue_peak = r.u64();
+  r.leave_section();
+  return st;
+}
+
+void write_accountant(Writer& w, const core::PowerAccountant::CheckpointState& st) {
+  w.begin_section(kPower, 1);
+  w.u64(st.device_names.size());
+  for (std::size_t i = 0; i < st.device_names.size(); ++i) {
+    w.str(st.device_names[i]);
+    w.u32(st.device_rails[i]);
+    w.f64(st.device_currents_a[i]);
+    w.f64(st.device_energies_j[i]);
+  }
+  w.f64(st.load_mcu_a);
+  w.f64(st.load_radio_digital_a);
+  w.f64(st.load_radio_rf_a);
+  w.f64(st.harvest_a);
+  w.f64(st.converter_derate);
+  w.f64(st.last_time_s);
+  w.f64(st.energy_out_j);
+  w.f64(st.energy_in_j);
+  w.b(st.empty_signaled);
+  w.u64(st.intervals);
+  w.u64(st.brownouts);
+  w.end_section();
+}
+
+core::PowerAccountant::CheckpointState read_accountant(Reader& r) {
+  r.enter_section(kPower);
+  core::PowerAccountant::CheckpointState st;
+  const std::uint64_t n = r.u64();
+  st.device_names.reserve(n);
+  st.device_rails.reserve(n);
+  st.device_currents_a.reserve(n);
+  st.device_energies_j.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    st.device_names.push_back(r.str());
+    st.device_rails.push_back(r.u32());
+    st.device_currents_a.push_back(r.f64());
+    st.device_energies_j.push_back(r.f64());
+  }
+  st.load_mcu_a = r.f64();
+  st.load_radio_digital_a = r.f64();
+  st.load_radio_rf_a = r.f64();
+  st.harvest_a = r.f64();
+  st.converter_derate = r.f64();
+  st.last_time_s = r.f64();
+  st.energy_out_j = r.f64();
+  st.energy_in_j = r.f64();
+  st.empty_signaled = r.b();
+  st.intervals = r.u64();
+  st.brownouts = r.u64();
+  r.leave_section();
+  return st;
+}
+
+void write_injector(Writer& w, const fault::FaultInjector::CheckpointState& st) {
+  w.begin_section(kFaults, 1);
+  w.u64(st.counters.events_armed);
+  w.u64(st.counters.events_fired);
+  w.u64(st.counters.windows_closed);
+  w.u64(st.counters.harvest_derates);
+  w.u64(st.counters.storage_agings);
+  w.u64(st.counters.converter_derates);
+  w.u64(st.counters.channel_loss_windows);
+  w.u64(st.counters.supply_glitches);
+  w.f64v(st.active_harvest);
+  w.f64v(st.active_converter);
+  w.f64v(st.active_loss);
+  w.f64v(st.active_glitch);
+  w.end_section();
+}
+
+fault::FaultInjector::CheckpointState read_injector(Reader& r) {
+  r.enter_section(kFaults);
+  fault::FaultInjector::CheckpointState st;
+  st.counters.events_armed = r.u64();
+  st.counters.events_fired = r.u64();
+  st.counters.windows_closed = r.u64();
+  st.counters.harvest_derates = r.u64();
+  st.counters.storage_agings = r.u64();
+  st.counters.converter_derates = r.u64();
+  st.counters.channel_loss_windows = r.u64();
+  st.counters.supply_glitches = r.u64();
+  st.active_harvest = r.f64v();
+  st.active_converter = r.f64v();
+  st.active_loss = r.f64v();
+  st.active_glitch = r.f64v();
+  r.leave_section();
+  return st;
+}
+
+std::vector<std::uint8_t> encode_node(const NodeCheckpoint& node) {
+  Writer w;
+  w.begin_section(kNode, 1);
+  w.str(node.fault_plan_spec);
+  w.end_section();
+  write_sim(w, node.sim);
+  write_accountant(w, node.power);
+  write_injector(w, node.faults);
+  return w.finish();
+}
+
+NodeCheckpoint decode_node(const std::vector<std::uint8_t>& blob) {
+  Reader r(blob);
+  NodeCheckpoint node;
+  r.enter_section(kNode);
+  node.fault_plan_spec = r.str();
+  r.leave_section();
+  node.sim = read_sim(r);
+  node.power = read_accountant(r);
+  node.faults = read_injector(r);
+  if (!r.at_end()) throw CheckpointError("trailing bytes after node checkpoint");
+  return node;
+}
+
+}  // namespace pico::ckpt

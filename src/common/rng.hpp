@@ -55,6 +55,25 @@ class Rng {
   // indices produce uncorrelated streams.
   [[nodiscard]] static Rng stream(std::uint64_t base_seed, std::uint64_t stream_index);
 
+  // Full generator state for checkpoint/restore (src/ckpt). The cached
+  // Box–Muller deviate is part of the state: a generator restored
+  // mid-pair must hand out the same second normal the original would.
+  struct State {
+    std::uint64_t s[4] = {};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+
+    bool operator==(const State&) const = default;
+  };
+  [[nodiscard]] State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, cached_normal_, has_cached_normal_};
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
+
  private:
   std::uint64_t s_[4] = {};
   double cached_normal_ = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/codec.hpp"
 #include "common/error.hpp"
 #include "obs/flight.hpp"
 
@@ -528,6 +529,163 @@ void Domain::rebuild_carry(double epoch_end_s, const KernelModel& m,
     }
     if (!is_pending_own) carry_.push_back(r);
   }
+}
+
+namespace {
+
+void save_edge_frames(ckpt::Writer& w, const std::vector<Domain::EdgeFrame>& v) {
+  w.u64(v.size());
+  for (const Domain::EdgeFrame& e : v) {
+    w.f64(e.start_s);
+    w.f64(e.end_s);
+    w.f64(e.p_rx_w);
+    w.u32(e.node);
+  }
+}
+
+void restore_edge_frames(ckpt::Reader& r, std::vector<Domain::EdgeFrame>& v) {
+  const std::uint64_t n = r.u64();
+  v.clear();
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Domain::EdgeFrame e;
+    e.start_s = r.f64();
+    e.end_s = r.f64();
+    e.p_rx_w = r.f64();
+    e.node = r.u32();
+    v.push_back(e);
+  }
+}
+
+void save_rng(ckpt::Writer& w, const Rng& rng) {
+  const Rng::State st = rng.state();
+  for (std::uint64_t s : st.s) w.u64(s);
+  w.f64(st.cached_normal);
+  w.b(st.has_cached_normal);
+}
+
+void restore_rng(ckpt::Reader& r, Rng& rng) {
+  Rng::State st;
+  for (auto& s : st.s) s = r.u64();
+  st.cached_normal = r.f64();
+  st.has_cached_normal = r.b();
+  rng.set_state(st);
+}
+
+}  // namespace
+
+void Domain::save(ckpt::Writer& w) const {
+  PICO_ASSERT(inbox_.empty());
+  w.u64(nodes());
+  w.f64v(next_wake_s_);
+  for (const Rng& rng : rng_) save_rng(w, rng);
+  w.u32v(seq_);
+  w.u8v(alive_);
+  w.u64v(cycles_);
+  w.f64v(cycle_energy_j_);
+  w.u64(pending_.size());
+  for (const Frame& f : pending_) {
+    w.f64(f.start_s);
+    w.f64(f.end_s);
+    w.f64(f.p_rx_w);
+    w.f64(f.u_decode);
+    w.u64(f.gen_rank);
+    w.u32(f.node);
+    w.u32(f.seq);
+    w.b(f.lost);
+  }
+  w.u64(carry_.size());
+  for (const AirRecord& a : carry_) {
+    w.f64(a.start_s);
+    w.f64(a.end_s);
+    w.f64(a.p_rx_w);
+    w.u32(a.global_node);
+  }
+  save_edge_frames(w, outbox_left_);
+  save_edge_frames(w, outbox_right_);
+  w.b(heap_.built());
+  w.u32v(heap_.slots());
+  w.u64(c_.wake_cycles);
+  w.u64(c_.frames_on_air);
+  w.u64(c_.frames_completed);
+  w.u64(c_.frames_lost);
+  w.u64(c_.collided);
+  w.u64(c_.captured);
+  w.u64(c_.below_squelch);
+  w.u64(c_.crc_rejected);
+  w.u64(c_.delivered);
+  w.u64(c_.delivered_payload_bits);
+  w.u64(c_.edge_exports);
+  w.u64(c_.nodes_dead);
+  w.f64(c_.airtime_s);
+  w.f64(c_.energy_out_j);
+  w.f64(c_.energy_in_j);
+  w.f64(c_.cycle_energy_j);
+}
+
+void Domain::restore(ckpt::Reader& r) {
+  const std::uint64_t n = r.u64();
+  PICO_REQUIRE(n == nodes(),
+               "fleet checkpoint domain population does not match the spec layout");
+  next_wake_s_ = r.f64v();
+  PICO_REQUIRE(next_wake_s_.size() == n, "fleet checkpoint wake array mismatch");
+  for (Rng& rng : rng_) restore_rng(r, rng);
+  seq_ = r.u32v();
+  alive_ = r.u8v();
+  cycles_ = r.u64v();
+  cycle_energy_j_ = r.f64v();
+  PICO_REQUIRE(seq_.size() == n && alive_.size() == n && cycles_.size() == n &&
+                   cycle_energy_j_.size() == n,
+               "fleet checkpoint node-state array mismatch");
+  const std::uint64_t np = r.u64();
+  pending_.clear();
+  pending_.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) {
+    Frame f;
+    f.start_s = r.f64();
+    f.end_s = r.f64();
+    f.p_rx_w = r.f64();
+    f.u_decode = r.f64();
+    f.gen_rank = r.u64();
+    f.node = r.u32();
+    f.seq = r.u32();
+    f.lost = r.b();
+    pending_.push_back(f);
+  }
+  const std::uint64_t na = r.u64();
+  carry_.clear();
+  carry_.reserve(na);
+  for (std::uint64_t i = 0; i < na; ++i) {
+    AirRecord a;
+    a.start_s = r.f64();
+    a.end_s = r.f64();
+    a.p_rx_w = r.f64();
+    a.global_node = r.u32();
+    carry_.push_back(a);
+  }
+  restore_edge_frames(r, outbox_left_);
+  restore_edge_frames(r, outbox_right_);
+  const bool built = r.b();
+  std::vector<std::uint32_t> slots = r.u32v();
+  PICO_REQUIRE(!built || slots.size() <= n, "fleet checkpoint calendar mismatch");
+  heap_.restore_slots(std::move(slots), built);
+  c_.wake_cycles = r.u64();
+  c_.frames_on_air = r.u64();
+  c_.frames_completed = r.u64();
+  c_.frames_lost = r.u64();
+  c_.collided = r.u64();
+  c_.captured = r.u64();
+  c_.below_squelch = r.u64();
+  c_.crc_rejected = r.u64();
+  c_.delivered = r.u64();
+  c_.delivered_payload_bits = r.u64();
+  c_.edge_exports = r.u64();
+  c_.nodes_dead = r.u64();
+  c_.airtime_s = r.f64();
+  c_.energy_out_j = r.f64();
+  c_.energy_in_j = r.f64();
+  c_.cycle_energy_j = r.f64();
+  inbox_.clear();
 }
 
 void Domain::finalize(const KernelModel& m, obs::FlightRing* flight) {

@@ -62,6 +62,10 @@
 namespace pico::obs {
 class FlightRing;
 }
+namespace pico::ckpt {
+class Writer;
+class Reader;
+}
 
 namespace pico::fleet {
 
@@ -219,6 +223,18 @@ class Domain {
   // nodes (kBrownout events into `flight`). Deterministic per node;
   // called once.
   void finalize(const KernelModel& m, obs::FlightRing* flight = nullptr);
+
+  // --- Checkpoint/restore (src/ckpt) -----------------------------------------
+  // Mutable run state only: timers, RNG cursors, counters, the wake
+  // calendar's slot layout, pending/carry air runs and boundary outboxes.
+  // The immutable layout (ids, intervals, distances) is rebuilt from the
+  // spec by FleetSession, which calls restore() after add_node — it
+  // validates the node count. Epoch-transient scratch (records_,
+  // tx_order_, collision_notes_) is dead at every epoch barrier, the only
+  // place checkpoints happen, so it never hits the wire; the inbox is
+  // likewise empty (resolve always drains it) and save() asserts so.
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
   [[nodiscard]] std::size_t nodes() const { return interval_s_.size(); }
   [[nodiscard]] const DomainCounters& counters() const { return c_; }

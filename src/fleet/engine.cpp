@@ -5,7 +5,10 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "ckpt/codec.hpp"
+#include "ckpt/state.hpp"
 #include "common/error.hpp"
 #include "core/fleet.hpp"
 #include "obs/flight.hpp"
@@ -105,12 +108,106 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   return run(spec, hooks);
 }
 
-FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
-                                     const FleetObsHooks& hooks) {
+// --- FleetSession ------------------------------------------------------------
+// The engine body behind ShardedFleetEngine::run. Construction is the
+// setup phase (calibration, layout, sequential interval draws); the epoch
+// loop lives in run_until() so a host can stop at any barrier, save(),
+// and later restore() an equivalent freshly constructed session.
+
+struct FleetSession::Impl {
   using Clock = std::chrono::steady_clock;
-  const auto seconds_since = [](Clock::time_point t0) {
+  static double seconds_since(Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
+  struct SeriesIds {
+    std::uint32_t wake_cycles, frames_on_air, collided, delivered, frames_lost,
+        delivered_per_s, collision_rate, energy_cycle_j;
   };
+  // Fault windows sorted by open time; kFaultActive is recorded when the
+  // epoch loop crosses each open (feeding the storm detector).
+  struct FaultOpen {
+    double at_s;
+    std::uint32_t kind;
+    std::uint32_t index;
+    double magnitude;
+  };
+  // Per-shard activity tallies in cacheline-sized slots so concurrent
+  // shards never share a line.
+  struct alignas(64) ShardStat {
+    std::uint64_t advanced = 0;
+    std::uint64_t resolved = 0;
+  };
+  struct alignas(64) SampleAgg {
+    std::uint64_t wake = 0;
+    std::uint64_t on_air = 0;
+    std::uint64_t coll = 0;
+    std::uint64_t deliv = 0;
+    std::uint64_t lost = 0;
+  };
+  static constexpr std::size_t kAggBlock = 64;
+
+  // Immutable for the life of the session (rebuilt from the spec by a
+  // restoring host; the FSPC guard proves equivalence).
+  FleetSpec spec;
+  FleetObsHooks hooks;
+  KernelModel m;
+  HarvestIntegral harvest;
+  double epoch_step = 0.0;  // spec.epoch_s clamped to the series cadence
+  std::size_t n_domains = 0;
+  std::size_t n_shards = 0;
+  ShardPlan plan{};
+  std::vector<Domain> domains;
+  runtime::ParallelRunner runner;
+  std::vector<obs::FlightRing*> rings;
+  obs::FlightRing* const* ring_at = nullptr;
+  SeriesIds sid{};
+  std::vector<FaultOpen> fault_opens;
+  std::vector<ShardStat> shard_stats;
+  bool legacy = false;
+  std::size_t agg_blocks = 0;
+  std::vector<SampleAgg> agg;
+
+  // Mutable epoch-loop state. The FENG section serializes the cursors;
+  // the dense active-set arrays are re-derived from domain state on
+  // restore (each is a pure function of a domain at an epoch barrier).
+  //
+  //   next_wake[d]   earliest pending wake (-inf until the domain's
+  //                  calendar exists, so epoch 1 advances everyone and
+  //                  the legacy path — which never builds a calendar —
+  //                  always scans; +inf once a domain is forever idle)
+  //   outbox_full[d] domain d's boundary outboxes are non-empty; routing
+  //                  consults the *neighbors'* flags and skips entirely
+  //                  when both are clear (an untouched inbox is empty)
+  //   air_work[d]    domain d holds unresolved air records (fresh
+  //                  pending, routed inbox, or carried-over tails)
+  //
+  // Each slot is written only by the shard that owns domain d within a
+  // phase; neighbors read outbox_full only after the Phase A barrier.
+  double t = 0.0;
+  double epoch_end = 0.0;
+  std::uint32_t epoch_index = 0;
+  std::size_t next_fault = 0;
+  double prev_sample_t = 0.0;
+  std::uint64_t prev_delivered = 0;
+  std::vector<double> next_wake;
+  std::vector<std::uint8_t> outbox_full;
+  std::vector<std::uint8_t> air_work;
+  FleetPhaseBreakdown phase;
+  bool finished = false;
+
+  Impl(const FleetSpec& spec_in, const FleetObsHooks& hooks_in);
+  ~Impl();
+  void run_until(double t_target_s);
+  FleetMetrics finish_run();
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+  [[nodiscard]] std::vector<std::pair<const char*, std::uint64_t>> guard_fields()
+      const;
+};
+
+FleetSession::Impl::Impl(const FleetSpec& spec_in, const FleetObsHooks& hooks_in)
+    : spec(spec_in), hooks(hooks_in), runner(spec_in.threads) {
   const auto t_setup0 = Clock::now();
   PICO_REQUIRE(spec.nodes >= 1, "fleet needs at least one node");
   PICO_REQUIRE(spec.sim_time_s > 0.0, "simulation time must be positive");
@@ -127,7 +224,6 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   core::NodeConfig nc = spec.node;
   nc.sample_interval = Duration{spec.nominal_interval_s};
 
-  KernelModel m;
   m.profile = CycleProfile::calibrate(nc);
   m.sim_time_s = spec.sim_time_s;
   m.data_rate_hz = nc.data_rate.value();
@@ -151,16 +247,15 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   // sampling cadence so every sample tick lands on an epoch barrier. Any
   // epoch longer than two airtimes is exact, so this cannot change
   // results — only how often the loop synchronizes.
-  double epoch_step_s = spec.epoch_s;
+  epoch_step = spec.epoch_s;
   if constexpr (obs::kEnabled) {
     if (hooks.series != nullptr) {
       PICO_REQUIRE(hooks.series->initial_dt_s() > 2.0 * m.max_airtime_s,
                    "series cadence must exceed two frame airtimes");
-      epoch_step_s = std::min(epoch_step_s, hooks.series->initial_dt_s());
+      epoch_step = std::min(epoch_step, hooks.series->initial_dt_s());
     }
   }
 
-  HarvestIntegral harvest;
   if (spec.attach_harvester) {
     harvest = HarvestIntegral(nc, spec.sim_time_s);
     m.harvest = &harvest;
@@ -194,9 +289,9 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
     min_interval = std::min(min_interval, intervals[n]);
   }
 
-  const std::size_t kDomains = spec.domains;
-  std::vector<Domain> domains(kDomains);
-  const double length = spec.cell_m * static_cast<double>(kDomains);
+  n_domains = spec.domains;
+  domains.resize(n_domains);
+  const double length = spec.cell_m * static_cast<double>(n_domains);
   const double h2 = spec.gateway_height_m * spec.gateway_height_m;
   const auto link_dist = [&](double dx) {
     if (spec.fixed_distance_m > 0.0) return spec.fixed_distance_m;
@@ -205,7 +300,8 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   for (std::size_t n = 0; n < spec.nodes; ++n) {
     const double x = (static_cast<double>(n) + 0.5) * length /
                      static_cast<double>(spec.nodes);
-    const auto d = std::min(static_cast<std::size_t>(x / spec.cell_m), kDomains - 1);
+    const auto d =
+        std::min(static_cast<std::size_t>(x / spec.cell_m), n_domains - 1);
     const double center = (static_cast<double>(d) + 0.5) * spec.cell_m;
     const double left_edge = static_cast<double>(d) * spec.cell_m;
     const double right_edge = left_edge + spec.cell_m;
@@ -214,7 +310,7 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
     if (d > 0 && x - left_edge <= spec.interference_margin_m) {
       dist_left = link_dist(x - (center - spec.cell_m));
     }
-    if (d + 1 < kDomains && right_edge - x <= spec.interference_margin_m) {
+    if (d + 1 < n_domains && right_edge - x <= spec.interference_margin_m) {
       dist_right = link_dist(center + spec.cell_m - x);
     }
     // First wake at the node's own period (the SP12 event timer), RNG from
@@ -232,12 +328,20 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
       spec.legacy_epoch_path ? EpochPath::kLegacy : EpochPath::kActive;
   for (Domain& d : domains) d.set_path(path);
 
-  // --- Sharded epoch loop ---------------------------------------------------
-  const std::size_t kShards =
-      spec.shards == 0 ? kDomains : std::min(spec.shards, kDomains);
-  const ShardPlan plan{kDomains, kShards};
-  runtime::ParallelRunner runner(spec.threads);
-  FleetPhaseBreakdown phase;
+  // --- Shard plan -----------------------------------------------------------
+  n_shards = spec.shards == 0 ? n_domains : std::min(spec.shards, n_domains);
+  plan = ShardPlan{n_domains, n_shards};
+  shard_stats.assign(n_shards, ShardStat{});
+  legacy = spec.legacy_epoch_path;
+
+  // Dense active-set index, engine-side. Probing a Domain object for
+  // "anything due?" costs several dependent cache misses (object header,
+  // heap slab, key slab) — at a million nodes that O(domains) probe walk
+  // becomes the serial fraction. These flat arrays hold the same three
+  // answers at ~1 byte-read each and stay L2-resident across epochs.
+  next_wake.assign(n_domains, -std::numeric_limits<double>::infinity());
+  outbox_full.assign(n_domains, 0);
+  air_work.assign(n_domains, 0);
 
   // --- Observability taps ---------------------------------------------------
   // Ring d+1 belongs to domain d (single-writer inside the parallel
@@ -246,51 +350,16 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   // pointers are cached once up front: with no flight recorder attached
   // `ring_at` stays null and the epoch loop carries no per-domain hook
   // bookkeeping at all.
-  std::vector<obs::FlightRing*> rings;
   if constexpr (obs::kEnabled) {
     if (hooks.flight != nullptr) {
-      hooks.flight->configure_rings(kDomains + 1);
-      rings.resize(kDomains);
-      for (std::size_t d = 0; d < kDomains; ++d) {
+      hooks.flight->configure_rings(n_domains + 1);
+      rings.resize(n_domains);
+      for (std::size_t d = 0; d < n_domains; ++d) {
         rings[d] = &hooks.flight->ring(d + 1);
       }
-    }
-  }
-  obs::FlightRing* const* ring_at = rings.empty() ? nullptr : rings.data();
-  struct SeriesIds {
-    std::uint32_t wake_cycles, frames_on_air, collided, delivered, frames_lost,
-        delivered_per_s, collision_rate, energy_cycle_j;
-  };
-  SeriesIds sid{};
-  // Fault windows sorted by open time; kFaultActive is recorded when the
-  // epoch loop crosses each open (feeding the storm detector).
-  struct FaultOpen {
-    double at_s;
-    std::uint32_t kind;
-    std::uint32_t index;
-    double magnitude;
-  };
-  std::vector<FaultOpen> fault_opens;
-  std::size_t next_fault = 0;
-  double prev_sample_t = 0.0;
-  std::uint64_t prev_delivered = 0;
-  if constexpr (obs::kEnabled) {
-    if (hooks.flight != nullptr) {
       for (Domain& d : domains) {
         d.set_flight_tx_sample_shift(hooks.flight_tx_sample_shift);
       }
-    }
-    if (hooks.series != nullptr) {
-      sid.wake_cycles = hooks.series->series("fleet.wake_cycles");
-      sid.frames_on_air = hooks.series->series("fleet.frames_on_air");
-      sid.collided = hooks.series->series("fleet.collided");
-      sid.delivered = hooks.series->series("fleet.delivered");
-      sid.frames_lost = hooks.series->series("fleet.frames_lost");
-      sid.delivered_per_s = hooks.series->series("fleet.delivered_per_s");
-      sid.collision_rate = hooks.series->series("fleet.collision_rate");
-      sid.energy_cycle_j = hooks.series->series("fleet.energy_cycle_j");
-    }
-    if (hooks.flight != nullptr) {
       const auto& evs = spec.faults.events();
       fault_opens.reserve(evs.size());
       for (std::size_t i = 0; i < evs.size(); ++i) {
@@ -302,44 +371,46 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
                   return a.at_s != b.at_s ? a.at_s < b.at_s : a.index < b.index;
                 });
     }
+    if (hooks.series != nullptr) {
+      sid.wake_cycles = hooks.series->series("fleet.wake_cycles");
+      sid.frames_on_air = hooks.series->series("fleet.frames_on_air");
+      sid.collided = hooks.series->series("fleet.collided");
+      sid.delivered = hooks.series->series("fleet.delivered");
+      sid.frames_lost = hooks.series->series("fleet.frames_lost");
+      sid.delivered_per_s = hooks.series->series("fleet.delivered_per_s");
+      sid.collision_rate = hooks.series->series("fleet.collision_rate");
+      sid.energy_cycle_j = hooks.series->series("fleet.energy_cycle_j");
+      agg.resize((n_domains + kAggBlock - 1) / kAggBlock);
+    }
   }
+  ring_at = rings.empty() ? nullptr : rings.data();
+  agg_blocks = agg.size();
+
+  phase.setup_s = seconds_since(t_setup0);
+  if constexpr (obs::kEnabled) {
+    if (hooks.tracer != nullptr) {
+      hooks.tracer->set_sim_clock([this] { return t; });
+      hooks.tracer->instant("fleet.run.begin");
+    }
+  }
+}
+
+FleetSession::Impl::~Impl() {
+  if constexpr (obs::kEnabled) {
+    // finish_run() normally detaches the sim clock; cover abandonment.
+    if (!finished && hooks.tracer != nullptr) hooks.tracer->set_sim_clock({});
+  }
+}
+
+void FleetSession::Impl::run_until(double t_target_s) {
+  PICO_REQUIRE(!finished, "fleet session already finished");
+  const double target = std::min(t_target_s, spec.sim_time_s);
 
   // --- Epoch-loop jobs ------------------------------------------------------
   // Named lambdas dispatched through run_indexed (a non-allocating
   // function ref): the loop issues several jobs per epoch, and wrapping
   // each in a std::function would put heap traffic on the hot path.
-  // Per-shard activity tallies live in cacheline-sized slots so
-  // concurrent shards never share a line.
-  struct alignas(64) ShardStat {
-    std::uint64_t advanced = 0;
-    std::uint64_t resolved = 0;
-  };
-  std::vector<ShardStat> shard_stats(kShards);
-  const bool legacy = spec.legacy_epoch_path;
-  double epoch_end = 0.0;
-
-  // Dense active-set index, engine-side. Probing a Domain object for
-  // "anything due?" costs several dependent cache misses (object header,
-  // heap slab, key slab) — at a million nodes that O(domains) probe walk
-  // becomes the serial fraction. These flat arrays hold the same three
-  // answers at ~1 byte-read each and stay L2-resident across epochs:
   //
-  //   next_wake[d]   earliest pending wake (-inf until the domain's
-  //                  calendar exists, so epoch 1 advances everyone and
-  //                  the legacy path — which never builds a calendar —
-  //                  always scans; +inf once a domain is forever idle)
-  //   outbox_full[d] domain d's boundary outboxes are non-empty; routing
-  //                  consults the *neighbors'* flags and skips entirely
-  //                  when both are clear (an untouched inbox is empty)
-  //   air_work[d]    domain d holds unresolved air records (fresh
-  //                  pending, routed inbox, or carried-over tails)
-  //
-  // Each slot is written only by the shard that owns domain d within a
-  // phase; neighbors read outbox_full only after the Phase A barrier.
-  std::vector<double> next_wake(kDomains, -std::numeric_limits<double>::infinity());
-  std::vector<std::uint8_t> outbox_full(kDomains, 0);
-  std::vector<std::uint8_t> air_work(kDomains, 0);
-
   // Phase A: frame generation + energy billing, per domain in parallel.
   // The wake calendar makes the idle test O(1): a domain with no wake
   // due this epoch is skipped outright — its outboxes are cleared only
@@ -373,7 +444,7 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   auto route_shard = [&](std::size_t s) {
     plan.for_each_owned(s, [&](std::size_t d) {
       const bool left = d > 0 && outbox_full[d - 1] != 0;
-      const bool right = d + 1 < kDomains && outbox_full[d + 1] != 0;
+      const bool right = d + 1 < n_domains && outbox_full[d + 1] != 0;
       if (!left && !right) return;
       if (domains[d].route_inbox(left ? &domains[d - 1].outbox_right() : nullptr,
                                  right ? &domains[d + 1].outbox_left() : nullptr)) {
@@ -402,23 +473,10 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   // one double the series needs, cumulative wake energy, is the product
   // wake_cycles x cycle_energy_j (every wake bills the same constant),
   // which no summation order can perturb.
-  struct alignas(64) SampleAgg {
-    std::uint64_t wake = 0;
-    std::uint64_t on_air = 0;
-    std::uint64_t coll = 0;
-    std::uint64_t deliv = 0;
-    std::uint64_t lost = 0;
-  };
-  constexpr std::size_t kAggBlock = 64;
-  const std::size_t kAggBlocks = (kDomains + kAggBlock - 1) / kAggBlock;
-  std::vector<SampleAgg> agg;
-  if constexpr (obs::kEnabled) {
-    if (hooks.series != nullptr) agg.resize(kAggBlocks);
-  }
   auto sample_block = [&](std::size_t b) {
     SampleAgg a;
     const std::size_t lo = b * kAggBlock;
-    const std::size_t hi = std::min(lo + kAggBlock, kDomains);
+    const std::size_t hi = std::min(lo + kAggBlock, n_domains);
     for (std::size_t d = lo; d < hi; ++d) {
       const DomainCounters& c = domains[d].counters();
       a.wake += c.wake_cycles;
@@ -430,19 +488,10 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
     agg[b] = a;
   };
 
-  phase.setup_s = seconds_since(t_setup0);
-  double t = 0.0;
-  std::uint32_t epoch_index = 0;
-  if constexpr (obs::kEnabled) {
-    if (hooks.tracer != nullptr) {
-      hooks.tracer->set_sim_clock([&t] { return t; });
-      hooks.tracer->instant("fleet.run.begin");
-    }
-  }
-  while (t < spec.sim_time_s) {
-    epoch_end = std::min(t + epoch_step_s, spec.sim_time_s);
+  while (t < target) {
+    epoch_end = std::min(t + epoch_step, spec.sim_time_s);
     const auto t_adv = Clock::now();
-    runner.run_indexed(kShards, advance_shard);
+    runner.run_indexed(n_shards, advance_shard);
     const auto t_exc = Clock::now();
     phase.advance_s += std::chrono::duration<double>(t_exc - t_adv).count();
     if (legacy) {
@@ -450,28 +499,28 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
       // inbox receives the left neighbor's rightbound frames first, then
       // the right neighbor's leftbound frames — a fixed merge order, so
       // the downstream sort tie-breaks identically every run.
-      for (std::size_t d = 0; d < kDomains; ++d) {
+      for (std::size_t d = 0; d < n_domains; ++d) {
         auto& inbox = domains[d].inbox();
         if (d > 0) {
           auto& from_left = domains[d - 1].outbox_right();
           inbox.insert(inbox.end(), from_left.begin(), from_left.end());
         }
-        if (d + 1 < kDomains) {
+        if (d + 1 < n_domains) {
           auto& from_right = domains[d + 1].outbox_left();
           inbox.insert(inbox.end(), from_right.begin(), from_right.end());
         }
       }
     } else {
-      runner.run_indexed(kShards, route_shard);
+      runner.run_indexed(n_shards, route_shard);
     }
     const auto t_res = Clock::now();
     phase.exchange_s += std::chrono::duration<double>(t_res - t_exc).count();
-    runner.run_indexed(kShards, resolve_shard);
+    runner.run_indexed(n_shards, resolve_shard);
     phase.resolve_s += seconds_since(t_res);
     t = epoch_end;
     ++epoch_index;
     ++phase.epochs;
-    phase.domain_epochs += kDomains;
+    phase.domain_epochs += n_domains;
 
     if constexpr (obs::kEnabled) {
       if (hooks.flight != nullptr || hooks.series != nullptr) {
@@ -484,10 +533,11 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
                                   fo.index, fo.magnitude});
           }
           hooks.flight->record({epoch_end, obs::FlightEventKind::kEpochBarrier,
-                                epoch_index, static_cast<std::uint32_t>(kDomains), 0.0});
+                                epoch_index, static_cast<std::uint32_t>(n_domains),
+                                0.0});
         }
         if (hooks.series != nullptr && hooks.series->due(epoch_end)) {
-          runner.run_indexed(kAggBlocks, sample_block);
+          runner.run_indexed(agg_blocks, sample_block);
           SampleAgg tot;
           for (const SampleAgg& a : agg) {
             tot.wake += a.wake;
@@ -521,6 +571,11 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
       }
     }
   }
+}
+
+FleetMetrics FleetSession::Impl::finish_run() {
+  run_until(spec.sim_time_s);
+  finished = true;
   if constexpr (obs::kEnabled) {
     if (hooks.tracer != nullptr) {
       hooks.tracer->instant("fleet.run.end");
@@ -528,7 +583,7 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
     }
   }
   const auto t_fin = Clock::now();
-  for (std::size_t d = 0; d < kDomains; ++d) {
+  for (std::size_t d = 0; d < n_domains; ++d) {
     domains[d].finalize(m, ring_at != nullptr ? ring_at[d] : nullptr);
   }
   for (const ShardStat& st : shard_stats) {
@@ -539,8 +594,8 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   // --- Reduction (domain order: part of the determinism contract) -----------
   FleetMetrics out;
   out.nodes = spec.nodes;
-  out.domains = kDomains;
-  out.shards = kShards;
+  out.domains = n_domains;
+  out.shards = n_shards;
   for (const Domain& d : domains) {
     const DomainCounters& c = d.counters();
     out.wake_cycles += c.wake_cycles;
@@ -566,13 +621,262 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
   // Per-domain ALOHA sanity figure: the average domain population sets
   // the offered load each gateway actually sees.
   const double nodes_per_domain =
-      static_cast<double>(spec.nodes) / static_cast<double>(kDomains);
+      static_cast<double>(spec.nodes) / static_cast<double>(n_domains);
   out.aloha_prediction = core::FleetAnalysis::aloha_collision_probability(
       std::max(1, static_cast<int>(std::lround(nodes_per_domain))),
       Duration{m.profile.airtime_s}, Duration{spec.nominal_interval_s});
   phase.finalize_s = seconds_since(t_fin);
   out.phase = phase;
   return out;
+}
+
+// The spec-equivalence guard: every result-affecting knob as a named
+// (field, bit-pattern) pair. Doubles compare as their IEEE-754 bits —
+// equality here means the restored session computes on byte-identical
+// constants. shards/threads are deliberately absent (they group work
+// without affecting results, so checkpoints are portable across them);
+// node-config differences surface through the calibrated profile.*
+// constants without serializing the whole config tree.
+std::vector<std::pair<const char*, std::uint64_t>>
+FleetSession::Impl::guard_fields() const {
+  const auto d = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  const auto u = [](std::size_t v) { return static_cast<std::uint64_t>(v); };
+  std::vector<std::pair<const char*, std::uint64_t>> g;
+  g.reserve(35);
+  g.emplace_back("nodes", u(spec.nodes));
+  g.emplace_back("sim_time_s", d(spec.sim_time_s));
+  g.emplace_back("nominal_interval_s", d(spec.nominal_interval_s));
+  g.emplace_back("interval_tolerance", d(spec.interval_tolerance));
+  g.emplace_back("seed", spec.seed);
+  g.emplace_back("randomize_phase", spec.randomize_phase ? 1u : 0u);
+  g.emplace_back("domains", u(spec.domains));
+  g.emplace_back("cell_m", d(spec.cell_m));
+  g.emplace_back("interference_margin_m", d(spec.interference_margin_m));
+  g.emplace_back("gateway_height_m", d(spec.gateway_height_m));
+  g.emplace_back("fixed_distance_m", d(spec.fixed_distance_m));
+  g.emplace_back("tx_alignment", d(spec.tx_alignment));
+  g.emplace_back("rx_gain_dbi", d(spec.rx_gain_dbi));
+  g.emplace_back("shadowing_sigma_db", d(spec.shadowing_sigma_db));
+  g.emplace_back("noise_temp_k", d(spec.noise_temp_k));
+  g.emplace_back("noise_figure_db", d(spec.noise_figure_db));
+  g.emplace_back("capture_db", d(spec.capture_db));
+  g.emplace_back("sensitivity_dbm", d(spec.sensitivity_dbm));
+  g.emplace_back("epoch_s", d(spec.epoch_s));
+  g.emplace_back("legacy_epoch_path", spec.legacy_epoch_path ? 1u : 0u);
+  g.emplace_back("attach_harvester", spec.attach_harvester ? 1u : 0u);
+  g.emplace_back("epoch_step_s", d(epoch_step));
+  g.emplace_back("profile.sleep_power_w", d(m.profile.sleep_power_w));
+  g.emplace_back("profile.cycle_energy_j", d(m.profile.cycle_energy_j));
+  g.emplace_back("profile.cycle_duration_s", d(m.profile.cycle_duration_s));
+  g.emplace_back("profile.tx_offset_s", d(m.profile.tx_offset_s));
+  g.emplace_back("profile.airtime_s", d(m.profile.airtime_s));
+  g.emplace_back("profile.frame_bytes", u(m.profile.frame_bytes));
+  g.emplace_back("profile.decode_bits", u(m.profile.decode_bits));
+  g.emplace_back("profile.payload_bits", u(m.profile.payload_bits));
+  g.emplace_back("profile.battery_ocv_v", d(m.profile.battery_ocv_v));
+  g.emplace_back("profile.battery_budget_j", d(m.profile.battery_budget_j));
+  const bool has_series = obs::kEnabled && hooks.series != nullptr;
+  const bool has_flight = obs::kEnabled && hooks.flight != nullptr;
+  g.emplace_back("has_series", has_series ? 1u : 0u);
+  g.emplace_back("has_flight", has_flight ? 1u : 0u);
+  g.emplace_back("flight_tx_sample_shift",
+                 static_cast<std::uint64_t>(hooks.flight_tx_sample_shift));
+  return g;
+}
+
+void FleetSession::Impl::save(ckpt::Writer& w) const {
+  PICO_REQUIRE(!finished, "cannot checkpoint a finished fleet session");
+
+  // FSPC: the spec guard plus the fault plan as its spec text.
+  w.begin_section(ckpt::tag("FSPC"), 1);
+  const auto g = guard_fields();
+  w.u64(g.size());
+  for (const auto& [name, bits] : g) {
+    w.str(name);
+    w.u64(bits);
+  }
+  w.str(spec.faults.to_spec());
+  w.end_section();
+
+  // FENG: epoch-loop cursors plus portable phase counters. Shard tallies
+  // fold in at save time — the restoring session may run a different
+  // shard count, so per-shard slots cannot travel. Wall-clock seconds
+  // stay behind (machine-relative, excluded from fingerprints anyway).
+  w.begin_section(ckpt::tag("FENG"), 1);
+  w.f64(t);
+  w.u32(epoch_index);
+  w.u64(next_fault);
+  w.f64(prev_sample_t);
+  w.u64(prev_delivered);
+  std::uint64_t advanced = phase.domains_advanced;
+  std::uint64_t resolved = phase.domains_resolved;
+  for (const ShardStat& st : shard_stats) {
+    advanced += st.advanced;
+    resolved += st.resolved;
+  }
+  w.u64(phase.epochs);
+  w.u64(phase.domain_epochs);
+  w.u64(advanced);
+  w.u64(resolved);
+  w.end_section();
+
+  // FDOM: every domain's mutable state, in domain order.
+  w.begin_section(ckpt::tag("FDOM"), 1);
+  w.u64(domains.size());
+  for (const Domain& dom : domains) dom.save(w);
+  w.end_section();
+
+  if constexpr (obs::kEnabled) {
+    if (hooks.series != nullptr) {
+      ckpt::write_series(w, hooks.series->checkpoint_state());
+    }
+    if (hooks.flight != nullptr) {
+      ckpt::write_flight(w, hooks.flight->checkpoint_state());
+    }
+  }
+}
+
+void FleetSession::Impl::restore(ckpt::Reader& r) {
+  PICO_REQUIRE(!finished, "cannot restore into a finished fleet session");
+  const auto expect_v1 = [&r](const char (&tg)[5]) {
+    if (r.enter_section(ckpt::tag(tg)) != 1) {
+      throw ckpt::CheckpointError(std::string("unsupported version of section '") +
+                                  tg + "'");
+    }
+  };
+
+  // FSPC: field-by-field equivalence with this session's spec. A mismatch
+  // names the offending field — "wrong blob for this run" must be a
+  // diagnosis, not a debugging session.
+  expect_v1("FSPC");
+  const auto g = guard_fields();
+  const std::uint64_t n_fields = r.u64();
+  if (n_fields != g.size()) {
+    throw ckpt::CheckpointError(
+        "spec guard holds " + std::to_string(n_fields) +
+        " fields; this build expects " + std::to_string(g.size()));
+  }
+  for (const auto& [name, bits] : g) {
+    const std::string saved_name = r.str();
+    const std::uint64_t saved_bits = r.u64();
+    if (saved_name != name) {
+      throw ckpt::CheckpointError("spec guard field order mismatch: saved '" +
+                                  saved_name + "', expected '" + name + "'");
+    }
+    if (saved_bits != bits) {
+      throw ckpt::CheckpointError(
+          "checkpoint was taken under a different spec: field '" + saved_name +
+          "' differs");
+    }
+  }
+  if (r.str() != spec.faults.to_spec()) {
+    throw ckpt::CheckpointError("checkpoint was taken under a different fault plan");
+  }
+  r.leave_section();
+
+  expect_v1("FENG");
+  t = r.f64();
+  epoch_index = r.u32();
+  next_fault = r.u64();
+  prev_sample_t = r.f64();
+  prev_delivered = r.u64();
+  phase.epochs = r.u64();
+  phase.domain_epochs = r.u64();
+  phase.domains_advanced = r.u64();
+  phase.domains_resolved = r.u64();
+  r.leave_section();
+  if (!(t >= 0.0 && t <= spec.sim_time_s)) {
+    throw ckpt::CheckpointError("restored sim time is outside [0, sim_time]");
+  }
+  if (next_fault > fault_opens.size()) {
+    throw ckpt::CheckpointError("restored fault cursor exceeds the fault plan");
+  }
+  for (ShardStat& st : shard_stats) st = ShardStat{};
+
+  expect_v1("FDOM");
+  const std::uint64_t n_doms = r.u64();
+  if (n_doms != domains.size()) {
+    throw ckpt::CheckpointError("checkpoint holds " + std::to_string(n_doms) +
+                                " domains; the spec lays out " +
+                                std::to_string(domains.size()));
+  }
+  for (Domain& dom : domains) dom.restore(r);
+  r.leave_section();
+
+  // Re-derive the dense active-set index: each answer is a pure function
+  // of a domain at an epoch barrier, so it never hits the wire.
+  for (std::size_t d = 0; d < n_domains; ++d) {
+    Domain& dom = domains[d];
+    next_wake[d] = dom.next_wake_hint();
+    outbox_full[d] =
+        !dom.outbox_left().empty() || !dom.outbox_right().empty() ? 1 : 0;
+    air_work[d] = dom.has_air_work() ? 1 : 0;
+  }
+
+  if constexpr (obs::kEnabled) {
+    if (hooks.series != nullptr) {
+      hooks.series->restore(ckpt::read_series(r));
+    }
+    if (hooks.flight != nullptr) {
+      obs::FlightRecorder::CheckpointState st = ckpt::read_flight(r);
+      if (st.rings.size() != n_domains + 1) {
+        throw ckpt::CheckpointError(
+            "flight checkpoint holds " + std::to_string(st.rings.size()) +
+            " rings; this fleet needs " + std::to_string(n_domains + 1));
+      }
+      hooks.flight->restore(st);
+      // restore() rebuilt the ring objects — re-cache the per-domain
+      // pointers or the epoch loop would write through dangling ones.
+      for (std::size_t d = 0; d < n_domains; ++d) {
+        rings[d] = &hooks.flight->ring(d + 1);
+      }
+      ring_at = rings.data();
+    }
+  }
+  if (!r.at_end()) {
+    throw ckpt::CheckpointError("trailing bytes after fleet checkpoint");
+  }
+}
+
+FleetSession::FleetSession(const FleetSpec& spec, const FleetObsHooks& hooks)
+    : impl_(std::make_unique<Impl>(spec, hooks)) {}
+
+FleetSession::~FleetSession() = default;
+
+void FleetSession::run_until(double t_target_s) { impl_->run_until(t_target_s); }
+
+FleetMetrics FleetSession::finish() { return impl_->finish_run(); }
+
+double FleetSession::now_s() const { return impl_->t; }
+
+double FleetSession::epoch_step_s() const { return impl_->epoch_step; }
+
+std::vector<std::uint8_t> FleetSession::save() const {
+  ckpt::Writer w;
+  impl_->save(w);
+  return w.finish();
+}
+
+void FleetSession::save_file(const std::string& path) const {
+  ckpt::Writer w;
+  impl_->save(w);
+  w.write_file(path);
+}
+
+void FleetSession::restore(const std::vector<std::uint8_t>& blob) {
+  ckpt::Reader r(blob);
+  impl_->restore(r);
+}
+
+void FleetSession::restore_file(const std::string& path) {
+  ckpt::Reader r = ckpt::Reader::from_file(path);
+  impl_->restore(r);
+}
+
+FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
+                                     const FleetObsHooks& hooks) {
+  FleetSession session(spec, hooks);
+  return session.finish();
 }
 
 FleetSpec spec_from_fleet_config(const core::FleetConfig& cfg, std::size_t domains) {

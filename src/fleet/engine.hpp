@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -206,6 +207,52 @@ struct ShardPlan {
   void for_each_owned(std::size_t shard, Fn&& fn) const {
     for (std::size_t d = shard; d < domains; d += shards) fn(d);
   }
+};
+
+// A resumable fleet run. Construction performs the setup phase
+// (calibration, layout, sequential interval draws); run_until() steps
+// whole epochs; finish() runs the remaining epochs, the terminal energy
+// balance, and the domain-order reduction. ShardedFleetEngine::run is the
+// one-shot wrapper around this class.
+//
+// Checkpointing: between run_until() calls the session sits at an epoch
+// barrier — the one place full state is finite and well-defined — and
+// save() serializes it completely (domain SoA state, wake calendars,
+// carry/pending air runs, per-node RNG cursors, obs cursors, plus the
+// attached series rows and flight rings through the hooks). restore()
+// loads a blob into a freshly constructed session with an equivalent spec
+// (validated field by field; a mismatch is a clear DesignError) and the
+// resumed run is bit-identical — metrics fingerprint, flight fingerprint,
+// series rows — to the uninterrupted one. Checkpoints are portable across
+// shard and thread counts: those group work without affecting results,
+// and the wall-clock phase breakdown (excluded from fingerprints)
+// restarts at resume.
+class FleetSession {
+ public:
+  explicit FleetSession(const FleetSpec& spec, const FleetObsHooks& hooks = {});
+  ~FleetSession();
+  FleetSession(const FleetSession&) = delete;
+  FleetSession& operator=(const FleetSession&) = delete;
+
+  // Step whole epochs until sim time reaches min(t_target_s, sim_time_s).
+  void run_until(double t_target_s);
+  // Run to the horizon and reduce. Call at most once.
+  [[nodiscard]] FleetMetrics finish();
+
+  // Sim time of the last completed epoch barrier.
+  [[nodiscard]] double now_s() const;
+  // The effective epoch step (spec.epoch_s clamped to the series cadence).
+  [[nodiscard]] double epoch_step_s() const;
+
+  // --- Checkpoint/restore (src/ckpt) -----------------------------------------
+  [[nodiscard]] std::vector<std::uint8_t> save() const;
+  void save_file(const std::string& path) const;
+  void restore(const std::vector<std::uint8_t>& blob);
+  void restore_file(const std::string& path);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 class ShardedFleetEngine {

@@ -100,6 +100,15 @@ class WakeHeap {
   // Restore heap order after key[top()] increased (and only it).
   void sift_top(const std::vector<double>& key);
 
+  // Checkpoint/restore (src/ckpt): the slot array is saved verbatim so a
+  // restored calendar pops in the exact layout the original had, rather
+  // than relying on build() reproducing an incrementally-sifted heap.
+  [[nodiscard]] const std::vector<std::uint32_t>& slots() const { return h_; }
+  void restore_slots(std::vector<std::uint32_t> slots, bool built) {
+    h_ = std::move(slots);
+    built_ = built;
+  }
+
  private:
   void sift_down(const std::vector<double>& key, std::size_t i);
   std::vector<std::uint32_t> h_;

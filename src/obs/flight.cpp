@@ -52,6 +52,20 @@ void FlightRing::append_to(std::vector<FlightEvent>& out) const {
   }
 }
 
+void FlightRing::restore(const std::vector<FlightEvent>& retained, std::uint64_t recorded) {
+  PICO_REQUIRE(!buf_.empty(), "flight ring must be reset() before restore");
+  PICO_REQUIRE(retained.size() <= buf_.size(),
+               "flight checkpoint retains more events than ring capacity");
+  PICO_REQUIRE(retained.size() == std::min<std::uint64_t>(recorded, buf_.size()),
+               "flight checkpoint retained/recorded counts disagree");
+  // Lay the retained events out from slot 0; head_ then points at the slot
+  // holding the oldest event (wrapped) or the first free slot (unwrapped) —
+  // in both cases the next push lands where the original ring's would.
+  for (std::size_t i = 0; i < retained.size(); ++i) buf_[i] = retained[i];
+  head_ = retained.size() == buf_.size() ? 0 : retained.size();
+  recorded_ = recorded;
+}
+
 FlightRecorder::FlightRecorder(std::size_t ring_capacity)
     : ring_capacity_(ring_capacity) {
   configure_rings(1);
@@ -100,6 +114,50 @@ void FlightRecorder::trigger_dump(const std::string& reason) {
   dumped_ = true;
   dump_reason_ = reason;
   if (dump_hook_) dump_hook_(reason);
+}
+
+FlightRecorder::CheckpointState FlightRecorder::checkpoint_state() const {
+  CheckpointState st;
+  st.ring_capacity = ring_capacity_;
+  st.dumped = dumped_;
+  st.dump_reason = dump_reason_;
+  st.storm_count = storm_count_;
+  st.storm_window_s = storm_window_s_;
+  st.storm_times = storm_times_;
+  st.storm_head = storm_head_;
+  st.storm_seen = storm_seen_;
+  st.rings.reserve(rings_.size());
+  for (const auto& r : rings_) {
+    CheckpointState::Ring rs;
+    rs.recorded = r->recorded();
+    r->append_to(rs.retained);
+    st.rings.push_back(std::move(rs));
+  }
+  return st;
+}
+
+void FlightRecorder::restore(const CheckpointState& st) {
+  PICO_REQUIRE(st.ring_capacity >= 1, "flight checkpoint has zero ring capacity");
+  PICO_REQUIRE(!st.rings.empty(), "flight checkpoint has no rings");
+  PICO_REQUIRE(st.storm_count >= 2 && st.storm_window_s > 0.0,
+               "flight checkpoint has invalid storm threshold");
+  PICO_REQUIRE(st.storm_times.size() == st.storm_count,
+               "flight checkpoint storm window length mismatch");
+  PICO_REQUIRE(st.storm_head < st.storm_count,
+               "flight checkpoint storm cursor out of range");
+  ring_capacity_ = static_cast<std::size_t>(st.ring_capacity);
+  rings_.clear();
+  configure_rings(st.rings.size());
+  for (std::size_t i = 0; i < st.rings.size(); ++i) {
+    rings_[i]->restore(st.rings[i].retained, st.rings[i].recorded);
+  }
+  dumped_ = st.dumped;
+  dump_reason_ = st.dump_reason;
+  storm_count_ = static_cast<std::size_t>(st.storm_count);
+  storm_window_s_ = st.storm_window_s;
+  storm_times_ = st.storm_times;
+  storm_head_ = static_cast<std::size_t>(st.storm_head);
+  storm_seen_ = st.storm_seen;
 }
 
 std::vector<FlightRecorder::MergedEvent> FlightRecorder::merged() const {

@@ -73,6 +73,13 @@ class FlightRing {
   // Retained events, oldest first.
   void append_to(std::vector<FlightEvent>& out) const;
 
+  // Checkpoint/restore (src/ckpt): reinstate the retained events (oldest
+  // first, the order append_to emits) and the lifetime recorded counter.
+  // The next push overwrites the oldest retained event, exactly as it
+  // would have in the original ring, so merged order, fingerprints, and
+  // dropped() all carry across the restore.
+  void restore(const std::vector<FlightEvent>& retained, std::uint64_t recorded);
+
  private:
   std::vector<FlightEvent> buf_;
   std::size_t head_ = 0;  // next write slot
@@ -122,6 +129,27 @@ class FlightRecorder {
   // One JSON object per merged event:
   //   {"t_s":..,"ring":..,"kind":"frame_tx","a":..,"b":..,"v":..}
   void write_jsonl(const std::string& path) const;
+
+  // --- Checkpoint/restore (src/ckpt) -----------------------------------------
+  // Rings plus the storm-detector window and the one-shot dump latch. The
+  // dump hook itself is not state — the restoring host re-arms it.
+  struct CheckpointState {
+    std::uint64_t ring_capacity = 0;
+    bool dumped = false;
+    std::string dump_reason;
+    std::uint64_t storm_count = 0;
+    double storm_window_s = 0.0;
+    std::vector<double> storm_times;
+    std::uint64_t storm_head = 0;
+    std::uint64_t storm_seen = 0;
+    struct Ring {
+      std::vector<FlightEvent> retained;  // oldest first
+      std::uint64_t recorded = 0;
+    };
+    std::vector<Ring> rings;
+  };
+  [[nodiscard]] CheckpointState checkpoint_state() const;
+  void restore(const CheckpointState& st);
 
  private:
   std::size_t ring_capacity_;

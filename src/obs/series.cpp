@@ -95,6 +95,53 @@ void TimeSeriesRecorder::decimate() {
   next_t_ = t_.empty() ? 0.0 : t_.back() + dt_;
 }
 
+TimeSeriesRecorder::CheckpointState TimeSeriesRecorder::checkpoint_state() const {
+  PICO_REQUIRE(!row_open_, "cannot checkpoint a series recorder mid-row");
+  CheckpointState st;
+  st.dt0_s = dt0_;
+  st.dt_s = dt_;
+  st.next_t_s = next_t_;
+  st.max_rows = cap_;
+  st.decimations = decimations_;
+  st.t = t_;
+  st.names.reserve(cols_.size());
+  st.cols.reserve(cols_.size());
+  for (const Column& c : cols_) {
+    st.names.push_back(c.name);
+    st.cols.push_back(c.v);
+  }
+  return st;
+}
+
+void TimeSeriesRecorder::restore(const CheckpointState& st) {
+  PICO_REQUIRE(!row_open_, "cannot restore a series recorder mid-row");
+  PICO_REQUIRE(st.dt0_s > 0.0 && st.dt_s >= st.dt0_s,
+               "series checkpoint has invalid cadence");
+  PICO_REQUIRE(st.max_rows >= 4, "series checkpoint row cap must be at least 4");
+  PICO_REQUIRE(st.names.size() == st.cols.size(),
+               "series checkpoint column/name count mismatch");
+  for (const auto& col : st.cols) {
+    PICO_REQUIRE(col.size() == st.t.size(),
+                 "series checkpoint column length mismatch");
+  }
+  dt0_ = st.dt0_s;
+  dt_ = st.dt_s;  // the decimated cadence, not dt0 — see CheckpointState
+  next_t_ = st.next_t_s;
+  cap_ = static_cast<std::size_t>(st.max_rows);
+  decimations_ = static_cast<std::size_t>(st.decimations);
+  t_ = st.t;
+  t_.reserve(cap_);
+  cols_.clear();
+  cols_.reserve(st.names.size());
+  for (std::size_t i = 0; i < st.names.size(); ++i) {
+    Column c;
+    c.name = st.names[i];
+    c.v = st.cols[i];
+    c.v.reserve(cap_);
+    cols_.push_back(std::move(c));
+  }
+}
+
 const std::vector<double>& TimeSeriesRecorder::column(SeriesId id) const {
   PICO_ASSERT(id < cols_.size());
   return cols_[id].v;

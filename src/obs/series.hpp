@@ -76,6 +76,26 @@ class TimeSeriesRecorder {
   // Envelope checked on every commit_row (null to detach).
   void set_watch(EnvelopeWatch* watch) { watch_ = watch; }
 
+  // --- Checkpoint/restore (src/ckpt) -----------------------------------------
+  // The full resumable state. `dt_s` is the *current* cadence — after k
+  // in-place decimations it is dt0 * 2^k, and a restore that failed to
+  // reinstate it (and `next_t_s`) would sample the resumed run at the
+  // original cadence, hitting the row cap on a different schedule than the
+  // uninterrupted run. The decimation-boundary regression test pins this.
+  struct CheckpointState {
+    double dt0_s = 0.0;
+    double dt_s = 0.0;
+    double next_t_s = 0.0;
+    std::uint64_t max_rows = 0;
+    std::uint64_t decimations = 0;
+    std::vector<double> t;
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> cols;  // one per name, all t.size() long
+  };
+  [[nodiscard]] CheckpointState checkpoint_state() const;
+  // Replace this recorder's contents wholesale (no row may be open).
+  void restore(const CheckpointState& st);
+
   // --- Export ----------------------------------------------------------------
   // JSONL: one self-describing object per row, {"t_s": ..., "<name>": ...};
   // NaN samples are emitted as null.

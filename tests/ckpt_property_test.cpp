@@ -1,0 +1,291 @@
+// ckpt_property_test.cpp — the tentpole invariant, stated as a property:
+//
+//   A fleet run checkpointed at ANY epoch barrier and resumed in a fresh
+//   session is bit-identical to the uninterrupted run — metrics
+//   fingerprint, flight fingerprint, series rows — for every shard and
+//   thread count and on both epoch paths.
+//
+// Trials are drawn from the scenario generator (seeded, reproducible) so
+// the property is exercised over fleets with varying population, spread,
+// drive cycle, jam bursts and harvest droughts, not one hand-picked spec.
+// On failure the harness shrinks to the earliest failing cut epoch and
+// prints a one-line repro (corpus seed, index, cut, shards, threads),
+// which `bench_soak_corpus --index N --checkpoint-at T` replays directly.
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fleet/engine.hpp"
+#include "obs/flight.hpp"
+#include "obs/series.hpp"
+#include "scenario/generator.hpp"
+
+using namespace pico;
+
+namespace {
+
+// Small-but-structured corpus: a few hundred nodes over a sim-minute
+// keeps one trial in the tens of milliseconds while still crossing fault
+// windows, decimations and (for the smallest rings) flight wrap-around.
+scenario::GeneratorParams test_params() {
+  scenario::GeneratorParams p;
+  p.seed = 77;
+  p.sim_time_s = 24.0;
+  p.min_nodes = 160;
+  p.max_nodes = 360;
+  p.nodes_per_domain = 40;  // >= 4 domains, so shard sweeps are non-trivial
+  return p;
+}
+
+struct RunResult {
+  std::uint64_t metrics_fp = 0;
+  std::uint64_t flight_fp = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t wake_cycles = 0;
+  double energy_out_j = 0.0;
+  std::vector<double> times;
+  std::vector<std::vector<double>> cols;
+};
+
+struct Obs {
+  obs::TimeSeriesRecorder series{0.5, 64};
+  obs::FlightRecorder flight{32};
+  fleet::FleetObsHooks hooks() {
+    fleet::FleetObsHooks h;
+    h.series = &series;
+    h.flight = &flight;
+    h.flight_tx_sample_shift = 3;
+    return h;
+  }
+};
+
+RunResult collect(Obs& o, const fleet::FleetMetrics& m) {
+  RunResult r;
+  r.metrics_fp = m.fingerprint();
+  r.flight_fp = o.flight.fingerprint();
+  r.delivered = m.delivered;
+  r.wake_cycles = m.wake_cycles;
+  r.energy_out_j = m.energy_out_j;
+  r.times = o.series.times();
+  for (std::uint32_t c = 0; c < o.series.series_count(); ++c)
+    r.cols.push_back(o.series.column(c));
+  return r;
+}
+
+// Bit-pattern equality: series columns carry NaN for unset samples, and
+// operator== would call two identical runs different.
+bool same_bits(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) != std::bit_cast<std::uint64_t>(b[i]))
+      return false;
+  }
+  return true;
+}
+
+bool equal(const RunResult& a, const RunResult& b) {
+  if (a.cols.size() != b.cols.size()) return false;
+  for (std::size_t c = 0; c < a.cols.size(); ++c) {
+    if (!same_bits(a.cols[c], b.cols[c])) return false;
+  }
+  return a.metrics_fp == b.metrics_fp && a.flight_fp == b.flight_fp &&
+         a.delivered == b.delivered && a.wake_cycles == b.wake_cycles &&
+         a.energy_out_j == b.energy_out_j && same_bits(a.times, b.times);
+}
+
+RunResult run_uninterrupted(const fleet::FleetSpec& spec) {
+  Obs o;
+  fleet::FleetSession s(spec, o.hooks());
+  return collect(o, s.finish());
+}
+
+// Run to `cut_epochs` barriers, save, restore the blob into a fresh
+// session built from `resume_spec` (normally == spec; the portability
+// test regroups shards/threads), finish, and collect from the RESUMED
+// side's observers — they must have inherited rows and ring contents
+// through the blob.
+RunResult run_resumed(const fleet::FleetSpec& spec, std::uint64_t cut_epochs,
+                      const fleet::FleetSpec& resume_spec) {
+  std::vector<std::uint8_t> blob;
+  {
+    Obs o;
+    fleet::FleetSession s(spec, o.hooks());
+    s.run_until(static_cast<double>(cut_epochs) * s.epoch_step_s());
+    blob = s.save();
+  }
+  Obs o;
+  fleet::FleetSession s(resume_spec, o.hooks());
+  s.restore(blob);
+  return collect(o, s.finish());
+}
+
+std::uint64_t epochs_in(const fleet::FleetSpec& spec) {
+  Obs o;
+  fleet::FleetSession s(spec, o.hooks());
+  return static_cast<std::uint64_t>(spec.sim_time_s / s.epoch_step_s());
+}
+
+std::string repro_line(const scenario::GeneratorParams& p, std::uint64_t index,
+                       std::uint64_t cut, const fleet::FleetSpec& spec) {
+  return "repro: corpus_seed=" + std::to_string(p.seed) +
+         " index=" + std::to_string(index) + " cut_epoch=" + std::to_string(cut) +
+         " shards=" + std::to_string(spec.shards) +
+         " threads=" + std::to_string(spec.threads) +
+         " legacy=" + (spec.legacy_epoch_path ? "1" : "0");
+}
+
+}  // namespace
+
+// The core property over generator-drawn trials: checkpoint at a random
+// epoch, resume, compare everything. A failing trial shrinks to the
+// earliest cut epoch that still fails before reporting.
+TEST(FleetCheckpointTest, RandomEpochResumeEqualsUninterrupted) {
+  const scenario::GeneratorParams p = test_params();
+  Rng pick(20080809);
+  for (std::uint64_t index = 0; index < 4; ++index) {
+    const scenario::GeneratedScenario gen = scenario::generate(p, index);
+    const fleet::FleetSpec& spec = gen.spec;
+    const RunResult base = run_uninterrupted(spec);
+    const std::uint64_t n_epochs = epochs_in(spec);
+    ASSERT_GE(n_epochs, 3u) << gen.name;
+    const std::uint64_t cut = 1 + pick.below(n_epochs - 1);
+    if (equal(base, run_resumed(spec, cut, spec))) continue;
+    // Shrink: earliest failing cut is the smallest repro.
+    std::uint64_t minimal = cut;
+    for (std::uint64_t c = 1; c < cut; ++c) {
+      if (!equal(base, run_resumed(spec, c, spec))) {
+        minimal = c;
+        break;
+      }
+    }
+    ADD_FAILURE() << "resume diverged from uninterrupted run (" << gen.name
+                  << ")\n  " << repro_line(p, index, minimal, spec);
+  }
+}
+
+// Checkpoints are portable across shard/thread regroupings: a blob saved
+// under one execution shape restores under any other and still reproduces
+// the uninterrupted fingerprints (shards/threads group work; they are
+// deliberately not spec-guard fields).
+TEST(FleetCheckpointTest, PortableAcrossShardAndThreadSweep) {
+  const scenario::GeneratorParams p = test_params();
+  const scenario::GeneratedScenario gen = scenario::generate(p, 1);
+  fleet::FleetSpec save_spec = gen.spec;
+  save_spec.shards = 1;
+  save_spec.threads = 1;
+  const RunResult base = run_uninterrupted(save_spec);
+  const std::uint64_t cut = epochs_in(save_spec) / 2;
+  ASSERT_GE(cut, 1u);
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    for (unsigned threads : {1u, 8u}) {
+      fleet::FleetSpec resume_spec = gen.spec;
+      resume_spec.shards = shards;
+      resume_spec.threads = threads;
+      const RunResult r = run_resumed(save_spec, cut, resume_spec);
+      EXPECT_TRUE(equal(base, r))
+          << repro_line(p, 1, cut, resume_spec) << " (saved under 1x1)";
+    }
+  }
+}
+
+// The same property holds on the legacy epoch path (node-major timer
+// scans); legacy blobs resume legacy sessions bit-identically.
+TEST(FleetCheckpointTest, LegacyEpochPathResumesBitIdentical) {
+  const scenario::GeneratorParams p = test_params();
+  const scenario::GeneratedScenario gen = scenario::generate(p, 2);
+  fleet::FleetSpec spec = gen.spec;
+  spec.legacy_epoch_path = true;
+  const RunResult base = run_uninterrupted(spec);
+  const std::uint64_t n_epochs = epochs_in(spec);
+  for (std::uint64_t cut : {std::uint64_t{1}, n_epochs / 2, n_epochs - 1}) {
+    EXPECT_TRUE(equal(base, run_resumed(spec, cut, spec)))
+        << repro_line(p, 2, cut, spec);
+  }
+}
+
+// Pending/carry air-run state is path-specific, so a blob saved on one
+// epoch path must refuse to restore into the other — with an error that
+// names the offending field, not a silent divergence.
+TEST(FleetCheckpointTest, RejectsCrossPathRestore) {
+  const scenario::GeneratorParams p = test_params();
+  const scenario::GeneratedScenario gen = scenario::generate(p, 0);
+  std::vector<std::uint8_t> blob;
+  {
+    Obs o;
+    fleet::FleetSession s(gen.spec, o.hooks());
+    s.run_until(s.epoch_step_s());
+    blob = s.save();
+  }
+  fleet::FleetSpec other = gen.spec;
+  other.legacy_epoch_path = true;
+  Obs o;
+  fleet::FleetSession s(other, o.hooks());
+  try {
+    s.restore(blob);
+    FAIL() << "cross-path restore must be rejected";
+  } catch (const DesignError& e) {
+    EXPECT_NE(std::string(e.what()).find("legacy_epoch_path"), std::string::npos)
+        << e.what();
+  }
+}
+
+// A spec mismatch is diagnosed by field name; a fault-plan mismatch by the
+// plan check. Both must throw before touching any session state.
+TEST(FleetCheckpointTest, RejectsSpecAndPlanMismatch) {
+  const scenario::GeneratorParams p = test_params();
+  const scenario::GeneratedScenario gen = scenario::generate(p, 3);
+  std::vector<std::uint8_t> blob;
+  {
+    Obs o;
+    fleet::FleetSession s(gen.spec, o.hooks());
+    s.run_until(s.epoch_step_s());
+    blob = s.save();
+  }
+  {
+    fleet::FleetSpec other = gen.spec;
+    other.nodes += 1;
+    Obs o;
+    fleet::FleetSession s(other, o.hooks());
+    try {
+      s.restore(blob);
+      FAIL() << "node-count mismatch must be rejected";
+    } catch (const DesignError& e) {
+      EXPECT_NE(std::string(e.what()).find("nodes"), std::string::npos) << e.what();
+    }
+  }
+  {
+    fleet::FleetSpec other = gen.spec;
+    other.faults.channel_loss(1.0, 2.0, 0.5);
+    Obs o;
+    fleet::FleetSession s(other, o.hooks());
+    try {
+      s.restore(blob);
+      FAIL() << "fault-plan mismatch must be rejected";
+    } catch (const DesignError& e) {
+      EXPECT_NE(std::string(e.what()).find("fault plan"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// restore() then save() reproduces the blob byte for byte — the session
+// state the blob describes is exactly the state a restore reinstates.
+TEST(FleetCheckpointTest, RestoredSessionResavesByteIdentical) {
+  const scenario::GeneratorParams p = test_params();
+  const scenario::GeneratedScenario gen = scenario::generate(p, 1);
+  std::vector<std::uint8_t> blob;
+  {
+    Obs o;
+    fleet::FleetSession s(gen.spec, o.hooks());
+    s.run_until(2.0 * s.epoch_step_s());
+    blob = s.save();
+  }
+  Obs o;
+  fleet::FleetSession s(gen.spec, o.hooks());
+  s.restore(blob);
+  EXPECT_EQ(s.save(), blob);
+}

@@ -104,6 +104,12 @@ def main():
     if args.bench and not args.scenario:
         print("error: --bench requires --scenario")
         return 2
+    # Fail fast on a missing golden — before spending a bench run — and say
+    # how to record one, instead of the generic open() error.
+    if not args.update and not os.path.exists(args.golden):
+        print(f"error: golden trace {args.golden} does not exist; "
+              f"re-run with --update to record it from the current behavior")
+        return 2
 
     tmp = None
     try:
