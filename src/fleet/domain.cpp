@@ -55,11 +55,14 @@ void Domain::add_node(std::uint32_t global_id, double interval_s, double first_w
   alive_.push_back(1);
   cycles_.push_back(0);
   cycle_energy_j_.push_back(0.0);
+  death_t_s_.push_back(std::numeric_limits<double>::infinity());
   heap_.invalidate();
 }
 
-void Domain::reserve_scratch(double epoch_s, double min_interval_s) {
-  const double per_node = epoch_s / std::max(min_interval_s, 1e-6) + 2.0;
+void Domain::reserve_scratch(double epoch_s, double min_interval_s,
+                             std::size_t attempts_per_wake) {
+  const double per_node = (epoch_s / std::max(min_interval_s, 1e-6) + 2.0) *
+                          static_cast<double>(std::max<std::size_t>(attempts_per_wake, 1));
   const auto frames =
       static_cast<std::size_t>(per_node * static_cast<double>(nodes())) + 16;
   pending_.reserve(frames);
@@ -70,6 +73,7 @@ void Domain::reserve_scratch(double epoch_s, double min_interval_s) {
   inbox_.reserve(2 * frames);
   tx_order_.reserve(frames);
   collision_notes_.reserve(frames);
+  brownout_notes_.reserve(nodes());
 }
 
 void Domain::advance(double epoch_end_s, const KernelModel& m,
@@ -101,30 +105,59 @@ void Domain::advance_active(double epoch_end_s, const KernelModel& m,
   // Pop wakes in global (time, id) order: the per-node draw sequence is
   // the same as the legacy node-major scan (each node's wakes still fire
   // in its own time order, and randomness is per-node), while pending_
-  // and the outboxes come out (start, id)-sorted by construction.
-  // Counter accumulation commutes bit-for-bit: every += adds the same
-  // constant, so the running sums are order-invariant.
+  // and the outboxes come out (start, id)-sorted by construction — ARQ
+  // chains can interleave across that order, so the ARQ case re-sorts
+  // below. Counter accumulation commutes bit-for-bit: every += adds the
+  // same per-node value in the same per-node order.
   //
-  // The calendar ignores alive_ — during a run every node is alive
-  // (finalize() is terminal), which is the only time advance runs.
+  // Retired nodes never re-enter the calendar: retirement parks the key
+  // at +inf, so the heap itself is the alive set.
   while (!heap_.empty()) {
     const std::uint32_t i = heap_.top();
     const double wake = next_wake_s_[i];
     if (wake > epoch_end_s) break;
+    if (m.check_depletion &&
+        retire_if_depleted(i, wake, m, flight, /*defer_flight=*/true)) {
+      heap_.sift_top(next_wake_s_);  // key is +inf now
+      continue;
+    }
     next_wake_s_[i] += interval_s_[i];
     heap_.sift_top(next_wake_s_);
-    ++cycles_[i];
-    ++c_.wake_cycles;
-    cycle_energy_j_[i] += m.profile.cycle_energy_j;
-    c_.cycle_energy_j += m.profile.cycle_energy_j;
+    fire_wake(i, wake, m, nullptr);
+  }
+  if (m.profile.arq) {
+    // Chains fired at later wakes can start before a long backoff tail of
+    // an earlier chain: restore the (start, id) invariant the merge-based
+    // resolve and the neighbor inbox merges rely on. Keys never tie — a
+    // node's attempts are spaced by at least airtime + ack timeout.
+    const auto edge_less = [](const EdgeFrame& a, const EdgeFrame& b) {
+      return a.start_s != b.start_s ? a.start_s < b.start_s : a.node < b.node;
+    };
+    std::sort(outbox_left_.begin(), outbox_left_.end(), edge_less);
+    std::sort(outbox_right_.begin(), outbox_right_.end(), edge_less);
+  }
+  if constexpr (obs::kEnabled) {
+    if (flight != nullptr) emit_tx_flight(first_new, flight);
+  }
+}
 
-    const double start = wake + m.profile.tx_offset_s;
+void Domain::fire_wake(std::size_t i, double wake, const KernelModel& m,
+                       obs::FlightRing* inline_flight) {
+  ++cycles_[i];
+  ++c_.wake_cycles;
+  // Per-attempt draws in a fixed order — loss, shadowing, decode, then
+  // the retry backoff — so the per-node stream is identical no matter how
+  // epochs or shards slice the run. Conditional draws follow the scalar
+  // discipline: nominal runs consume no fault randomness, and a beacon
+  // wake is exactly one attempt with no backoff draw.
+  Rng& rng = rng_[i];
+  const std::uint32_t max_retries = m.profile.arq ? m.profile.max_retries : 0;
+  double attempt_start = wake + m.profile.tx_offset_s;
+  std::uint32_t used = 0;
+  bool last_lost = false;
+  for (std::uint32_t a = 0;; ++a) {
+    const double start = attempt_start;
     const double end = start + m.profile.airtime_s;
-    // Per-frame draws in a fixed order — loss, shadowing, decode — so
-    // the per-node stream is identical no matter how epochs or shards
-    // slice the run. Conditional draws follow the scalar discipline:
-    // nominal runs consume no fault randomness.
-    Rng& rng = rng_[i];
     bool lost = false;
     const double lp = m.loss_probability(end);
     if (lp > 0.0) lost = rng.chance(lp);
@@ -134,27 +167,105 @@ void Domain::advance_active(double epoch_end_s, const KernelModel& m,
     }
     const double u = rng.uniform();
     const auto sq = seq_[i]++;
-    if (start > m.sim_time_s) continue;  // run ends before the PA fires
+    used = a;
+    last_lost = lost;
+    if (start <= m.sim_time_s) {  // else: run ends before the PA fires
+      const double p_rx = m.rx_power_w(dist_own_m_[i]) * shadow;
+      pending_.push_back(
+          Frame{start, end, p_rx, u, 0, static_cast<std::uint32_t>(i), sq, lost});
+      ++c_.frames_on_air;
+      if constexpr (obs::kEnabled) {
+        // Sampled on the cumulative count (frame 1, 1+N, 1+2N, ...): the
+        // subset is a pure function of the domain's frame sequence.
+        if (inline_flight != nullptr &&
+            ((c_.frames_on_air - 1) & flight_tx_mask_) == 0) {
+          inline_flight->push(
+              {start, obs::FlightEventKind::kFrameTx, global_id_[i], sq, p_rx});
+        }
+      }
+      c_.airtime_s += m.profile.airtime_s;
+      if (lost) ++c_.frames_lost;
+      if (dist_left_m_[i] >= 0.0) {
+        outbox_left_.push_back(
+            {start, end, m.rx_power_w(dist_left_m_[i]) * shadow, global_id_[i]});
+        ++c_.edge_exports;
+      }
+      if (dist_right_m_[i] >= 0.0) {
+        outbox_right_.push_back(
+            {start, end, m.rx_power_w(dist_right_m_[i]) * shadow, global_id_[i]});
+        ++c_.edge_exports;
+      }
+    }
+    // Stop-and-wait: only a channel-jammed attempt retries (no ACK can be
+    // modeled without cross-domain feedback); a clean attempt ends the
+    // chain even if the gateway later resolves it as a collision.
+    if (!lost || a == max_retries) break;
+    const double cap = std::min(
+        m.profile.backoff_base_s * static_cast<double>(1u << a), m.profile.backoff_cap_s);
+    const double backoff = cap > 0.0 ? rng.uniform(0.0, cap) : 0.0;
+    attempt_start = end + m.profile.ack_timeout_s + backoff;
+  }
+  // Bill the tabulated energy of the outcome the chain actually had.
+  const double cycle_j = m.profile.cycle_energy_for(used);
+  cycle_energy_j_[i] += cycle_j;
+  c_.cycle_energy_j += cycle_j;
+  if (m.profile.arq) {
+    c_.arq_retries += used;
+    if (last_lost) ++c_.arq_gaveup;
+  }
+}
 
-    const double p_rx = m.rx_power_w(dist_own_m_[i]) * shadow;
-    pending_.push_back(Frame{start, end, p_rx, u, 0, i, sq, lost});
-    ++c_.frames_on_air;
-    c_.airtime_s += m.profile.airtime_s;
-    if (lost) ++c_.frames_lost;
-    if (dist_left_m_[i] >= 0.0) {
-      outbox_left_.push_back(
-          {start, end, m.rx_power_w(dist_left_m_[i]) * shadow, global_id_[i]});
-      ++c_.edge_exports;
-    }
-    if (dist_right_m_[i] >= 0.0) {
-      outbox_right_.push_back(
-          {start, end, m.rx_power_w(dist_right_m_[i]) * shadow, global_id_[i]});
-      ++c_.edge_exports;
+bool Domain::retire_if_depleted(std::size_t i, double wake, const KernelModel& m,
+                                obs::FlightRing* flight, bool defer_flight) {
+  // Cumulative ledger at this wake, before the cycle fires: everything
+  // billed so far plus the sleep floor and the battery's own
+  // self-discharge (never billed, but just as fatal), against the
+  // harvest income.
+  const double floor_w = m.profile.sleep_power_w + m.profile.self_discharge_w;
+  const double out_now = floor_w * wake + cycle_energy_j_[i];
+  const double in_now = m.profile.battery_ocv_v * m.harvest_charge(0.0, wake);
+  const double deficit_now = out_now - in_now - m.profile.battery_budget_j;
+  if (deficit_now <= 0.0) return false;
+
+  // The balance crossed the budget somewhere since the previous wake
+  // (cycle_energy_j_ has been constant since): interpolate the crossing.
+  // Harvest is piecewise-window, not linear, but the one-interval
+  // tolerance of the retirement contract absorbs that.
+  double t_d = wake;
+  const double prev = std::max(0.0, wake - interval_s_[i]);
+  if (prev < wake) {
+    const double out_p = floor_w * prev + cycle_energy_j_[i];
+    const double in_p = m.profile.battery_ocv_v * m.harvest_charge(0.0, prev);
+    const double d_p = out_p - in_p - m.profile.battery_budget_j;
+    if (d_p >= 0.0) {
+      t_d = prev;  // already dead when the previous cycle closed its books
+    } else {
+      t_d = prev + (wake - prev) * (-d_p) / (deficit_now - d_p);
     }
   }
+
+  alive_[i] = 0;
+  next_wake_s_[i] = std::numeric_limits<double>::infinity();
+  death_t_s_[i] = t_d;
+  ++c_.nodes_dead;
+  // The energy bill (through t_d and not a joule longer) is deferred to
+  // finalize(), which walks nodes in index order: retirement *order*
+  // differs between the epoch paths (time-major vs node-major), and
+  // double accumulation must not depend on it. The integer gauge above
+  // and the flight event below are order-independent.
   if constexpr (obs::kEnabled) {
-    if (flight != nullptr) emit_tx_flight(first_new, flight);
+    if (flight != nullptr) {
+      const double out_d = floor_w * t_d + cycle_energy_j_[i];
+      const double in_d = m.profile.battery_ocv_v * m.harvest_charge(0.0, t_d);
+      if (defer_flight) {
+        brownout_notes_.push_back({static_cast<std::uint32_t>(i), t_d, out_d - in_d});
+      } else {
+        flight->push(
+            {t_d, obs::FlightEventKind::kBrownout, global_id_[i], 0, out_d - in_d});
+      }
+    }
   }
+  return true;
 }
 
 void Domain::emit_tx_flight(std::size_t first_new, obs::FlightRing* flight) {
@@ -162,8 +273,32 @@ void Domain::emit_tx_flight(std::size_t first_new, obs::FlightRing* flight) {
   // legacy generation order — so ring content, retention, and the
   // cumulative-count tx sampling all match the legacy path bit for bit.
   // Stamps gen_rank on every new frame for the kCollision post-pass.
+  // The epoch's buffered retirements interleave at their legacy
+  // positions: the legacy scan emits a node's frames inline and its
+  // brownout at the fatal wake — after all of that node's frames, before
+  // any higher node's. Brownouts are never sampled and consume no rank.
+  if (!brownout_notes_.empty()) {
+    std::sort(brownout_notes_.begin(), brownout_notes_.end(),
+              [](const BrownoutNote& a, const BrownoutNote& b) {
+                return a.node < b.node;  // at most one note per node
+              });
+  }
+  std::size_t bi = 0;
+  const auto flush_brownouts_below = [&](std::uint64_t node_limit) {
+    for (; bi < brownout_notes_.size() &&
+           static_cast<std::uint64_t>(brownout_notes_[bi].node) < node_limit;
+         ++bi) {
+      const BrownoutNote& bn = brownout_notes_[bi];
+      flight->push({bn.t_s, obs::FlightEventKind::kBrownout, global_id_[bn.node], 0,
+                    bn.deficit_j});
+    }
+  };
   const std::size_t total = pending_.size();
-  if (first_new >= total) return;
+  if (first_new >= total) {
+    flush_brownouts_below(std::numeric_limits<std::uint64_t>::max());
+    brownout_notes_.clear();
+    return;
+  }
   const std::uint64_t base =
       c_.frames_on_air - static_cast<std::uint64_t>(total - first_new);
   // (node << 32 | pending index) orders exactly like (node, seq): within
@@ -190,6 +325,7 @@ void Domain::emit_tx_flight(std::size_t first_new, obs::FlightRing* flight) {
   std::uint64_t rank = base;
   for (const std::uint64_t key : tx_order_) {
     Frame& f = pending_[static_cast<std::uint32_t>(key)];
+    flush_brownouts_below(key >> 32);
     f.gen_rank = rank;
     // Sampled on the cumulative count (frame 1, 1+N, 1+2N, ...): the
     // subset is a pure function of the domain's frame sequence.
@@ -199,6 +335,8 @@ void Domain::emit_tx_flight(std::size_t first_new, obs::FlightRing* flight) {
     }
     ++rank;
   }
+  flush_brownouts_below(std::numeric_limits<std::uint64_t>::max());
+  brownout_notes_.clear();
 }
 
 void Domain::resolve_active(double epoch_end_s, const KernelModel& m,
@@ -211,6 +349,18 @@ void Domain::resolve_active(double epoch_end_s, const KernelModel& m,
   // records. Keys are globally unique (a frame enters the air picture
   // exactly once), so the merge output is byte-identical to what the
   // legacy sort produces.
+  if (m.profile.arq && !pending_.empty()) {
+    // ARQ chains interleave across the calendar's pop order (a retry of
+    // an early wake can start after a later wake's first attempt), and a
+    // chain begun last epoch can reach into this one past frames already
+    // kept. Restore the (start, id) invariant here, after emit_tx_flight
+    // has stamped gen_rank by pending index. (start, gid) never ties:
+    // a node's attempts are spaced by at least airtime + ack timeout.
+    std::sort(pending_.begin(), pending_.end(), [&](const Frame& a, const Frame& b) {
+      if (a.start_s != b.start_s) return a.start_s < b.start_s;
+      return global_id_[a.node] < global_id_[b.node];
+    });
+  }
   records_.clear();
   if (carry_.empty() && inbox_.empty()) {
     // Sparse-fleet common case: nothing carried, nothing imported — the
@@ -378,54 +528,12 @@ void Domain::advance_legacy(double epoch_end_s, const KernelModel& m,
     if (!alive_[i]) continue;
     while (next_wake_s_[i] <= epoch_end_s) {
       const double wake = next_wake_s_[i];
+      if (m.check_depletion &&
+          retire_if_depleted(i, wake, m, flight, /*defer_flight=*/false)) {
+        break;  // key is +inf now
+      }
       next_wake_s_[i] += interval_s_[i];
-      ++cycles_[i];
-      ++c_.wake_cycles;
-      cycle_energy_j_[i] += m.profile.cycle_energy_j;
-      c_.cycle_energy_j += m.profile.cycle_energy_j;
-
-      const double start = wake + m.profile.tx_offset_s;
-      const double end = start + m.profile.airtime_s;
-      // Per-frame draws in a fixed order — loss, shadowing, decode — so
-      // the per-node stream is identical no matter how epochs or shards
-      // slice the run. Conditional draws follow the scalar discipline:
-      // nominal runs consume no fault randomness.
-      Rng& rng = rng_[i];
-      bool lost = false;
-      const double lp = m.loss_probability(end);
-      if (lp > 0.0) lost = rng.chance(lp);
-      double shadow = 1.0;
-      if (m.shadowing_sigma_db > 0.0) {
-        shadow = db_to_ratio(rng.normal(0.0, m.shadowing_sigma_db));
-      }
-      const double u = rng.uniform();
-      const auto sq = seq_[i]++;
-      if (start > m.sim_time_s) continue;  // run ends before the PA fires
-
-      const double p_rx = m.rx_power_w(dist_own_m_[i]) * shadow;
-      pending_.push_back(
-          Frame{start, end, p_rx, u, 0, static_cast<std::uint32_t>(i), sq, lost});
-      ++c_.frames_on_air;
-      if constexpr (obs::kEnabled) {
-        // Sampled on the cumulative count (frame 1, 1+N, 1+2N, ...): the
-        // subset is a pure function of the domain's frame sequence.
-        if (flight != nullptr &&
-            ((c_.frames_on_air - 1) & flight_tx_mask_) == 0) {
-          flight->push({start, obs::FlightEventKind::kFrameTx, global_id_[i], sq, p_rx});
-        }
-      }
-      c_.airtime_s += m.profile.airtime_s;
-      if (lost) ++c_.frames_lost;
-      if (dist_left_m_[i] >= 0.0) {
-        outbox_left_.push_back(
-            {start, end, m.rx_power_w(dist_left_m_[i]) * shadow, global_id_[i]});
-        ++c_.edge_exports;
-      }
-      if (dist_right_m_[i] >= 0.0) {
-        outbox_right_.push_back(
-            {start, end, m.rx_power_w(dist_right_m_[i]) * shadow, global_id_[i]});
-        ++c_.edge_exports;
-      }
+      fire_wake(i, wake, m, flight);
     }
   }
 }
@@ -583,6 +691,7 @@ void Domain::save(ckpt::Writer& w) const {
   w.u8v(alive_);
   w.u64v(cycles_);
   w.f64v(cycle_energy_j_);
+  w.f64v(death_t_s_);
   w.u64(pending_.size());
   for (const Frame& f : pending_) {
     w.f64(f.start_s);
@@ -617,10 +726,13 @@ void Domain::save(ckpt::Writer& w) const {
   w.u64(c_.delivered_payload_bits);
   w.u64(c_.edge_exports);
   w.u64(c_.nodes_dead);
+  w.u64(c_.arq_retries);
+  w.u64(c_.arq_gaveup);
   w.f64(c_.airtime_s);
   w.f64(c_.energy_out_j);
   w.f64(c_.energy_in_j);
   w.f64(c_.cycle_energy_j);
+  w.f64(c_.node_seconds_alive);
 }
 
 void Domain::restore(ckpt::Reader& r) {
@@ -634,8 +746,9 @@ void Domain::restore(ckpt::Reader& r) {
   alive_ = r.u8v();
   cycles_ = r.u64v();
   cycle_energy_j_ = r.f64v();
+  death_t_s_ = r.f64v();
   PICO_REQUIRE(seq_.size() == n && alive_.size() == n && cycles_.size() == n &&
-                   cycle_energy_j_.size() == n,
+                   cycle_energy_j_.size() == n && death_t_s_.size() == n,
                "fleet checkpoint node-state array mismatch");
   const std::uint64_t np = r.u64();
   pending_.clear();
@@ -681,27 +794,51 @@ void Domain::restore(ckpt::Reader& r) {
   c_.delivered_payload_bits = r.u64();
   c_.edge_exports = r.u64();
   c_.nodes_dead = r.u64();
+  c_.arq_retries = r.u64();
+  c_.arq_gaveup = r.u64();
   c_.airtime_s = r.f64();
   c_.energy_out_j = r.f64();
   c_.energy_in_j = r.f64();
   c_.cycle_energy_j = r.f64();
+  c_.node_seconds_alive = r.f64();
   inbox_.clear();
 }
 
 void Domain::finalize(const KernelModel& m, obs::FlightRing* flight) {
   const std::size_t n = nodes();
   for (std::size_t i = 0; i < n; ++i) {
+    if (!alive_[i]) {
+      // Retired mid-run: the node existed until its interpolated
+      // depletion time and not a joule longer. Billed here, in node
+      // order, so the double accumulation is identical whichever epoch
+      // path (or shard) retired the node — and exactly once, since
+      // finalize runs once per completed run (alive_ and death_t_s_
+      // travel through checkpoints, not partial bills).
+      const double t_d = death_t_s_[i];
+      c_.energy_out_j += m.profile.sleep_power_w * t_d + cycle_energy_j_[i];
+      c_.energy_in_j += m.profile.battery_ocv_v * m.harvest_charge(0.0, t_d);
+      c_.node_seconds_alive += t_d;
+      continue;
+    }
     const double t = m.sim_time_s;
     const double out = m.profile.sleep_power_w * t + cycle_energy_j_[i];
     const double in = m.profile.battery_ocv_v * m.harvest_charge(0.0, t);
     c_.energy_out_j += out;
     c_.energy_in_j += in;
-    if (out - in > m.profile.battery_budget_j) {
+    c_.node_seconds_alive += t;
+    // Depletion drains self-discharge on top of the billed energy (the
+    // same ledger the per-wake check runs).
+    const double drained = out + m.profile.self_discharge_w * t;
+    if (drained - in > m.profile.battery_budget_j) {
+      // The balance crossed the budget after the node's last wake (the
+      // per-wake check only looks at wake instants), within one interval
+      // of the horizon: end-of-run is the honest stamp at that tolerance.
       alive_[i] = 0;
       ++c_.nodes_dead;
       if constexpr (obs::kEnabled) {
         if (flight != nullptr) {
-          flight->push({t, obs::FlightEventKind::kBrownout, global_id_[i], 0, out - in});
+          flight->push(
+              {t, obs::FlightEventKind::kBrownout, global_id_[i], 0, drained - in});
         }
       }
     }

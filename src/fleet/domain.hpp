@@ -11,10 +11,16 @@
 // Each epoch runs in two phases (ShardedFleetEngine drives them):
 //
 //   Phase A (parallel)  advance(): step wake timers through the epoch,
-//     draw the frame's RNG in a fixed order (loss, shadowing, decode),
+//     draw each frame's RNG in a fixed order (loss, shadowing, decode),
 //     bill the cycle energy, and append the frame to the local list plus
-//     any boundary outboxes. Beacon-mode frame generation is independent
-//     of collision outcomes, so this phase needs no cross-domain data.
+//     any boundary outboxes. In ARQ mode a wake fires a whole
+//     stop-and-wait chain: retries are driven by the channel-loss draws
+//     alone (gateway-side collisions are invisible to the sender — a
+//     documented approximation), so frame generation stays independent
+//     of collision outcomes and this phase needs no cross-domain data.
+//     Each wake pop also checks the node's cumulative energy balance
+//     when the engine determined depletion is reachable, retiring dead
+//     nodes on the spot (KernelModel::check_depletion).
 //   barrier + exchange  every neighbor outbox is immutable once Phase A
 //     drains, so each domain's inbox can be filled concurrently
 //     (route_inbox) with the same fixed left-then-right merge order the
@@ -85,6 +91,13 @@ struct KernelModel {
   double capture_ratio = 4.0;    // linear wanted-over-interference margin
   double sensitivity_w = 0.0;    // squelch threshold, linear watts
   double max_airtime_s = 0.0;    // carry-window size at epoch boundaries
+  // Mid-run battery retirement: when set, every wake pop first checks the
+  // node's cumulative energy balance against the budget and retires
+  // depleted nodes (calendar key -> +inf, kBrownout at the interpolated
+  // depletion time). The engine precomputes this from the worst-case
+  // ledger so fleets that cannot possibly deplete skip the per-wake
+  // check entirely (and stay bit-identical to the pre-retirement path).
+  bool check_depletion = false;
 
   // Channel-loss fault windows (kind kChannelLoss), in plan order.
   struct LossWindow {
@@ -125,12 +138,19 @@ struct DomainCounters {
   std::uint64_t delivered_payload_bits = 0;
   std::uint64_t edge_exports = 0;
   std::uint64_t nodes_dead = 0;
+  // ARQ link mode: retries burned and chains that exhausted the retry
+  // budget without a clean attempt (zero in beacon mode).
+  std::uint64_t arq_retries = 0;
+  std::uint64_t arq_gaveup = 0;
   double airtime_s = 0.0;
   double energy_out_j = 0.0;
   double energy_in_j = 0.0;
   // Wake-cycle energy billed so far (advance-time view of energy_out_j,
   // which is only final after finalize()): feeds the telemetry series.
   double cycle_energy_j = 0.0;
+  // Integral of the alive-node population over sim time: a retired node
+  // contributes its depletion time, a survivor the full horizon.
+  double node_seconds_alive = 0.0;
 };
 
 // Which epoch algorithm a Domain runs. Outcomes (counters, energies,
@@ -157,8 +177,10 @@ class Domain {
   void add_node(std::uint32_t global_id, double interval_s, double first_wake_s,
                 Rng rng, double dist_own_m, double dist_left_m, double dist_right_m);
   // Pre-size the per-epoch scratch for `epoch_s`-long epochs so the
-  // steady-state loop never allocates.
-  void reserve_scratch(double epoch_s, double min_interval_s);
+  // steady-state loop never allocates. `attempts_per_wake` is 1 in beacon
+  // mode and max_retries + 1 in ARQ mode (worst-case chain length).
+  void reserve_scratch(double epoch_s, double min_interval_s,
+                       std::size_t attempts_per_wake = 1);
 
   // Select the epoch algorithm (before the first advance of a run).
   void set_path(EpochPath path) { path_ = path; }
@@ -219,9 +241,14 @@ class Domain {
   // events into `flight`).
   void resolve(double epoch_end_s, const KernelModel& m,
                obs::FlightRing* flight = nullptr);
-  // After the last epoch: bill sleep-floor and harvest energy, mark dead
-  // nodes (kBrownout events into `flight`). Deterministic per node;
-  // called once.
+  // After the last epoch: bill sleep-floor and harvest energy — through
+  // the full horizon for nodes still alive, through the stored depletion
+  // time for nodes the per-wake check retired — and mark survivors whose
+  // balance crossed the budget after their last wake (kBrownout events
+  // into `flight`). All billing happens here, in node order, so energy
+  // totals never depend on retirement order; alive_ and death times
+  // travel through checkpoints, so a resumed leg never double-bills.
+  // Deterministic per node; called once.
   void finalize(const KernelModel& m, obs::FlightRing* flight = nullptr);
 
   // --- Checkpoint/restore (src/ckpt) -----------------------------------------
@@ -277,6 +304,11 @@ class Domain {
   std::vector<std::uint8_t> alive_;
   std::vector<std::uint64_t> cycles_;
   std::vector<double> cycle_energy_j_;  // accumulated wake-cycle energy
+  // Interpolated depletion time of a mid-run-retired node (+inf while
+  // alive). The energy/alive-seconds bill is deferred to finalize(), in
+  // node order, so double accumulation order — and thus every counter —
+  // is identical whichever epoch path or shard retired the node.
+  std::vector<double> death_t_s_;
 
   // Per-epoch scratch (capacity reused across epochs).
   std::vector<Frame> pending_;       // own frames awaiting resolution
@@ -297,13 +329,36 @@ class Domain {
     double interference_w = 0.0;
   };
   std::vector<CollisionNote> collision_notes_;
+  // Mid-run retirements buffered by the active path's advance; merged
+  // node-major into the kFrameTx replay so ring bytes match the legacy
+  // path's inline emission (frames of node n, then its brownout).
+  struct BrownoutNote {
+    std::uint32_t node = 0;  // local index
+    double t_s = 0.0;
+    double deficit_j = 0.0;
+  };
+  std::vector<BrownoutNote> brownout_notes_;
 
+  // Fire one wake of node `i`: bill the cycle, generate the frame
+  // (beacon) or the stop-and-wait retry chain (ARQ), and export boundary
+  // copies. The legacy path passes its flight ring for inline kFrameTx
+  // emission; the active path passes null and replays via emit_tx_flight.
+  void fire_wake(std::size_t i, double wake, const KernelModel& m,
+                 obs::FlightRing* inline_flight);
+  // Depletion check at a wake pop, before any RNG draw: retire the node
+  // (alive_ -> 0, calendar key -> +inf, billed through the interpolated
+  // depletion time) when its cumulative balance has exhausted the budget.
+  // Returns whether it retired. `defer_flight` buffers the kBrownout into
+  // brownout_notes_ (active path) instead of pushing inline.
+  bool retire_if_depleted(std::size_t i, double wake, const KernelModel& m,
+                          obs::FlightRing* flight, bool defer_flight);
   void advance_active(double epoch_end_s, const KernelModel& m,
                       obs::FlightRing* flight);
   void advance_legacy(double epoch_end_s, const KernelModel& m,
                       obs::FlightRing* flight);
   // Stamp gen_rank on (and sample kFrameTx from) this epoch's new frames
-  // [first_new, pending_.size()) in node-major order.
+  // [first_new, pending_.size()) in node-major order, interleaving the
+  // epoch's buffered brownouts at their legacy (node-major) positions.
   void emit_tx_flight(std::size_t first_new, obs::FlightRing* flight);
   void resolve_active(double epoch_end_s, const KernelModel& m,
                       obs::FlightRing* flight);

@@ -42,10 +42,11 @@ std::uint64_t FleetMetrics::fingerprint() const {
   for (std::uint64_t v :
        {nodes, domains, wake_cycles, frames_on_air, frames_completed, frames_lost,
         collided, captured, below_squelch, crc_rejected, delivered,
-        delivered_payload_bits, edge_exports, nodes_dead}) {
+        delivered_payload_bits, edge_exports, nodes_dead, arq_retries,
+        arq_gaveup}) {
     h = mix(h, v);
   }
-  for (double v : {airtime_s, energy_out_j, energy_in_j}) {
+  for (double v : {airtime_s, energy_out_j, energy_in_j, node_seconds_alive}) {
     h = mix(h, std::bit_cast<std::uint64_t>(v));
   }
   return h;
@@ -67,10 +68,15 @@ void FleetMetrics::publish_metrics(obs::MetricsRegistry& m,
     m.add(m.counter(prefix + ".delivered_payload_bits"),
           static_cast<double>(delivered_payload_bits));
     m.add(m.counter(prefix + ".edge_exports"), static_cast<double>(edge_exports));
-    m.add(m.counter(prefix + ".nodes_dead"), static_cast<double>(nodes_dead));
+    m.add(m.counter(prefix + ".arq_retries"), static_cast<double>(arq_retries));
+    m.add(m.counter(prefix + ".arq_gaveup"), static_cast<double>(arq_gaveup));
+    m.add(m.counter(prefix + ".node_seconds_alive"), node_seconds_alive);
     m.add(m.counter(prefix + ".energy_out_j"), energy_out_j);
     m.add(m.counter(prefix + ".energy_in_j"), energy_in_j);
     m.set(m.gauge(prefix + ".nodes"), static_cast<double>(nodes));
+    // Depleted nodes are retired the moment their balance crosses zero, so
+    // this is a live population gauge, not an end-of-run tally.
+    m.set(m.gauge(prefix + ".nodes_dead"), static_cast<double>(nodes_dead));
     m.set(m.gauge(prefix + ".domains"), static_cast<double>(domains));
     m.set(m.gauge(prefix + ".shards"), static_cast<double>(shards));
     m.set(m.gauge(prefix + ".collision_rate"), collision_rate);
@@ -144,6 +150,7 @@ struct FleetSession::Impl {
     std::uint64_t coll = 0;
     std::uint64_t deliv = 0;
     std::uint64_t lost = 0;
+    double cycle_j = 0.0;  // summed per-domain wake energy (ARQ series)
   };
   static constexpr std::size_t kAggBlock = 64;
 
@@ -217,14 +224,18 @@ FleetSession::Impl::Impl(const FleetSpec& spec_in, const FleetObsHooks& hooks_in
                    spec.interference_margin_m <= spec.cell_m / 2.0,
                "interference margin must be within [0, cell/2]");
   PICO_REQUIRE(spec.nominal_interval_s > 0.0, "interval must be positive");
-  PICO_REQUIRE(spec.node.link.mode == core::NodeConfig::Link::Mode::kBeacon,
-               "sharded fleet engine is beacon-only (ARQ couples domains)");
 
   // --- Kernel model ---------------------------------------------------------
   core::NodeConfig nc = spec.node;
   nc.sample_interval = Duration{spec.nominal_interval_s};
 
   m.profile = CycleProfile::calibrate(nc);
+  if (spec.battery_budget_override_j != 0.0) {
+    PICO_REQUIRE(std::isfinite(spec.battery_budget_override_j) &&
+                     spec.battery_budget_override_j > 0.0,
+                 "battery budget override must be finite and positive");
+    m.profile.battery_budget_j = spec.battery_budget_override_j;
+  }
   m.sim_time_s = spec.sim_time_s;
   m.data_rate_hz = nc.data_rate.value();
   m.tx_power_w = radio::FbarOokTransmitter::Params{}.tx_power.value();
@@ -323,7 +334,25 @@ FleetSession::Impl::Impl(const FleetSpec& spec_in, const FleetObsHooks& hooks_in
     domains[d].add_node(static_cast<std::uint32_t>(n), intervals[n], first_wake,
                         node_rng, link_dist(x - center), dist_left, dist_right);
   }
-  for (Domain& d : domains) d.reserve_scratch(spec.epoch_s, min_interval);
+  // Depletion reachability precheck: if even the worst case — every wake
+  // billing the most expensive cycle, zero harvest income — cannot spend
+  // the budget within the run, no node can retire and the per-wake
+  // depletion test is dead weight. Conservative (harvest only delays
+  // depletion), so skipping it can never miss a real retirement.
+  {
+    const double worst_cycles =
+        std::ceil(spec.sim_time_s / min_interval) + 2.0;
+    const double worst_out =
+        (m.profile.sleep_power_w + m.profile.self_discharge_w) * spec.sim_time_s +
+        worst_cycles * m.profile.max_cycle_energy_j();
+    m.check_depletion = worst_out > m.profile.battery_budget_j;
+  }
+
+  const std::size_t attempts_per_wake =
+      m.profile.arq ? static_cast<std::size_t>(m.profile.max_retries) + 1 : 1;
+  for (Domain& d : domains) {
+    d.reserve_scratch(spec.epoch_s, min_interval, attempts_per_wake);
+  }
   const EpochPath path =
       spec.legacy_epoch_path ? EpochPath::kLegacy : EpochPath::kActive;
   for (Domain& d : domains) d.set_path(path);
@@ -470,9 +499,11 @@ void FleetSession::Impl::run_until(double t_target_s) {
   // Per-sample series reduction: fixed domain blocks summed in parallel,
   // combined serially in block order — deterministic at any shard/thread
   // count because the partials are integers (exact, reassociable). The
-  // one double the series needs, cumulative wake energy, is the product
-  // wake_cycles x cycle_energy_j (every wake bills the same constant),
-  // which no summation order can perturb.
+  // one double the series needs, cumulative wake energy, is either the
+  // product wake_cycles x cycle_energy_j (beacon: every wake bills the
+  // same constant, which no summation order can perturb) or the sum of
+  // the per-domain accumulators (ARQ: fixed blocks combined in block
+  // order, so the rounding is reproduced bit-for-bit).
   auto sample_block = [&](std::size_t b) {
     SampleAgg a;
     const std::size_t lo = b * kAggBlock;
@@ -484,6 +515,7 @@ void FleetSession::Impl::run_until(double t_target_s) {
       a.coll += c.collided;
       a.deliv += c.delivered;
       a.lost += c.frames_lost;
+      a.cycle_j += c.cycle_energy_j;
     }
     agg[b] = a;
   };
@@ -545,6 +577,7 @@ void FleetSession::Impl::run_until(double t_target_s) {
             tot.coll += a.coll;
             tot.deliv += a.deliv;
             tot.lost += a.lost;
+            tot.cycle_j += a.cycle_j;
           }
           hooks.series->begin_row(epoch_end);
           hooks.series->set(sid.wake_cycles, static_cast<double>(tot.wake));
@@ -562,7 +595,10 @@ void FleetSession::Impl::run_until(double t_target_s) {
                                                       static_cast<double>(tot.on_air));
           }
           hooks.series->set(sid.energy_cycle_j,
-                            static_cast<double>(tot.wake) * m.profile.cycle_energy_j);
+                            m.profile.arq
+                                ? tot.cycle_j
+                                : static_cast<double>(tot.wake) *
+                                      m.profile.cycle_energy_j);
           hooks.series->commit_row();
           prev_sample_t = epoch_end;
           prev_delivered = tot.deliv;
@@ -610,9 +646,12 @@ FleetMetrics FleetSession::Impl::finish_run() {
     out.delivered_payload_bits += c.delivered_payload_bits;
     out.edge_exports += c.edge_exports;
     out.nodes_dead += c.nodes_dead;
+    out.arq_retries += c.arq_retries;
+    out.arq_gaveup += c.arq_gaveup;
     out.airtime_s += c.airtime_s;
     out.energy_out_j += c.energy_out_j;
     out.energy_in_j += c.energy_in_j;
+    out.node_seconds_alive += c.node_seconds_alive;
   }
   if (out.frames_on_air > 0) {
     out.collision_rate = static_cast<double>(out.collided) /
@@ -642,7 +681,7 @@ FleetSession::Impl::guard_fields() const {
   const auto d = [](double v) { return std::bit_cast<std::uint64_t>(v); };
   const auto u = [](std::size_t v) { return static_cast<std::uint64_t>(v); };
   std::vector<std::pair<const char*, std::uint64_t>> g;
-  g.reserve(35);
+  g.reserve(45);
   g.emplace_back("nodes", u(spec.nodes));
   g.emplace_back("sim_time_s", d(spec.sim_time_s));
   g.emplace_back("nominal_interval_s", d(spec.nominal_interval_s));
@@ -675,6 +714,21 @@ FleetSession::Impl::guard_fields() const {
   g.emplace_back("profile.payload_bits", u(m.profile.payload_bits));
   g.emplace_back("profile.battery_ocv_v", d(m.profile.battery_ocv_v));
   g.emplace_back("profile.battery_budget_j", d(m.profile.battery_budget_j));
+  g.emplace_back("profile.self_discharge_w", d(m.profile.self_discharge_w));
+  g.emplace_back("battery_budget_override_j", d(spec.battery_budget_override_j));
+  g.emplace_back("link_arq", m.profile.arq ? 1u : 0u);
+  g.emplace_back("arq.max_retries",
+                 static_cast<std::uint64_t>(m.profile.max_retries));
+  g.emplace_back("arq.ack_timeout_s", d(m.profile.ack_timeout_s));
+  g.emplace_back("arq.backoff_base_s", d(m.profile.backoff_base_s));
+  g.emplace_back("arq.backoff_cap_s", d(m.profile.backoff_cap_s));
+  // One digest for the whole retry-energy table: its length is pinned by
+  // arq.max_retries, its values by the calibration inputs above — the
+  // digest catches any drift in the tabulated energies themselves.
+  std::uint64_t table = 0;
+  for (const double e : m.profile.retry_cycle_energy_j) table = mix(table, d(e));
+  g.emplace_back("profile.retry_table", table);
+  g.emplace_back("check_depletion", m.check_depletion ? 1u : 0u);
   const bool has_series = obs::kEnabled && hooks.series != nullptr;
   const bool has_flight = obs::kEnabled && hooks.flight != nullptr;
   g.emplace_back("has_series", has_series ? 1u : 0u);
@@ -720,8 +774,9 @@ void FleetSession::Impl::save(ckpt::Writer& w) const {
   w.u64(resolved);
   w.end_section();
 
-  // FDOM: every domain's mutable state, in domain order.
-  w.begin_section(ckpt::tag("FDOM"), 1);
+  // FDOM: every domain's mutable state, in domain order. v2 added the
+  // ARQ retry counters and the node_seconds_alive accumulator.
+  w.begin_section(ckpt::tag("FDOM"), 2);
   w.u64(domains.size());
   for (const Domain& dom : domains) dom.save(w);
   w.end_section();
@@ -738,17 +793,19 @@ void FleetSession::Impl::save(ckpt::Writer& w) const {
 
 void FleetSession::Impl::restore(ckpt::Reader& r) {
   PICO_REQUIRE(!finished, "cannot restore into a finished fleet session");
-  const auto expect_v1 = [&r](const char (&tg)[5]) {
-    if (r.enter_section(ckpt::tag(tg)) != 1) {
+  const auto expect = [&r](const char (&tg)[5], std::uint32_t version) {
+    const std::uint32_t got = r.enter_section(ckpt::tag(tg));
+    if (got != version) {
       throw ckpt::CheckpointError(std::string("unsupported version of section '") +
-                                  tg + "'");
+                                  tg + "': blob has v" + std::to_string(got) +
+                                  ", this build reads v" + std::to_string(version));
     }
   };
 
   // FSPC: field-by-field equivalence with this session's spec. A mismatch
   // names the offending field — "wrong blob for this run" must be a
   // diagnosis, not a debugging session.
-  expect_v1("FSPC");
+  expect("FSPC", 1);
   const auto g = guard_fields();
   const std::uint64_t n_fields = r.u64();
   if (n_fields != g.size()) {
@@ -774,7 +831,7 @@ void FleetSession::Impl::restore(ckpt::Reader& r) {
   }
   r.leave_section();
 
-  expect_v1("FENG");
+  expect("FENG", 1);
   t = r.f64();
   epoch_index = r.u32();
   next_fault = r.u64();
@@ -793,7 +850,7 @@ void FleetSession::Impl::restore(ckpt::Reader& r) {
   }
   for (ShardStat& st : shard_stats) st = ShardStat{};
 
-  expect_v1("FDOM");
+  expect("FDOM", 2);
   const std::uint64_t n_doms = r.u64();
   if (n_doms != domains.size()) {
     throw ckpt::CheckpointError("checkpoint holds " + std::to_string(n_doms) +
@@ -880,7 +937,6 @@ FleetMetrics ShardedFleetEngine::run(const FleetSpec& spec,
 }
 
 FleetSpec spec_from_fleet_config(const core::FleetConfig& cfg, std::size_t domains) {
-  PICO_REQUIRE(!cfg.arq, "sharded fleet engine is beacon-only");
   FleetSpec spec;
   spec.nodes = static_cast<std::size_t>(cfg.nodes);
   spec.sim_time_s = cfg.sim_time.value();
@@ -900,6 +956,14 @@ FleetSpec spec_from_fleet_config(const core::FleetConfig& cfg, std::size_t domai
   spec.sensitivity_dbm = cfg.base.rx.sensitivity_dbm;
   spec.threads = cfg.threads;
   spec.node.drive = harvest::make_city_cycle();
+  if (cfg.arq) {
+    // Stop-and-wait uplink: the kernel bills the calibrated retry-chain
+    // energies E(k) and draws retries from channel loss (gateway-side
+    // collisions never reach the node — no ACK ever carries them back).
+    spec.node.link.mode = core::NodeConfig::Link::Mode::kArq;
+    spec.node.link.arq = cfg.arq_params;
+    spec.node.link.wakeup = cfg.wakeup;
+  }
   spec.node.data_rate = cfg.data_rate;
   spec.node.harvest_fidelity = cfg.harvest_fidelity;
   spec.attach_harvester = cfg.attach_harvester;

@@ -96,11 +96,21 @@ struct FleetSpec {
   // (bench_fleet_scale E19 prices the active path against it).
   bool legacy_epoch_path = false;
 
-  // Node model: calibration basis for the cycle kernel. Beacon mode only
-  // (ARQ feedback would couple domains within an epoch); the engine
-  // overrides sample_interval with nominal_interval_s.
+  // Node model: calibration basis for the cycle kernel. Beacon mode or
+  // stop-and-wait ARQ (node.link.mode = kArq): an ARQ wake fires a whole
+  // retry chain with per-retry-count tabulated energies; retries are
+  // driven by the channel-loss draws alone, since gateway-side ACK
+  // feedback would couple domains within an epoch (documented
+  // approximation — see fleet/domain.hpp). The engine overrides
+  // sample_interval with nominal_interval_s.
   core::NodeConfig node;
   bool attach_harvester = false;
+
+  // > 0: override the calibrated per-node usable-energy budget (J).
+  // Tight-budget scenarios force mid-run battery retirement without
+  // inventing a new chemistry; 0 keeps the calibrated
+  // capacity * initial_soc budget.
+  double battery_budget_override_j = 0.0;
 
   // Fault subset understood by the kernel: kHarvesterDerate and
   // kChannelLoss. Other kinds are rejected (run those scenarios on the
@@ -142,10 +152,13 @@ struct FleetMetrics {
   std::uint64_t delivered = 0;
   std::uint64_t delivered_payload_bits = 0;
   std::uint64_t edge_exports = 0;
-  std::uint64_t nodes_dead = 0;
+  std::uint64_t nodes_dead = 0;     // live gauge: grows as nodes retire mid-run
+  std::uint64_t arq_retries = 0;    // ARQ mode: retransmissions burned
+  std::uint64_t arq_gaveup = 0;     // ARQ mode: chains that exhausted the budget
   double airtime_s = 0.0;
   double energy_out_j = 0.0;
   double energy_in_j = 0.0;
+  double node_seconds_alive = 0.0;  // alive-population integral over sim time
   double collision_rate = 0.0;     // collided / frames_on_air
   double aloha_prediction = 0.0;   // per-domain closed form, for sanity
   FleetPhaseBreakdown phase;       // wall-clock; NOT part of fingerprint()
@@ -272,7 +285,8 @@ class ShardedFleetEngine {
 // physics: every link at the uplink's fixed distance, the station's
 // capture margin and squelch, the same interval-draw seed and discipline.
 // `domains` > 1 spreads the same fleet over that many cells (each cell
-// then sees 1/domains of the offered load). Beacon mode only.
+// then sees 1/domains of the offered load). cfg.arq maps onto the
+// kernel's tabulated ARQ chain model (cfg.arq_params, cfg.wakeup).
 [[nodiscard]] FleetSpec spec_from_fleet_config(const core::FleetConfig& cfg,
                                                std::size_t domains = 1);
 

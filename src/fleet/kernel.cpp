@@ -11,20 +11,41 @@ namespace pico::fleet {
 
 CycleProfile CycleProfile::calibrate(const core::NodeConfig& cfg) {
   // Calibration node: same firmware, but stripped of everything that is
-  // modeled separately in the kernel (harvest, faults) or unsupported
-  // (ARQ). The beacon cycle itself is untouched.
+  // modeled separately in the kernel (harvest, faults, the shared air).
+  // The wake cycle itself — beacon, or the full ARQ retry chain — is
+  // untouched.
   core::NodeConfig nc = cfg;
   nc.attach_harvester = false;
   nc.faults = {};
   nc.oscillator_failure_prob = 0.0;
+  const bool arq = cfg.link.mode == core::NodeConfig::Link::Mode::kArq;
   nc.link = {};
+  if (arq) {
+    nc.link.mode = core::NodeConfig::Link::Mode::kArq;
+    nc.link.arq = cfg.link.arq;
+    nc.link.wakeup = cfg.link.wakeup;
+    // No base station: no ACK ever arrives, so a run capped at k retries
+    // burns exactly k retries every cycle — that is what makes E(k)
+    // measurable by differencing.
+    nc.link.own_base_station = false;
+    PICO_REQUIRE(cfg.link.arq.max_retries >= 0, "ARQ retry budget must be non-negative");
+  }
   PICO_REQUIRE(nc.sample_interval.value() > 0.0, "calibration needs a positive interval");
 
   CycleProfile p;
   const double interval = nc.sample_interval.value();
-  const auto run_energy = [&](double until, bool extract) {
-    core::PicoCubeNode node(nc);
+  const auto run_energy = [&](const core::NodeConfig& rc, double until, bool extract) {
+    core::PicoCubeNode node(rc);
     if (extract) {
+      // Battery constants for the depletion ledger, read before the run
+      // touches the cell: the budget is the OCV-integrated energy actually
+      // extractable from the initial SoC, and self-discharge is the drain
+      // idle() applies without ever billing the accountant.
+      const storage::NiMhBattery& cell = node.battery();
+      p.battery_budget_j = cell.stored_energy().value();
+      p.self_discharge_w = cell.params().self_discharge_per_day / 86400.0 *
+                           cell.capacity().value() *
+                           cell.open_circuit_voltage().value();
       node.set_frame_start_listener([&](const radio::RfFrame& f) {
         if (p.frame_bytes != 0) return;
         // First wake fires at t = interval (the SP12 event timer).
@@ -39,8 +60,6 @@ CycleProfile CycleProfile::calibrate(const core::NodeConfig& cfg) {
       p.sleep_power_w = node.report().sleep_floor.value();
       p.cycle_duration_s = node.last_cycle_time().value();
       p.battery_ocv_v = node.battery().open_circuit_voltage().value();
-      p.battery_budget_j =
-          node.battery().capacity_energy().value() * nc.battery_initial_soc;
       const std::size_t overhead = node.codec().overhead_bytes();
       const std::size_t preamble = node.codec().params().preamble_bytes;
       PICO_REQUIRE(p.frame_bytes > overhead, "frame shorter than codec overhead");
@@ -49,13 +68,57 @@ CycleProfile CycleProfile::calibrate(const core::NodeConfig& cfg) {
     }
     return node.report().battery_energy_out.value();
   };
-
   // One complete cycle vs two: the difference cancels the boot transient,
   // leaving exactly one interval of floor plus one cycle of extra energy.
-  const double e_one = run_energy(interval * 1.5, true);
-  const double e_two = run_energy(interval * 2.5, false);
-  p.cycle_energy_j = (e_two - e_one) - p.sleep_power_w * interval;
+  const auto pair_cycle_energy = [&](const core::NodeConfig& rc, bool extract) {
+    const double e_one = run_energy(rc, interval * 1.5, extract);
+    const double e_two = run_energy(rc, interval * 2.5, false);
+    return (e_two - e_one) - p.sleep_power_w * interval;
+  };
+
+  if (!arq) {
+    p.cycle_energy_j = pair_cycle_energy(nc, true);
+  } else {
+    p.arq = true;
+    p.max_retries = static_cast<std::uint32_t>(cfg.link.arq.max_retries);
+    p.ack_timeout_s = cfg.link.arq.ack_timeout.value();
+    p.backoff_base_s = cfg.link.arq.backoff_base.value();
+    p.backoff_cap_s = cfg.link.arq.backoff_cap.value();
+    p.retry_cycle_energy_j.reserve(p.max_retries + 1);
+    for (std::uint32_t k = 0; k <= p.max_retries; ++k) {
+      core::NodeConfig rc = nc;
+      rc.link.arq.max_retries = static_cast<int>(k);
+      // Extract the frame constants from the single-attempt run; the
+      // chain-level constants (airtime, offset) are per attempt.
+      const double ek = pair_cycle_energy(rc, k == 0);
+      PICO_REQUIRE(ek > 0.0 && std::isfinite(ek),
+                   "calibrated ARQ cycle energy must be positive and finite");
+      PICO_REQUIRE(p.retry_cycle_energy_j.empty() || ek > p.retry_cycle_energy_j.back(),
+                   "ARQ cycle energy must grow with the retry count");
+      p.retry_cycle_energy_j.push_back(ek);
+    }
+    p.cycle_energy_j = p.retry_cycle_energy_j.front();
+    // The kernel fires whole chains at each wake: the worst-case chain
+    // (every attempt lost, every backoff at its cap) must finish before
+    // the next wake or per-wake billing would overlap.
+    double span = p.tx_offset_s;
+    for (std::uint32_t k = 0; k <= p.max_retries; ++k) {
+      span += p.airtime_s + p.ack_timeout_s;
+      if (k < p.max_retries)
+        span += std::min(p.backoff_base_s * static_cast<double>(1u << k), p.backoff_cap_s);
+    }
+    PICO_REQUIRE(span < interval, "ARQ retry chain must fit within one wake interval");
+  }
   PICO_REQUIRE(p.cycle_energy_j > 0.0, "calibrated cycle energy must be positive");
+  // Non-finite constants would silently poison every downstream energy
+  // balance (same contract the ckpt layer enforces on restore).
+  PICO_REQUIRE(std::isfinite(p.sleep_power_w) && p.sleep_power_w >= 0.0,
+               "calibrated sleep power must be finite and non-negative");
+  PICO_REQUIRE(std::isfinite(p.battery_budget_j) && p.battery_budget_j > 0.0,
+               "calibrated battery budget must be finite and positive");
+  PICO_REQUIRE(std::isfinite(p.self_discharge_w) && p.self_discharge_w >= 0.0,
+               "calibrated self-discharge power must be finite and non-negative");
+  PICO_REQUIRE(std::isfinite(p.cycle_energy_j), "calibrated cycle energy must be finite");
   return p;
 }
 
@@ -93,8 +156,11 @@ HarvestIntegral::HarvestIntegral(const core::NodeConfig& cfg, double horizon_s) 
 double HarvestIntegral::charge_between(double t0, double t1) const {
   if (cum_.empty() || t1 <= t0) return 0.0;
   const double hi = static_cast<double>(cum_.size() - 1) * window_s_;
-  t0 = std::clamp(t0, 0.0, hi);
-  t1 = std::clamp(t1, 0.0, hi);
+  // A query past the grid must not clamp: crediting zero harvest for the
+  // tail of a run longer than the horizon corrupts the energy balance of
+  // every node. Callers size the grid from the actual fleet horizon.
+  PICO_REQUIRE(t0 >= 0.0 && t1 <= hi,
+               "harvest integral query outside the precomputed horizon");
   // Piecewise-constant current per window: linear interpolation of the
   // cumulative grid is exact.
   const auto at = [&](double t) {

@@ -42,12 +42,46 @@ struct CycleProfile {
   std::size_t decode_bits = 0;   // bits past the preamble: any flip kills CRC
   std::size_t payload_bits = 0;  // delivered payload per decoded frame
   double battery_ocv_v = 0.0;    // OCV at the configured initial SoC
-  double battery_budget_j = 0.0; // usable energy at the initial SoC
+  // Usable energy at the initial SoC: the OCV integral over the stored
+  // charge (NiMhBattery::stored_energy), i.e. what the cell can actually
+  // deliver before hit_empty — NOT the nominal-voltage capacity_energy,
+  // which overstates the knee region badly at low SoC.
+  double battery_budget_j = 0.0;
+  // Battery self-discharge as an equivalent battery-referred power. The
+  // scalar cell loses this charge in idle() without the accountant ever
+  // billing it, so the depletion ledger must drain it on top of the
+  // sleep floor (energy_out_j stays billed-only, matching the scalar
+  // report).
+  double self_discharge_w = 0.0;
 
-  // Run one scalar node (beacon mode, no harvester, no faults) for two
-  // wake cycles and extract the constants. Deterministic: pure function
-  // of the config. The config's sample_interval is the calibration
-  // period; the constants are interval-independent.
+  // ARQ extension (NodeConfig::Link::Mode::kArq): a stop-and-wait cycle's
+  // energy depends on how many retries the frame chain burned, so the
+  // beacon constant generalizes to a tabulated E(k retries) for
+  // k = 0..max_retries — each entry calibrated by differencing two scalar
+  // ARQ runs capped at k retries (no base station, so every chain uses
+  // its full retry budget). Includes the ACK listen windows and backoff
+  // sleeps between attempts. Empty in beacon mode; in ARQ mode
+  // cycle_energy_j aliases retry_cycle_energy_j[0].
+  bool arq = false;
+  std::uint32_t max_retries = 0;
+  double ack_timeout_s = 0.0;   // attempt end -> retry decision
+  double backoff_base_s = 0.0;  // retry k sleeps ~ U[0, min(base*2^(k-1), cap))
+  double backoff_cap_s = 0.0;
+  std::vector<double> retry_cycle_energy_j;
+
+  [[nodiscard]] double cycle_energy_for(std::uint32_t retries) const {
+    return arq ? retry_cycle_energy_j[retries] : cycle_energy_j;
+  }
+  // Most expensive possible cycle — the depletion precheck's worst case.
+  [[nodiscard]] double max_cycle_energy_j() const {
+    return arq ? retry_cycle_energy_j.back() : cycle_energy_j;
+  }
+
+  // Run one scalar node (no harvester, no faults) for two wake cycles and
+  // extract the constants; in ARQ mode repeat the pair per retry cap to
+  // fill the table. Deterministic: pure function of the config. The
+  // config's sample_interval is the calibration period; the constants are
+  // interval-independent.
   [[nodiscard]] static CycleProfile calibrate(const core::NodeConfig& cfg);
 };
 
@@ -63,8 +97,16 @@ class HarvestIntegral {
   HarvestIntegral(const core::NodeConfig& cfg, double horizon_s);
 
   [[nodiscard]] bool empty() const { return cum_.empty(); }
+  // Last instant the precomputed grid covers (>= the construction
+  // horizon; the grid rounds up to whole windows).
+  [[nodiscard]] double horizon_s() const {
+    return cum_.empty() ? 0.0 : static_cast<double>(cum_.size() - 1) * window_s_;
+  }
   // Integral of the charging current over [t0, t1] in coulombs (no
-  // derating applied; the caller scales faulted windows).
+  // derating applied; the caller scales faulted windows). Queries outside
+  // [0, horizon_s()] are a design error — silently crediting zero for the
+  // tail of a run longer than the grid corrupts every energy balance —
+  // so callers must size the grid from the actual fleet horizon.
   [[nodiscard]] double charge_between(double t0, double t1) const;
 
  private:

@@ -1,6 +1,7 @@
 #include "scenario/generator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/error.hpp"
@@ -100,6 +101,29 @@ GeneratedScenario generate(const GeneratorParams& p, std::uint64_t index) {
     spec.faults.harvester_derate(at, dur, factor);
   }
 
+  // Draws 7/8 (appended): uplink discipline. ARQ scenarios exercise the
+  // kernel's tabulated retry-chain energies and the retry/give-up
+  // counters; the retry budget spans the whole supported 1..3 range.
+  const bool arq = rng.chance(p.arq_chance);
+  std::uint64_t arq_max_retries = 0;
+  if (arq) {
+    arq_max_retries = 1 + rng.below(3);
+    spec.node.link.mode = core::NodeConfig::Link::Mode::kArq;
+    spec.node.link.arq.max_retries = static_cast<int>(arq_max_retries);
+  }
+  // Draws 9/10 (appended): tight-budget batteries. Log-uniform average
+  // power allowance, converted to a whole-run energy budget — the knob
+  // that makes mid-run depletion (and the retirement path) reachable.
+  const bool tight = rng.chance(p.tight_budget_chance);
+  if (tight) {
+    PICO_REQUIRE(p.budget_power_min_w > 0.0 &&
+                     p.budget_power_min_w <= p.budget_power_max_w,
+                 "budget power range must satisfy 0 < min <= max");
+    const double lg = rng.uniform(std::log(p.budget_power_min_w),
+                                  std::log(p.budget_power_max_w));
+    spec.battery_budget_override_j = std::exp(lg) * p.sim_time_s;
+  }
+
   // The draw record: every parameter above, replayable from the manifest
   // alone. The fault plan rides as its spec text (the same round-trip
   // format checkpoints embed).
@@ -119,6 +143,9 @@ GeneratedScenario generate(const GeneratorParams& p, std::uint64_t index) {
   mf += std::string("attach_harvester = ") + (spec.attach_harvester ? "1" : "0") + "\n";
   mf += "loss_bursts = " + std::to_string(n_loss) + "\n";
   mf += "derate_windows = " + std::to_string(n_derate) + "\n";
+  mf += std::string("arq = ") + (arq ? "1" : "0") + "\n";
+  mf += "arq_max_retries = " + std::to_string(arq_max_retries) + "\n";
+  mf += "battery_budget_override_j = " + fmt(spec.battery_budget_override_j) + "\n";
   mf += "faults = " + spec.faults.to_spec() + "\n";
   out.manifest = std::move(mf);
   return out;

@@ -46,6 +46,17 @@ struct GeneratorParams {
   std::size_t max_derate_windows = 3;
   double max_loss_probability = 0.9;  // jam severity upper bound
   double min_derate_factor = 0.2;     // drought severity lower bound
+  // Uplink discipline: this fraction of the corpus runs stop-and-wait ARQ
+  // (retry budget drawn 1..3) instead of fire-and-forget beacons.
+  double arq_chance = 0.35;
+  // Tight-budget batteries: this fraction of the corpus overrides the
+  // calibrated battery budget with a log-uniform average-power allowance
+  // (budget = allowance x sim_time). The range straddles the deep-sleep
+  // floor (~5 uW), so some drawn fleets retire nodes mid-run and some
+  // scrape through — both sides of the depletion path get soaked.
+  double tight_budget_chance = 0.35;
+  double budget_power_min_w = 2e-6;
+  double budget_power_max_w = 2e-5;
 };
 
 struct GeneratedScenario {

@@ -272,6 +272,78 @@ TEST(FleetCheckpointTest, RejectsSpecAndPlanMismatch) {
   }
 }
 
+namespace {
+
+// Mid-run depletion regression spec: tight battery budgets (about half
+// the whole-run spend) on an ARQ uplink under a jam window, so the blob
+// crossing the cut carries dead nodes, per-node cycle bills and ARQ
+// counters all at once.
+fleet::FleetSpec retirement_spec() {
+  fleet::FleetSpec spec;
+  spec.nodes = 240;
+  spec.domains = 4;
+  spec.sim_time_s = 240.0;
+  spec.epoch_s = 16.0;
+  spec.randomize_phase = true;
+  spec.node.link.mode = core::NodeConfig::Link::Mode::kArq;
+  spec.node.link.arq.max_retries = 2;
+  // Jam from the first wakes: the tight budget kills everyone within the
+  // first ~40 s, so retries must burn before that.
+  spec.faults.channel_loss(2.0, 60.0, 0.5);
+  spec.battery_budget_override_j = 4.0e-4;
+  return spec;
+}
+
+}  // namespace
+
+// Regression for the retirement path: a session saved after nodes have
+// already died mid-run and resumed in a fresh session must finish
+// fingerprint-equal to the uninterrupted run — dead nodes stay dead
+// through the blob (alive flags and death times travel), and the
+// finalize-derived counters (energy, node_seconds_alive) are billed
+// exactly once, by whichever session actually finishes.
+TEST(FleetCheckpointTest, MidRunDeathResumesFingerprintEqual) {
+  const fleet::FleetSpec spec = retirement_spec();
+  Obs base_o;
+  fleet::FleetSession base_s(spec, base_o.hooks());
+  const fleet::FleetMetrics base = base_s.finish();
+  ASSERT_EQ(base.nodes_dead, spec.nodes) << "spec must retire every node mid-run";
+  ASSERT_GT(base.arq_retries, 0u);
+  const RunResult want = collect(base_o, base);
+
+  const std::uint64_t n_epochs = epochs_in(spec);
+  for (const std::uint64_t cut : {n_epochs / 2, n_epochs - 1}) {
+    std::vector<std::uint8_t> blob;
+    {
+      Obs o;
+      fleet::FleetSession s(spec, o.hooks());
+      s.run_until(static_cast<double>(cut) * s.epoch_step_s());
+      blob = s.save();
+    }
+    Obs o;
+    fleet::FleetSession s(spec, o.hooks());
+    s.restore(blob);
+    const fleet::FleetMetrics m = s.finish();
+    EXPECT_TRUE(equal(want, collect(o, m))) << "cut_epoch=" << cut;
+    // No double-counting across the save/restore seam: every
+    // finalize-derived counter matches the uninterrupted run bit for bit.
+    EXPECT_EQ(m.nodes_dead, base.nodes_dead) << "cut_epoch=" << cut;
+    EXPECT_EQ(m.arq_retries, base.arq_retries) << "cut_epoch=" << cut;
+    EXPECT_EQ(m.arq_gaveup, base.arq_gaveup) << "cut_epoch=" << cut;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(m.node_seconds_alive),
+              std::bit_cast<std::uint64_t>(base.node_seconds_alive))
+        << "cut_epoch=" << cut;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(m.energy_out_j),
+              std::bit_cast<std::uint64_t>(base.energy_out_j))
+        << "cut_epoch=" << cut;
+    // Everyone died before the horizon, so the alive-time integral must
+    // sit strictly inside (0, nodes x sim_time).
+    EXPECT_GT(m.node_seconds_alive, 0.0);
+    EXPECT_LT(m.node_seconds_alive,
+              static_cast<double>(spec.nodes) * spec.sim_time_s);
+  }
+}
+
 // restore() then save() reproduces the blob byte for byte — the session
 // state the blob describes is exactly the state a restore reinstates.
 TEST(FleetCheckpointTest, RestoredSessionResavesByteIdentical) {

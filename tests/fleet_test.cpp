@@ -92,9 +92,13 @@ TEST(HarvestIntegralTest, ChargeMatchesWindowSums) {
     EXPECT_NEAR(h.charge_between(0.0, split) + h.charge_between(split, 30.0), total,
                 1e-12 * std::max(1.0, total));
   }
-  // Out-of-range queries clamp instead of extrapolating.
-  EXPECT_DOUBLE_EQ(h.charge_between(-5.0, 0.0), 0.0);
-  EXPECT_DOUBLE_EQ(h.charge_between(30.0, 40.0), 0.0);
+  // Queries past the precomputed horizon are design errors (a silent
+  // clamp used to credit zero harvest for the tail of a long run and
+  // corrupt the energy balance); an empty interval is still just zero.
+  EXPECT_EQ(h.horizon_s(), 30.0);
+  EXPECT_THROW(h.charge_between(-5.0, 0.0), DesignError);
+  EXPECT_THROW(h.charge_between(30.0, 40.0), DesignError);
+  EXPECT_THROW(h.charge_between(20.0, 30.0 + 1e-6), DesignError);
   EXPECT_DOUBLE_EQ(h.charge_between(8.0, 3.0), 0.0);
 }
 
@@ -472,20 +476,286 @@ TEST(ShardedEngineTest, FaultSubsetStaysDeterministicAndEffective) {
 
 // --- Guard rails ------------------------------------------------------------
 
-TEST(ShardedEngineTest, RejectsArqAndUnsupportedFaults) {
-  FleetSpec arq;
-  arq.node.link.mode = core::NodeConfig::Link::Mode::kArq;
-  EXPECT_THROW((void)ShardedFleetEngine::run(arq), DesignError);
-
+TEST(ShardedEngineTest, RejectsUnsupportedFaultsAndBadBudgetOverride) {
   FleetSpec glitch;
   glitch.nodes = 2;
   glitch.sim_time_s = 10.0;
   glitch.faults.supply_glitch(1.0, 0.5, 1e-3);
   EXPECT_THROW((void)ShardedFleetEngine::run(glitch), DesignError);
 
+  FleetSpec bad;
+  bad.nodes = 2;
+  bad.sim_time_s = 10.0;
+  bad.battery_budget_override_j = -1.0;
+  EXPECT_THROW((void)ShardedFleetEngine::run(bad), DesignError);
+}
+
+TEST(ShardedEngineTest, SpecFromFleetConfigMapsArqLink) {
   core::FleetConfig cfg;
   cfg.arq = true;
-  EXPECT_THROW((void)spec_from_fleet_config(cfg), DesignError);
+  cfg.arq_params.max_retries = 2;
+  cfg.arq_params.ack_timeout = Duration{5e-3};
+  const FleetSpec spec = spec_from_fleet_config(cfg);
+  EXPECT_EQ(spec.node.link.mode, core::NodeConfig::Link::Mode::kArq);
+  EXPECT_EQ(spec.node.link.arq.max_retries, 2);
+  EXPECT_DOUBLE_EQ(spec.node.link.arq.ack_timeout.value(), 5e-3);
+}
+
+// --- ARQ tabulated cycle energies -------------------------------------------
+
+TEST(CycleProfileTest, CalibratesMonotoneArqRetryTable) {
+  core::NodeConfig nc;
+  nc.link.mode = core::NodeConfig::Link::Mode::kArq;
+  nc.link.arq.max_retries = 3;
+  const CycleProfile p = CycleProfile::calibrate(nc);
+  ASSERT_TRUE(p.arq);
+  EXPECT_EQ(p.max_retries, 3u);
+  ASSERT_EQ(p.retry_cycle_energy_j.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.cycle_energy_j, p.retry_cycle_energy_j.front());
+  EXPECT_DOUBLE_EQ(p.max_cycle_energy_j(), p.retry_cycle_energy_j.back());
+  // Each extra retry burns one more attempt's worth of energy: strictly
+  // monotone. The increments grow with the retry index — the receiver
+  // idles in RX through the backoff window, and the window doubles per
+  // retry (base, 2x, 4x, up to the cap) — but stay within an order of
+  // magnitude of the first one.
+  for (std::size_t k = 1; k < 4; ++k) {
+    EXPECT_GT(p.retry_cycle_energy_j[k], p.retry_cycle_energy_j[k - 1]);
+  }
+  const double inc1 = p.retry_cycle_energy_j[1] - p.retry_cycle_energy_j[0];
+  for (std::size_t k = 2; k < 4; ++k) {
+    const double inc = p.retry_cycle_energy_j[k] - p.retry_cycle_energy_j[k - 1];
+    EXPECT_GT(inc, 0.3 * inc1);
+    EXPECT_LT(inc, 8.0 * inc1);
+  }
+  // The chain constants came from the ARQ link's own params.
+  EXPECT_DOUBLE_EQ(p.ack_timeout_s, nc.link.arq.ack_timeout.value());
+  EXPECT_DOUBLE_EQ(p.backoff_base_s, nc.link.arq.backoff_base.value());
+  EXPECT_DOUBLE_EQ(p.backoff_cap_s, nc.link.arq.backoff_cap.value());
+  // A retry-capped chain costs at least the single-attempt beacon cycle.
+  core::NodeConfig beacon;
+  const CycleProfile b = CycleProfile::calibrate(beacon);
+  EXPECT_FALSE(b.arq);
+  EXPECT_GT(p.cycle_energy_for(3), b.cycle_energy_j);
+}
+
+FleetSpec arq_jam_spec() {
+  FleetSpec spec;
+  spec.nodes = 600;
+  spec.domains = 8;
+  spec.sim_time_s = 120.0;
+  spec.epoch_s = 17.0;
+  spec.randomize_phase = true;
+  spec.node.link.mode = core::NodeConfig::Link::Mode::kArq;
+  spec.node.link.arq.max_retries = 2;
+  spec.faults.channel_loss(20.0, 80.0, 0.6);  // jam storm: retries burn
+  return spec;
+}
+
+TEST(FleetArqTest, BitIdenticalAcrossShardAndThreadCounts) {
+  const FleetSpec spec = arq_jam_spec();
+  std::vector<std::uint64_t> prints;
+  FleetMetrics first;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    for (unsigned threads : {1u, 8u}) {
+      FleetSpec s = spec;
+      s.shards = shards;
+      s.threads = threads;
+      const FleetMetrics m = ShardedFleetEngine::run(s);
+      if (prints.empty()) first = m;
+      prints.push_back(m.fingerprint());
+    }
+  }
+  for (std::size_t i = 1; i < prints.size(); ++i) EXPECT_EQ(prints[i], prints[0]);
+  // The jam actually drove the chain machinery.
+  EXPECT_GT(first.arq_retries, 0u);
+  EXPECT_GT(first.arq_gaveup, 0u);
+  EXPECT_GT(first.frames_on_air, first.wake_cycles);  // retries add frames
+  EXPECT_GT(first.delivered, 0u);
+}
+
+TEST(FleetArqTest, LegacyAndActiveAgreeUnderJam) {
+  const FleetSpec spec = arq_jam_spec();
+  const FleetMetrics a = run_path(spec, false);
+  const FleetMetrics l = run_path(spec, true);
+  EXPECT_EQ(a.fingerprint(), l.fingerprint());
+  EXPECT_EQ(a.arq_retries, l.arq_retries);
+  EXPECT_EQ(a.arq_gaveup, l.arq_gaveup);
+  EXPECT_EQ(a.energy_out_j, l.energy_out_j);  // bit-equal, not just close
+}
+
+TEST(FleetArqTest, LegacyAndActiveAgreeOnFlightStreamUnderJam) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  // ARQ interleaves chains across the calendar's pop order; the deferred
+  // node-major flight replay must still match the legacy inline emission
+  // byte for byte.
+  const FleetSpec spec = arq_jam_spec();
+  std::uint64_t prints[2];
+  std::uint64_t counts[2];
+  for (int legacy = 0; legacy < 2; ++legacy) {
+    FleetSpec s = spec;
+    s.legacy_epoch_path = legacy != 0;
+    obs::FlightRecorder flight;
+    FleetObsHooks hooks;
+    hooks.flight = &flight;
+    hooks.flight_tx_sample_shift = 1;
+    const FleetMetrics m = ShardedFleetEngine::run(s, hooks);
+    EXPECT_GT(m.arq_retries, 0u);
+    prints[legacy] = flight.fingerprint();
+    counts[legacy] = flight.total_recorded();
+  }
+  EXPECT_EQ(prints[0], prints[1]);
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST(FleetArqTest, CleanChannelCollapsesToBeaconCounts) {
+  // With no channel loss a stop-and-wait chain is exactly one attempt, so
+  // every frame-level counter must equal the beacon run's — only the
+  // energy differs (E(0) includes the ACK listen window).
+  FleetSpec spec;
+  spec.nodes = 400;
+  spec.domains = 4;
+  spec.sim_time_s = 90.0;
+  spec.randomize_phase = true;
+  const FleetMetrics beacon = ShardedFleetEngine::run(spec);
+
+  FleetSpec arq = spec;
+  arq.node.link.mode = core::NodeConfig::Link::Mode::kArq;
+  arq.node.link.arq.max_retries = 3;
+  const FleetMetrics m = ShardedFleetEngine::run(arq);
+  EXPECT_EQ(m.arq_retries, 0u);
+  EXPECT_EQ(m.arq_gaveup, 0u);
+  EXPECT_EQ(m.wake_cycles, beacon.wake_cycles);
+  EXPECT_EQ(m.frames_on_air, beacon.frames_on_air);
+  EXPECT_EQ(m.collided, beacon.collided);
+  EXPECT_EQ(m.delivered, beacon.delivered);
+  EXPECT_GT(m.energy_out_j, beacon.energy_out_j);
+}
+
+// --- Mid-run battery retirement ----------------------------------------------
+
+FleetSpec tight_budget_spec() {
+  FleetSpec spec;
+  spec.nodes = 300;
+  spec.domains = 4;
+  spec.sim_time_s = 240.0;
+  spec.epoch_s = 16.0;
+  spec.randomize_phase = true;
+  // Roughly half the whole-run sleep+cycle spend: every node's balance
+  // crosses the budget near mid-run.
+  spec.battery_budget_override_j = 4.0e-4;
+  return spec;
+}
+
+TEST(FleetRetirementTest, TightBudgetRetiresNodesMidRun) {
+  const FleetSpec spec = tight_budget_spec();
+  const FleetMetrics m = ShardedFleetEngine::run(spec);
+  EXPECT_EQ(m.nodes_dead, m.nodes);  // budget is unsurvivable
+  EXPECT_GT(m.node_seconds_alive, 0.0);
+  // Dead nodes stop waking: well under half the unconstrained activity.
+  FleetSpec rich = spec;
+  rich.battery_budget_override_j = 0.0;
+  const FleetMetrics r = ShardedFleetEngine::run(rich);
+  EXPECT_EQ(r.nodes_dead, 0u);
+  EXPECT_LT(m.wake_cycles, (3 * r.wake_cycles) / 4);
+  EXPECT_LT(m.frames_on_air, (3 * r.frames_on_air) / 4);
+  EXPECT_LT(m.energy_out_j, 0.75 * r.energy_out_j);
+  EXPECT_LT(m.node_seconds_alive, 0.75 * r.node_seconds_alive);
+  EXPECT_DOUBLE_EQ(r.node_seconds_alive,
+                   static_cast<double>(r.nodes) * spec.sim_time_s);
+}
+
+TEST(FleetRetirementTest, BitIdenticalAcrossShardThreadAndEpochPath) {
+  const FleetSpec spec = tight_budget_spec();
+  std::vector<std::uint64_t> prints;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    for (unsigned threads : {1u, 8u}) {
+      FleetSpec s = spec;
+      s.shards = shards;
+      s.threads = threads;
+      prints.push_back(ShardedFleetEngine::run(s).fingerprint());
+    }
+  }
+  const FleetMetrics l = run_path(spec, true);
+  EXPECT_GT(l.nodes_dead, 0u);
+  prints.push_back(l.fingerprint());
+  for (std::size_t i = 1; i < prints.size(); ++i) EXPECT_EQ(prints[i], prints[0]);
+}
+
+TEST(FleetRetirementTest, BrownoutFlightEventsMatchAcrossEpochPaths) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  const FleetSpec spec = tight_budget_spec();
+  std::uint64_t prints[2];
+  std::uint64_t brownouts[2];
+  for (int legacy = 0; legacy < 2; ++legacy) {
+    FleetSpec s = spec;
+    s.legacy_epoch_path = legacy != 0;
+    obs::FlightRecorder flight;
+    FleetObsHooks hooks;
+    hooks.flight = &flight;
+    const FleetMetrics m = ShardedFleetEngine::run(s, hooks);
+    EXPECT_EQ(m.nodes_dead, m.nodes);
+    prints[legacy] = flight.fingerprint();
+    std::uint64_t n = 0;
+    double last_t = 0.0;
+    std::vector<obs::FlightEvent> events;
+    for (std::size_t ring = 0; ring < flight.rings(); ++ring) {
+      flight.ring(ring).append_to(events);
+    }
+    for (const obs::FlightEvent& ev : events) {
+      if (ev.kind != obs::FlightEventKind::kBrownout) continue;
+      ++n;
+      EXPECT_GT(ev.t_s, 0.0);
+      EXPECT_LT(ev.t_s, spec.sim_time_s);  // mid-run, not post-hoc
+      EXPECT_GT(ev.v, 0.0);                // a real deficit
+      last_t = std::max(last_t, ev.t_s);
+    }
+    brownouts[legacy] = n;
+    EXPECT_EQ(n, m.nodes_dead);
+    EXPECT_GT(last_t, 0.0);
+  }
+  EXPECT_EQ(prints[0], prints[1]);
+  EXPECT_EQ(brownouts[0], brownouts[1]);
+}
+
+TEST(FleetRetirementTest, KernelRetirementMatchesScalarBrownoutWithinOneWake) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  // One node, no harvest, a battery sized to die mid-run: the scalar
+  // behavioral node's PowerAccountant brownout and the kernel's per-wake
+  // retirement must land within one wake cycle of each other. The SoC is
+  // chosen to survive the calibration runs (2.5 intervals) untouched.
+  core::NodeConfig nc;
+  nc.attach_harvester = false;
+  nc.battery_initial_soc = 1.2e-5;
+  const double kSimTime = 240.0;
+
+  obs::FlightRecorder scalar_flight;
+  scalar_flight.configure_rings(1);
+  core::PicoCubeNode node(nc);
+  node.attach_flight(&scalar_flight, 0);
+  node.run(Duration{kSimTime});
+  double t_scalar = -1.0;
+  std::vector<obs::FlightEvent> scalar_events;
+  scalar_flight.ring(0).append_to(scalar_events);
+  for (const obs::FlightEvent& ev : scalar_events) {
+    if (ev.kind == obs::FlightEventKind::kBrownout) t_scalar = ev.t_s;
+  }
+  const double interval = nc.sample_interval.value();
+  ASSERT_GT(t_scalar, 2.5 * interval) << "battery too small: distorts calibration";
+  ASSERT_LT(t_scalar, kSimTime - 2.0 * interval) << "battery too large: no mid-run death";
+
+  FleetSpec spec;
+  spec.nodes = 1;
+  spec.domains = 1;
+  spec.sim_time_s = kSimTime;
+  spec.nominal_interval_s = interval;
+  spec.interval_tolerance = 0.0;  // the one node keeps the scalar period
+  spec.randomize_phase = false;
+  spec.attach_harvester = false;
+  spec.node = nc;
+  const FleetMetrics m = ShardedFleetEngine::run(spec);
+  ASSERT_EQ(m.nodes_dead, 1u);
+  // One node: the alive-seconds integral is its depletion time.
+  EXPECT_NEAR(m.node_seconds_alive, t_scalar, interval);
 }
 
 // --- Allocation-free steady state -------------------------------------------
